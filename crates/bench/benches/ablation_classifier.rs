@@ -1,0 +1,52 @@
+//! Ablation — classifier detection threshold.
+//!
+//! The paper detects a stream once enough distinct blocks are touched in a
+//! region bitmap. A lower threshold detects after a single request (risking
+//! false positives on random workloads); a higher one delays read-ahead.
+//! This ablation sweeps the threshold (expressed in 64 KB requests) and
+//! reports throughput plus how many requests went to disk unclassified.
+
+use seqio_bench::{window_secs, Figure, Series};
+use seqio_core::ServerConfig;
+use seqio_node::{Experiment, Frontend};
+use seqio_simcore::units::{KIB, MIB};
+
+fn main() {
+    let (warmup, duration) = window_secs((4, 4), (8, 8));
+    let mut fig = Figure::new(
+        "Ablation",
+        "Classifier threshold (100 streams, R=1M, D=S)",
+        "Detection threshold (64K requests)",
+        "Throughput (MBytes/s)",
+    );
+    let mut tput = Series::new("throughput");
+    let mut direct = Series::new("direct requests (x1000)");
+    for reqs_to_detect in [1u64, 2, 4, 8] {
+        let cfg = ServerConfig {
+            // Threshold in blocks: just under `reqs_to_detect` requests'
+            // worth of 128-block requests triggers on the Nth request.
+            detect_threshold_blocks: (reqs_to_detect - 1) * 128 + 64,
+            ..ServerConfig::all_dispatched(100, MIB)
+        };
+        let r = Experiment::builder()
+            .streams_per_disk(100)
+            .request_size(64 * KIB)
+            .frontend(Frontend::StreamScheduler(cfg))
+            .warmup(warmup)
+            .duration(duration)
+            .seed(2121)
+            .run();
+        let m = r.server_metrics.expect("stream scheduler metrics");
+        tput.push(reqs_to_detect.to_string(), r.total_throughput_mbs());
+        direct.push(reqs_to_detect.to_string(), m.direct_requests as f64 / 1000.0);
+    }
+    fig.add(tput);
+    fig.add(direct);
+    fig.report("ablation_classifier");
+    let ys = fig.series[0].ys();
+    println!(
+        "threshold sweep: throughput {:.0} (detect@1) .. {:.0} (detect@8) MB/s",
+        ys[0],
+        ys.last().unwrap()
+    );
+}

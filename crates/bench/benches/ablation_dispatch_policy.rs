@@ -1,0 +1,53 @@
+//! Ablation — dispatch-set admission policy (paper §4.2).
+//!
+//! The paper uses simple round-robin admission and speculates that
+//! offset-based placement ("keep streams that access nearby areas of the
+//! disk in the dispatch set") might help, while noting that large request
+//! sizes make the benefit unclear. This ablation measures both policies at
+//! small and large read-ahead.
+
+use seqio_bench::{window_secs, Figure, Series};
+use seqio_core::{DispatchPolicy, ServerConfig};
+use seqio_node::{Experiment, Frontend};
+use seqio_simcore::units::{format_bytes, KIB, MIB};
+
+fn main() {
+    let (warmup, duration) = window_secs((4, 4), (8, 8));
+    let mut fig = Figure::new(
+        "Ablation",
+        "Dispatch policy: round-robin vs offset-ordered (100 streams, D=4, N=4)",
+        "Read-ahead",
+        "Throughput (MBytes/s)",
+    );
+    for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::OffsetOrdered] {
+        let mut s = Series::new(format!("{policy:?}"));
+        for ra in [128 * KIB, 512 * KIB, 2 * MIB] {
+            let cfg = ServerConfig {
+                dispatch_streams: 4,
+                read_ahead_bytes: ra,
+                requests_per_residency: 4,
+                memory_bytes: 4 * ra * 4,
+                dispatch_policy: policy,
+                ..ServerConfig::default_tuning()
+            };
+            let r = Experiment::builder()
+                .streams_per_disk(100)
+                .frontend(Frontend::StreamScheduler(cfg))
+                .warmup(warmup)
+                .duration(duration)
+                .seed(2424)
+                .run();
+            s.push(format_bytes(ra), r.total_throughput_mbs());
+        }
+        fig.add(s);
+    }
+    fig.report("ablation_dispatch_policy");
+    let rr = fig.series[0].ys();
+    let off = fig.series[1].ys();
+    println!(
+        "offset-ordered vs round-robin: {:+.1}% at 128K RA, {:+.1}% at 2M RA \
+         (paper: benefit unclear at large request sizes)",
+        (off[0] / rr[0] - 1.0) * 100.0,
+        (off[2] / rr[2] - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Ablation — issue-path priority in the completion path (paper §4.2).
+//!
+//! The paper gives the issue path priority over client-request completion so
+//! the disks never sit idle while the server answers clients. This ablation
+//! flips the ordering and measures the throughput cost when the server CPU
+//! is the contended resource (many streams, small read-ahead).
+
+use seqio_bench::{window_secs, Figure, Series};
+use seqio_core::ServerConfig;
+use seqio_node::{Experiment, Frontend};
+use seqio_simcore::units::KIB;
+
+fn main() {
+    let (warmup, duration) = window_secs((4, 4), (8, 8));
+    let mut fig = Figure::new(
+        "Ablation",
+        "Issue-path priority on/off (single disk, R=512K, D=4, N=8)",
+        "Streams per Disk",
+        "Throughput (MBytes/s)",
+    );
+    for priority in [true, false] {
+        let mut s = Series::new(if priority { "issue-path first" } else { "completions first" });
+        for n in [10usize, 50, 100] {
+            let mut cfg = ServerConfig {
+                dispatch_streams: 4,
+                read_ahead_bytes: 512 * KIB,
+                requests_per_residency: 8,
+                memory_bytes: 4 * 512 * KIB * 8,
+                ..ServerConfig::default_tuning()
+            };
+            cfg.issue_path_priority = priority;
+            let r = Experiment::builder()
+                .streams_per_disk(n)
+                .frontend(Frontend::StreamScheduler(cfg))
+                .warmup(warmup)
+                .duration(duration)
+                .seed(2020)
+                .run();
+            s.push(n.to_string(), r.total_throughput_mbs());
+        }
+        fig.add(s);
+    }
+    fig.report("ablation_issue_priority");
+    let on = fig.series[0].ys();
+    let off = fig.series[1].ys();
+    println!(
+        "issue-path priority delta at 100 streams: {:+.1}%",
+        (on.last().unwrap() / off.last().unwrap() - 1.0) * 100.0
+    );
+}

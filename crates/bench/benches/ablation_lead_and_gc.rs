@@ -1,0 +1,72 @@
+//! Ablation — per-stream prefetch lead bound and GC buffer timeout.
+//!
+//! The lead bound (how far a stream may stage ahead of its client) and the
+//! garbage-collection timeout both trade memory hygiene against pipeline
+//! smoothness. This ablation sweeps each on a 100-stream single-disk
+//! workload.
+
+use seqio_bench::{window_secs, Figure, Series};
+use seqio_core::ServerConfig;
+use seqio_node::{Experiment, Frontend};
+use seqio_simcore::units::{format_bytes, KIB, MIB};
+use seqio_simcore::SimDuration;
+
+fn main() {
+    let (warmup, duration) = window_secs((4, 4), (8, 8));
+
+    let mut fig = Figure::new(
+        "Ablation",
+        "Prefetch lead bound (100 streams, R=512K, D=8, N=16)",
+        "Lead bound",
+        "Throughput (MBytes/s)",
+    );
+    let mut s = Series::new("throughput");
+    for lead in [512 * KIB, MIB, 4 * MIB, 16 * MIB] {
+        let cfg = ServerConfig {
+            dispatch_streams: 8,
+            read_ahead_bytes: 512 * KIB,
+            requests_per_residency: 16,
+            memory_bytes: 128 * MIB,
+            prefetch_lead_bytes: lead,
+            ..ServerConfig::default_tuning()
+        };
+        let r = Experiment::builder()
+            .streams_per_disk(100)
+            .frontend(Frontend::StreamScheduler(cfg))
+            .warmup(warmup)
+            .duration(duration)
+            .seed(2222)
+            .run();
+        s.push(format_bytes(lead), r.total_throughput_mbs());
+    }
+    fig.add(s);
+    fig.report("ablation_lead");
+
+    let mut fig2 = Figure::new(
+        "Ablation",
+        "GC buffer timeout (100 streams, R=1M, D=S)",
+        "Buffer timeout (s)",
+        "Throughput (MBytes/s)",
+    );
+    let mut s2 = Series::new("throughput");
+    let mut gc = Series::new("buffers GC-freed (x1000)");
+    for secs in [1u64, 5, 20] {
+        let cfg = ServerConfig {
+            buffer_timeout: SimDuration::from_secs(secs),
+            ..ServerConfig::all_dispatched(100, MIB)
+        };
+        let r = Experiment::builder()
+            .streams_per_disk(100)
+            .frontend(Frontend::StreamScheduler(cfg))
+            .warmup(warmup)
+            .duration(duration)
+            .seed(2223)
+            .run();
+        s2.push(secs.to_string(), r.total_throughput_mbs());
+        let m = r.server_metrics.expect("metrics");
+        gc.push(secs.to_string(), m.streams_gced as f64 / 1000.0);
+    }
+    fig2.add(s2);
+    fig2.add(gc);
+    fig2.report("ablation_gc_timeout");
+}

@@ -1,0 +1,68 @@
+//! Figure 4 — Impact of request size on throughput (simulated disk,
+//! segment size tuned to the request size so no prefetching takes place,
+//! 8 MB total disk cache).
+
+use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_disk::CacheConfig;
+use seqio_node::{Experiment, NodeShape};
+use seqio_simcore::units::{format_bytes, KIB, MIB};
+
+fn main() {
+    let (warmup, duration) = window_secs((2, 3), (4, 8));
+    let request_sizes: Vec<u64> = if quick_mode() {
+        vec![8 * KIB, 64 * KIB, 256 * KIB]
+    } else {
+        vec![8 * KIB, 16 * KIB, 64 * KIB, 128 * KIB, 256 * KIB]
+    };
+    let stream_counts: Vec<usize> =
+        if quick_mode() { vec![1, 30, 100] } else { vec![1, 10, 30, 60, 100] };
+
+    let mut fig = Figure::new(
+        "Figure 4",
+        "Impact of request size on throughput (segment = request, 8MB cache)",
+        "I/O Request Size",
+        "Throughput (MB/s)",
+    );
+    for &n in &stream_counts {
+        let mut s = Series::new(format!("{n} Stream{}", if n == 1 { "" } else { "s" }));
+        for &req in &request_sizes {
+            // Tune segment size and read-ahead equal to the request size;
+            // shrink the segment count to keep the cache at 8 MB (paper §3.1).
+            let mut shape = NodeShape::single_disk();
+            shape.disk.cache = CacheConfig {
+                segment_count: ((8 * MIB) / req).max(1) as usize,
+                segment_bytes: req,
+                read_ahead_bytes: req,
+            };
+            let r = Experiment::builder()
+                .shape(shape)
+                .streams_per_disk(n)
+                .request_size(req)
+                .warmup(warmup)
+                .duration(duration)
+                .seed(44)
+                .run();
+            s.push(format_bytes(req), r.total_throughput_mbs());
+        }
+        fig.add(s);
+    }
+    fig.report("fig04_request_size");
+
+    // Shape checks: throughput grows with request size for every stream
+    // count, and one stream far outperforms one hundred.
+    for s in &fig.series {
+        let ys = s.ys();
+        assert!(
+            ys.last().unwrap() > ys.first().unwrap(),
+            "{}: larger requests must help ({ys:?})",
+            s.label
+        );
+    }
+    let one = fig.series.first().unwrap().ys();
+    let hundred = fig.series.last().unwrap().ys();
+    assert!(one[0] > 2.0 * hundred[0], "collapse missing at the smallest request size");
+    println!(
+        "shape ok: 64K request, 1 stream {:.0} MB/s vs 100 streams {:.0} MB/s",
+        one[1], hundred[1]
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 7 — Effect of read-ahead at a fixed 8 MB disk cache.
+//!
+//! Paper: total cache fixed at 8 MB; the segment-count x segment-size split
+//! swept from 128x64K to 8x1M, 64 KB requests, 1–100 streams. Larger
+//! segments help while `#segments > #streams`; once streams outnumber
+//! segments, LRU reclaims prefetched data before use and throughput drops
+//! below the little-prefetch configurations.
+
+use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_disk::CacheConfig;
+use seqio_node::{Experiment, NodeShape};
+use seqio_simcore::units::{format_bytes, KIB};
+
+fn main() {
+    let (warmup, duration) = window_secs((2, 3), (4, 8));
+    // (#segments, segment size) pairs keeping 8 MB total.
+    let splits: Vec<(usize, u64)> = vec![
+        (128, 64 * KIB),
+        (64, 128 * KIB),
+        (32, 256 * KIB),
+        (16, 512 * KIB),
+        (8, 1024 * KIB),
+    ];
+    let stream_counts: Vec<usize> =
+        if quick_mode() { vec![1, 10, 30, 100] } else { vec![1, 10, 20, 30, 50, 100] };
+
+    let mut fig = Figure::new(
+        "Figure 7",
+        "Read-ahead vs segment count at a fixed 8MB disk cache (64K requests)",
+        "#Segments x Segment size",
+        "Throughput (MBytes/s)",
+    );
+    for &n in &stream_counts {
+        let mut s = Series::new(format!("{n} Stream{}", if n == 1 { "" } else { "s" }));
+        for &(count, seg) in &splits {
+            let mut shape = NodeShape::single_disk();
+            shape.disk.cache =
+                CacheConfig { segment_count: count, segment_bytes: seg, read_ahead_bytes: seg };
+            let r = Experiment::builder()
+                .shape(shape)
+                .streams_per_disk(n)
+                .request_size(64 * KIB)
+                .warmup(warmup)
+                .duration(duration)
+                .seed(77)
+                .run();
+            s.push(format!("{count}x{}", format_bytes(seg)), r.total_throughput_mbs());
+        }
+        fig.add(s);
+    }
+    fig.report("fig07_readahead_tradeoff");
+
+    // Shape checks: with few streams, bigger segments help; with 100
+    // streams (more than any segment count here except 128), big segments
+    // hurt relative to the stream count staying under the segment count.
+    let one = fig.series[0].ys();
+    assert!(
+        *one.last().unwrap() > one[0],
+        "single stream should improve with segment size: {one:?}"
+    );
+    let hundred = fig.series.last().unwrap().ys();
+    assert!(
+        *hundred.last().unwrap() < *one.last().unwrap() / 2.0,
+        "100 streams over 8 segments must thrash"
+    );
+    println!(
+        "shape ok: at 8x1M, 1 stream {:.0} MB/s vs 100 streams {:.1} MB/s",
+        one.last().unwrap(),
+        hundred.last().unwrap()
+    );
+}

@@ -1,0 +1,79 @@
+//! Figure 8 — Prefetching at the controller level.
+//!
+//! Paper: 128 MB controller cache, controller read-ahead swept 64K–4M,
+//! 1–100 streams, one disk. Moderate prefetch lifts many-stream throughput
+//! to near the disk maximum; once `streams x prefetch` exceeds controller
+//! memory (4 MB at 60–100 streams), extents are reclaimed before reuse and
+//! throughput collapses towards zero.
+
+use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_node::{Experiment, NodeShape};
+use seqio_simcore::units::{format_bytes, KIB, MIB};
+
+fn main() {
+    let (warmup, duration) = window_secs((2, 3), (4, 8));
+    let prefetch_sizes: Vec<u64> = if quick_mode() {
+        vec![64 * KIB, 512 * KIB, MIB, 4 * MIB]
+    } else {
+        vec![64 * KIB, 256 * KIB, 512 * KIB, MIB, 2 * MIB, 4 * MIB]
+    };
+    let stream_counts: Vec<usize> =
+        if quick_mode() { vec![1, 30, 60, 100] } else { vec![1, 10, 30, 60, 100] };
+
+    let mut fig = Figure::new(
+        "Figure 8",
+        "Prefetching at the controller level (128MB controller cache)",
+        "Prefetch Size",
+        "Throughput (MBytes/s)",
+    );
+    let mut waste_at_100 = Vec::new();
+    for &n in &stream_counts {
+        let mut s = Series::new(format!("{n} Stream{}", if n == 1 { "" } else { "s" }));
+        for &pf in &prefetch_sizes {
+            let mut shape = NodeShape::single_disk();
+            shape.controller = shape.controller.with_prefetch(128 * MIB, pf);
+            let r = Experiment::builder()
+                .shape(shape)
+                .streams_per_disk(n)
+                .request_size(64 * KIB)
+                .warmup(warmup)
+                .duration(duration)
+                .seed(88)
+                .run();
+            s.push(format_bytes(pf), r.total_throughput_mbs());
+            if n == *stream_counts.last().unwrap() {
+                waste_at_100
+                    .push(r.ctrl_wasted_bytes as f64 / r.ctrl_bytes_from_disks.max(1) as f64);
+            }
+        }
+        fig.add(s);
+    }
+    fig.report("fig08_controller_prefetch");
+
+    // Shape checks. (1) One stream is fairly insensitive to controller
+    // prefetch (pipelined speculative fetches keep it near media rate).
+    let one = fig.series[0].ys();
+    let ratio = one.iter().cloned().fold(f64::MIN, f64::max)
+        / one.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(ratio < 2.0, "1 stream should stay within 2x across prefetch sizes: {one:?}");
+    // (2) Moderate prefetch lifts many-stream throughput far above tiny
+    // prefetch (the paper's "significant impact").
+    let hundred = fig.series.last().unwrap().ys();
+    let best = hundred.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(best > 2.5 * hundred[0], "good prefetch must far exceed 64K: {hundred:?}");
+    // (3) At 4 MB x 100 streams the pool is over-committed (400 MB of
+    // working set over 128 MB): evictions must be happening. NOTE: the
+    // paper reports a near-zero throughput collapse here; our controller
+    // coalesces waiting requests onto in-flight fetches and closed-loop
+    // clients drain each extent at memory speed before FIFO replacement
+    // reaches it, so the eviction-refetch spiral does not ignite. The
+    // divergence is recorded in EXPERIMENTS.md.
+    let waste_4m = *waste_at_100.last().unwrap();
+    println!(
+        "shape ok: 100 streams, 64K prefetch {:.0} MB/s vs best {:.0} MB/s; 4M wasted-byte fraction {:.0}% \
+         (paper expects a full collapse at 4M — known divergence)",
+        hundred[0],
+        best,
+        waste_4m * 100.0
+    );
+}

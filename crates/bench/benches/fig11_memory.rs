@@ -1,0 +1,84 @@
+//! Figure 11 — Effect of storage-node memory size on throughput.
+//!
+//! Paper: `D` is limited by memory as `D = M / (R*N)`; M swept 8–256 MB for
+//! `R` in {256K, 1M, 8M} and 1/10/100 streams. Large read-ahead with few
+//! dispatched streams beats many dispatched streams with small read-ahead
+//! (e.g. one 8 MB-R stream in 16 MB of memory outperforms 100 dispatched
+//! streams at 256 KB).
+
+use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_core::ServerConfig;
+use seqio_node::{Experiment, Frontend};
+use seqio_simcore::units::{format_bytes, KIB, MIB};
+
+fn main() {
+    let (warmup, duration) = window_secs((4, 6), (8, 12));
+    let memories: Vec<u64> = if quick_mode() {
+        vec![8 * MIB, 16 * MIB, 64 * MIB, 256 * MIB]
+    } else {
+        vec![8 * MIB, 16 * MIB, 32 * MIB, 64 * MIB, 128 * MIB, 256 * MIB]
+    };
+    let readaheads: Vec<u64> =
+        if quick_mode() { vec![8 * MIB, 256 * KIB] } else { vec![8 * MIB, MIB, 256 * KIB] };
+    let stream_counts: Vec<usize> = vec![1, 10, 100];
+
+    let mut fig = Figure::new(
+        "Figure 11",
+        "Effect of storage memory size (D = M/(R*N), N = 1)",
+        "Memory Size",
+        "Throughput (MBytes/s)",
+    );
+    for &ra in &readaheads {
+        for &n in &stream_counts {
+            let mut s = Series::new(format!("S={n} (RA={})", format_bytes(ra)));
+            for &m in &memories {
+                if m < ra {
+                    s.push(format_bytes(m), 0.0); // cannot hold even one buffer
+                    continue;
+                }
+                let cfg = ServerConfig::memory_limited(m, ra, 1);
+                let r = Experiment::builder()
+                    .streams_per_disk(n)
+                    .frontend(Frontend::StreamScheduler(cfg))
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(1111)
+                    .run();
+                s.push(format_bytes(m), r.total_throughput_mbs());
+            }
+            fig.add(s);
+        }
+    }
+    fig.report("fig11_memory");
+
+    // Shape checks. (1) A single stream is insensitive to memory.
+    let single_big_ra = fig.series[0].ys();
+    let valid: Vec<f64> = single_big_ra.iter().copied().filter(|&y| y > 0.0).collect();
+    let spread = valid.iter().cloned().fold(f64::MIN, f64::max)
+        - valid.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 20.0, "single stream should be flat-ish: {single_big_ra:?}");
+    // (2) Large R with little memory beats small R with all streams
+    // dispatched: S=100/RA=8M at 16MB vs S=100/RA=256K at 256MB.
+    let s100_big = fig
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("S=100 (RA=8M"))
+        .expect("series exists");
+    let s100_small = fig
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("S=100 (RA=256K"))
+        .expect("series exists");
+    let big_at_16m = s100_big.points.iter().find(|(x, _)| x == "16M").map(|p| p.1).unwrap();
+    let small_at_max = s100_small.points.last().unwrap().1;
+    assert!(
+        big_at_16m > small_at_max,
+        "8M-RA with 16MB memory ({big_at_16m:.1}) should beat 256K-RA with ample memory ({small_at_max:.1})"
+    );
+    println!(
+        "shape ok: S=100, RA=8M@16MB {:.0} MB/s > RA=256K@{} {:.0} MB/s",
+        big_at_16m,
+        s100_small.points.last().unwrap().0,
+        small_at_max
+    );
+}

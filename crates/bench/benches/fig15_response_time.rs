@@ -1,0 +1,80 @@
+//! Figure 15 — Average stream response time.
+//!
+//! Paper: 64 KB client requests, one outstanding per stream; memory 8, 64
+//! and 256 MB; read-ahead 256K–8M; 1/10/100 streams. Response time is
+//! dominated by the number of streams; at a fixed stream count larger
+//! read-ahead *improves* the average because most requests are then served
+//! from memory.
+
+use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_core::ServerConfig;
+use seqio_node::{Experiment, Frontend};
+use seqio_simcore::units::{format_bytes, KIB, MIB};
+
+fn main() {
+    let (warmup, duration) = window_secs((4, 6), (8, 12));
+    let readaheads: Vec<u64> = if quick_mode() {
+        vec![256 * KIB, MIB, 8 * MIB]
+    } else {
+        vec![256 * KIB, 512 * KIB, MIB, 2 * MIB, 8 * MIB]
+    };
+    let memories: Vec<u64> = vec![8 * MIB, 64 * MIB, 256 * MIB];
+    let stream_counts: Vec<usize> = vec![1, 10, 100];
+
+    let mut fig = Figure::new(
+        "Figure 15",
+        "Average stream response time (64K requests, 1 outstanding)",
+        "ReadAhead",
+        "Average Latency (msec)",
+    );
+    for &m in &memories {
+        for &n in &stream_counts {
+            let mut s = Series::new(format!("S={n} (M={})", format_bytes(m)));
+            for &ra in &readaheads {
+                if m < ra {
+                    s.push(format_bytes(ra), f64::NAN);
+                    continue;
+                }
+                let cfg = ServerConfig::memory_limited(m, ra, 1);
+                let r = Experiment::builder()
+                    .streams_per_disk(n)
+                    .frontend(Frontend::StreamScheduler(cfg))
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(1515)
+                    .run();
+                s.push(format_bytes(ra), r.mean_response_ms());
+            }
+            fig.add(s);
+        }
+    }
+    fig.report("fig15_response_time");
+
+    // Shape checks: (1) response time grows strongly with stream count;
+    // (2) at 100 streams, more read-ahead lowers the average.
+    let find = |label: &str| {
+        fig.series
+            .iter()
+            .find(|s| s.label.starts_with(label))
+            .unwrap_or_else(|| panic!("missing series {label}"))
+            .ys()
+    };
+    let one = find("S=1 (M=256M");
+    let hundred = find("S=100 (M=256M");
+    assert!(
+        hundred[0] > 10.0 * one[0],
+        "100 streams ({:.1} ms) must be far slower than 1 ({:.2} ms)",
+        hundred[0],
+        one[0]
+    );
+    assert!(
+        *hundred.last().unwrap() < hundred[0],
+        "larger read-ahead should improve the 100-stream average: {hundred:?}"
+    );
+    println!(
+        "shape ok: S=100, M=256M: {:.0} ms at 256K RA -> {:.0} ms at 8M RA; S=1: {:.2} ms",
+        hundred[0],
+        hundred.last().unwrap(),
+        one[0]
+    );
+}

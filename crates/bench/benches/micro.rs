@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the hot data structures: the detection
+//! bitmap/classifier, the segmented disk cache, the event queue, and one
+//! small end-to-end experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seqio_core::Classifier;
+use seqio_disk::{CacheConfig, SegmentedCache};
+use seqio_node::Experiment;
+use seqio_simcore::{EventQueue, SimDuration, SimTime};
+
+fn bench_classifier(c: &mut Criterion) {
+    c.bench_function("classifier_observe_sequential", |b| {
+        b.iter_batched(
+            || Classifier::new(4096, 192),
+            |mut clf| {
+                for i in 0..64u64 {
+                    std::hint::black_box(clf.observe(0, i * 128, 128, SimTime::ZERO));
+                }
+                clf
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("classifier_observe_scattered", |b| {
+        b.iter_batched(
+            || Classifier::new(4096, 192),
+            |mut clf| {
+                for i in 0..64u64 {
+                    std::hint::black_box(clf.observe(0, i * 1_000_000, 128, SimTime::ZERO));
+                }
+                clf
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("disk_cache_lookup_hit", |b| {
+        let mut cache = SegmentedCache::new(CacheConfig {
+            segment_count: 32,
+            segment_bytes: 256 * 1024,
+            read_ahead_bytes: 256 * 1024,
+        });
+        let t = cache.begin_fill(0, 512, SimTime::ZERO).unwrap();
+        cache.commit_fill(t, 0, 512, SimTime::ZERO);
+        b.iter(|| std::hint::black_box(cache.lookup(128, 128, SimTime::ZERO)))
+    });
+    c.bench_function("disk_cache_fill_cycle", |b| {
+        let mut cache = SegmentedCache::new(CacheConfig {
+            segment_count: 32,
+            segment_bytes: 256 * 1024,
+            read_ahead_bytes: 256 * 1024,
+        });
+        let mut lba = 0u64;
+        b.iter(|| {
+            if let Some(t) = cache.begin_fill(lba, 512, SimTime::ZERO) {
+                cache.commit_fill(t, lba, 512, SimTime::ZERO);
+            }
+            lba += 1_000_000;
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("small_direct_experiment", |b| {
+        b.iter(|| {
+            Experiment::builder()
+                .streams_per_disk(10)
+                .warmup(SimDuration::from_millis(100))
+                .duration(SimDuration::from_millis(400))
+                .seed(3)
+                .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classifier, bench_cache, bench_event_queue, bench_experiment);
+criterion_main!(benches);

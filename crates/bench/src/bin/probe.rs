@@ -1,0 +1,105 @@
+//! Calibration probe: prints the key operating points the figures depend
+//! on, so model constants can be sanity-checked quickly.
+
+use seqio_core::ServerConfig;
+use seqio_disk::CacheConfig;
+use seqio_hostsched::{ReadaheadConfig, SchedKind};
+use seqio_node::{CostModel, Experiment, Frontend, NodeShape};
+use seqio_simcore::units::{KIB, MIB};
+use seqio_simcore::SimDuration;
+
+fn main() {
+    let w = SimDuration::from_secs(6);
+    let d = SimDuration::from_secs(6);
+
+    println!("-- direct path, single disk, 64K requests (Fig 4/5 flavour) --");
+    for s in [1usize, 10, 30, 100] {
+        let r = Experiment::builder()
+            .streams_per_disk(s)
+            .warmup(w)
+            .duration(d)
+            .build()
+            .run();
+        println!("  S={s:<4} {:>7.2} MB/s  mean resp {:.2} ms", r.total_throughput_mbs(), r.mean_response_ms());
+    }
+
+    println!("-- direct, segment == request (no disk prefetch, Fig 4) --");
+    for s in [1usize, 10, 30, 100] {
+        let mut shape = NodeShape::single_disk();
+        shape.disk.cache = CacheConfig { segment_count: 128, segment_bytes: 64 * KIB, read_ahead_bytes: 64 * KIB };
+        let r = Experiment::builder()
+            .shape(shape)
+            .streams_per_disk(s)
+            .warmup(w)
+            .duration(d)
+            .build()
+            .run();
+        println!("  S={s:<4} {:>7.2} MB/s", r.total_throughput_mbs());
+    }
+
+    println!("-- stream scheduler, all dispatched (Fig 10) --");
+    for s in [10usize, 30, 100] {
+        for ra in [128 * KIB, 512 * KIB, 2 * MIB, 8 * MIB] {
+            let r = Experiment::builder()
+                .streams_per_disk(s)
+                .frontend(Frontend::stream_scheduler_with_readahead(ra))
+                .warmup(w)
+                .duration(d)
+                .build()
+                .run();
+            println!("  S={s:<4} R={:<5} {:>7.2} MB/s resp {:.1} ms", ra / KIB, r.total_throughput_mbs(), r.mean_response_ms());
+        }
+    }
+
+    println!("-- small dispatch set (Fig 14): D=1, N=128, R=512K --");
+    for s in [10usize, 30, 100] {
+        let cfg = ServerConfig::small_dispatch(1, 512 * KIB, 128);
+        let r = Experiment::builder()
+            .streams_per_disk(s)
+            .frontend(Frontend::StreamScheduler(cfg))
+            .warmup(w)
+            .duration(d)
+            .build()
+            .run();
+        println!("  S={s:<4} {:>7.2} MB/s", r.total_throughput_mbs());
+    }
+
+    println!("-- 8 disks, D=S (Fig 12) vs D=8,N=128 (Fig 13) at R=512K --");
+    for s in [10usize, 100] {
+        let r = Experiment::builder()
+            .shape(NodeShape::eight_disk())
+            .streams_per_disk(s)
+            .frontend(Frontend::stream_scheduler_with_readahead(512 * KIB))
+            .warmup(w)
+            .duration(d)
+            .build()
+            .run();
+        println!("  D=S  S/disk={s:<4} {:>8.2} MB/s", r.total_throughput_mbs());
+        let cfg = ServerConfig::small_dispatch(8, 512 * KIB, 128);
+        let r = Experiment::builder()
+            .shape(NodeShape::eight_disk())
+            .streams_per_disk(s)
+            .frontend(Frontend::StreamScheduler(cfg))
+            .warmup(w)
+            .duration(d)
+            .build()
+            .run();
+        println!("  D=8  S/disk={s:<4} {:>8.2} MB/s", r.total_throughput_mbs());
+    }
+
+    println!("-- Linux schedulers, 4K reads (Fig 2) --");
+    for kind in [SchedKind::Anticipatory, SchedKind::Cfq, SchedKind::Noop] {
+        for s in [1usize, 16, 64, 256] {
+            let r = Experiment::builder()
+                .streams_per_disk(s)
+                .request_size(4 * KIB)
+                .frontend(Frontend::Linux { scheduler: kind, readahead: ReadaheadConfig::default() })
+                .costs(CostModel::local_xdd())
+                .warmup(w)
+                .duration(d)
+                .build()
+                .run();
+            println!("  {:<13} S={s:<4} {:>7.2} MB/s", kind.name(), r.total_throughput_mbs());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! `seqio` — command-line front end for the storage-node simulator.
+//!
+//! ```text
+//! seqio run   [flags]                 # one experiment, full report
+//! seqio sweep --param <p> --values a,b,c [flags]   # table over one knob
+//! seqio info                          # presets and flag reference
+//! ```
+
+mod args;
+mod build;
+
+use std::process::ExitCode;
+
+use args::Args;
+use build::{experiment_from, EXPERIMENT_FLAGS};
+use seqio_node::RunResult;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let sub = argv.next().unwrap_or_else(|| "help".to_string());
+    let rest: Vec<String> = argv.collect();
+    let result = match sub.as_str() {
+        "run" => cmd_run(rest),
+        "sweep" => cmd_sweep(rest),
+        "replay" => cmd_replay(rest),
+        "info" | "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?} (try `seqio help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let unknown = args.unknown_flags(EXPERIMENT_FLAGS);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag(s): {}", unknown.join(", ")));
+    }
+    let spec = experiment_from(&args)?;
+    let disks = spec.shape.total_disks();
+    eprintln!(
+        "running: {} disk(s), {} stream(s)/disk, {}B requests, {:?} window {}+{}",
+        disks,
+        spec.streams_per_disk,
+        spec.request_bytes,
+        frontend_name(&spec),
+        spec.warmup,
+        spec.duration
+    );
+    let r = spec.run();
+    print_report(&r, disks);
+    if let Some(path) = args.get("trace") {
+        let trace = r.trace.as_ref().expect("tracing was enabled");
+        std::fs::write(path, seqio_node::trace::to_csv(trace))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+        println!("trace:           {} records -> {path}", trace.len());
+    }
+    Ok(())
+}
+
+fn frontend_name(spec: &seqio_node::Experiment) -> &'static str {
+    match spec.frontend {
+        seqio_node::Frontend::Direct => "direct",
+        seqio_node::Frontend::StreamScheduler(_) => "stream",
+        seqio_node::Frontend::AllDispatched { .. } => "stream(all-dispatched)",
+        seqio_node::Frontend::Linux { .. } => "linux",
+    }
+}
+
+fn print_report(r: &RunResult, disks: usize) {
+    println!("throughput:      {:>9.2} MB/s total", r.total_throughput_mbs());
+    println!("per disk:        {:>9.2} MB/s", r.per_disk_throughput_mbs(disks));
+    println!(
+        "response time:   mean {:.2} ms   p50 {:.2} ms   p99 {:.2} ms",
+        r.mean_response_ms(),
+        r.p50_response_ms(),
+        r.p99_response_ms()
+    );
+    println!(
+        "requests:        {} completed, {} MiB delivered over {}",
+        r.requests_completed,
+        r.bytes_delivered >> 20,
+        r.window
+    );
+    if let Some(m) = &r.server_metrics {
+        println!(
+            "scheduler:       {} streams detected, {} admissions, {} fills, {} memory hits, {} direct",
+            m.streams_detected, m.admissions, m.fills_issued, m.memory_hits, m.direct_requests
+        );
+    }
+    let total_seeks: u64 = r.disk_seeks.iter().sum();
+    println!("disks:           {total_seeks} seeks across {disks} disk(s)");
+}
+
+fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let mut known = EXPERIMENT_FLAGS.to_vec();
+    known.push("trace-in");
+    let unknown = args.unknown_flags(&known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag(s): {}", unknown.join(", ")));
+    }
+    let path = args.get("trace-in").ok_or("replay needs --trace-in FILE")?;
+    let csv = std::fs::read_to_string(path).map_err(|e| format!("--trace-in {path}: {e}"))?;
+    let trace = seqio_node::trace::from_csv(&csv)?;
+    let mut spec = experiment_from(&args)?;
+    spec.replay = Some(trace);
+    spec.validate()?;
+    let disks = spec.shape.total_disks();
+    eprintln!("replaying {} requests from {path}", spec.replay.as_ref().unwrap().len());
+    let r = spec.run();
+    print_report(&r, disks);
+    if let Some(out) = args.get("trace") {
+        let t = r.trace.as_ref().expect("tracing was enabled");
+        std::fs::write(out, seqio_node::trace::to_csv(t))
+            .map_err(|e| format!("--trace {out}: {e}"))?;
+        println!("trace:           {} records -> {out}", t.len());
+    }
+    Ok(())
+}
+
+fn cmd_sweep(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let mut known = EXPERIMENT_FLAGS.to_vec();
+    known.extend_from_slice(&["param", "values"]);
+    let unknown = args.unknown_flags(&known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag(s): {}", unknown.join(", ")));
+    }
+    let param = args.get("param").ok_or("sweep needs --param streams|readahead|request")?;
+    let values: Vec<&str> = args
+        .get("values")
+        .ok_or("sweep needs --values a,b,c")?
+        .split(',')
+        .map(str::trim)
+        .filter(|v| !v.is_empty())
+        .collect();
+    if values.is_empty() {
+        return Err("--values: empty list".into());
+    }
+    if !matches!(param, "streams" | "readahead" | "request") {
+        return Err(format!("--param: expected streams|readahead|request, got {param:?}"));
+    }
+
+    println!(
+        "{:>12} {:>12} {:>12} {:>10} {:>10}",
+        param, "MB/s", "MB/s/disk", "mean ms", "p99 ms"
+    );
+    for v in values {
+        // Re-parse with the swept flag overridden.
+        let mut items: Vec<String> = Vec::new();
+        items.push(format!("--{param}={v}"));
+        // Carry every other original flag through.
+        for k in EXPERIMENT_FLAGS {
+            if *k == param {
+                continue;
+            }
+            if let Some(val) = args.get(k) {
+                items.push(format!("--{k}={val}"));
+            } else if args.switch(k) {
+                items.push(format!("--{k}"));
+            }
+        }
+        let sub = Args::parse(items)?;
+        let spec = experiment_from(&sub)?;
+        let disks = spec.shape.total_disks();
+        let r = spec.run();
+        println!(
+            "{:>12} {:>12.2} {:>12.2} {:>10.2} {:>10.2}",
+            v,
+            r.total_throughput_mbs(),
+            r.per_disk_throughput_mbs(disks),
+            r.mean_response_ms(),
+            r.p99_response_ms()
+        );
+    }
+    Ok(())
+}
+
+fn print_help() {
+    println!(
+        "\
+seqio — storage-node simulator for large numbers of sequential streams
+(reproduction of Panagiotakis/Flouris/Bilas, ICDCS 2009)
+
+USAGE:
+  seqio run    [flags]
+  seqio sweep  --param streams|readahead|request --values a,b,c [flags]
+  seqio replay --trace-in FILE [flags]     # open-loop trace replay
+  seqio info
+
+FLAGS (run & sweep):
+  --shape single|eight|sixty     node layout             [single]
+  --streams N                    streams per disk        [10]
+  --request SIZE                 client request size     [64K]
+  --frontend direct|stream|linux request path            [direct]
+  --readahead SIZE               scheduler R             [1M]
+  --d N --n N --memory SIZE      explicit D/N/M (frontend=stream)
+  --scheduler noop|deadline|cfq|anticipatory   (frontend=linux)
+  --pattern seq|near|random      stream access pattern   [seq]
+  --placement uniform|interval:SIZE                      [uniform]
+  --writes                       issue writes instead of reads
+  --requests N                   requests per stream     [open-ended]
+  --warmup DUR --duration DUR    measurement window      [3s / 5s]
+  --seed N                       deterministic seed      [1]
+  --local-costs                  local (xdd-style) client cost model
+  --trace FILE                   write a per-request CSV trace
+
+EXAMPLES:
+  seqio run --streams 100 --frontend stream --readahead 4M
+  seqio run --shape eight --frontend stream --d 8 --n 128 --readahead 512K
+  seqio sweep --param streams --values 1,10,30,100 --frontend direct
+  seqio run --frontend linux --scheduler anticipatory --request 4K --local-costs"
+    );
+}

@@ -1,0 +1,614 @@
+//! The controller state machine.
+//!
+//! A [`Controller`] owns its attached [`Disk`]s and mediates every transfer
+//! between them and the host. Three shared resources shape performance:
+//!
+//! 1. the per-port link (SATA, 150 MB/s) moving data off each disk;
+//! 2. the aggregate controller/host bus (450 MB/s on the paper's BC4810);
+//! 3. the controller's single firmware processor, whose per-request cost
+//!    grows with the number of resident request buffers — the
+//!    *buffer-management* effect behind the paper's Figure 12.
+//!
+//! Optionally the controller prefetches ahead of sequential reads into its
+//! own extent cache (Figure 8).
+
+use std::collections::HashMap;
+
+use seqio_disk::{bytes_to_blocks, Direction, Disk, DiskOutput, DiskRequest, Lba, RequestId, BLOCK_SIZE};
+use seqio_simcore::{SimDuration, SimTime};
+
+use crate::cache::{ExtentCache, ExtentHit};
+use crate::config::ControllerConfig;
+
+/// A host-side request addressed to one port of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostRequest {
+    /// Caller-chosen identifier echoed back on completion.
+    pub id: RequestId,
+    /// Which attached disk the request targets.
+    pub port: usize,
+    /// First block.
+    pub lba: Lba,
+    /// Length in blocks.
+    pub blocks: u64,
+    /// Read or write.
+    pub direction: Direction,
+}
+
+impl HostRequest {
+    /// Convenience constructor for a read.
+    pub fn read(id: RequestId, port: usize, lba: Lba, blocks: u64) -> Self {
+        HostRequest { id, port, lba, blocks, direction: Direction::Read }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(id: RequestId, port: usize, lba: Lba, blocks: u64) -> Self {
+        HostRequest { id, port, lba, blocks, direction: Direction::Write }
+    }
+
+    /// Transfer size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.blocks * BLOCK_SIZE
+    }
+
+    /// One past the last block.
+    pub fn end(&self) -> Lba {
+        self.lba + self.blocks
+    }
+}
+
+/// Opaque token the caller must hand back via [`Controller::on_event`] at
+/// the indicated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlEvent {
+    /// A disk's mechanical operation finished.
+    DiskOpFinished {
+        /// Port whose disk finished.
+        port: usize,
+    },
+    /// A disk-level request's data is ready at the drive.
+    DiskComplete {
+        /// Port whose disk completed a request.
+        port: usize,
+        /// The internal disk-request id.
+        disk_req: RequestId,
+    },
+}
+
+/// Output of [`Controller::submit`] / [`Controller::on_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlOutput {
+    /// Host request `id` is complete at `at`.
+    Complete {
+        /// The host request identifier.
+        id: RequestId,
+        /// Payload bytes delivered.
+        bytes: u64,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// Call [`Controller::on_event`] with `event` at `at`.
+    Event {
+        /// When to deliver the event.
+        at: SimTime,
+        /// The event token.
+        event: CtrlEvent,
+    },
+}
+
+/// Behaviour counters for one controller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerMetrics {
+    /// Host requests accepted.
+    pub host_requests: u64,
+    /// Reads served from the controller's extent cache.
+    pub cache_hits: u64,
+    /// Reads that attached to an in-flight prefetch.
+    pub inflight_hits: u64,
+    /// Disk-level fetch operations issued.
+    pub disk_fetches: u64,
+    /// Bytes delivered to the host.
+    pub bytes_to_host: u64,
+    /// Bytes pulled over the per-port links.
+    pub bytes_from_disks: u64,
+    /// Highest number of simultaneously resident host requests.
+    pub peak_outstanding: usize,
+    /// Speculative (asynchronous) controller prefetches issued.
+    pub async_prefetches: u64,
+}
+
+#[derive(Debug)]
+struct InflightFetch {
+    port: usize,
+    lba: Lba,
+    blocks: u64,
+    direction: Direction,
+    /// Host requests served by this fetch (empty for speculative
+    /// controller prefetches).
+    waiters: Vec<HostRequest>,
+}
+
+/// A disk controller with its attached disks.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    disks: Vec<Disk>,
+    cache: ExtentCache,
+    link_free: Vec<SimTime>,
+    bus_free: SimTime,
+    cpu_free: SimTime,
+    outstanding: usize,
+    /// Bytes of host-request buffers currently resident (drives the
+    /// buffer-management pressure term).
+    resident_bytes: u64,
+    next_disk_req: u64,
+    inflight: HashMap<(usize, RequestId), InflightFetch>,
+    metrics: ControllerMetrics,
+}
+
+impl Controller {
+    /// Builds a controller owning `disks` (one per port, in port order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the disk count does not
+    /// match `cfg.ports`.
+    pub fn new(cfg: ControllerConfig, disks: Vec<Disk>) -> Self {
+        cfg.validate().expect("invalid controller config");
+        assert_eq!(disks.len(), cfg.ports, "one disk per configured port");
+        let cache = ExtentCache::new(cfg.cache_bytes);
+        let ports = cfg.ports;
+        Controller {
+            cfg,
+            disks,
+            cache,
+            link_free: vec![SimTime::ZERO; ports],
+            bus_free: SimTime::ZERO,
+            cpu_free: SimTime::ZERO,
+            outstanding: 0,
+            resident_bytes: 0,
+            next_disk_req: 0,
+            inflight: HashMap::new(),
+            metrics: ControllerMetrics::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Immutable access to an attached disk (for placement / capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn disk(&self, port: usize) -> &Disk {
+        &self.disks[port]
+    }
+
+    /// Behaviour counters.
+    pub fn metrics(&self) -> ControllerMetrics {
+        self.metrics
+    }
+
+    /// Prefetch-cache counters (evictions, wasted bytes).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Prefetched bytes reclaimed before any request consumed them.
+    pub fn cache_wasted_bytes(&self) -> u64 {
+        self.cache.wasted_bytes()
+    }
+
+    /// Requests currently resident in the controller.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Submits a host request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range or the request is invalid for the
+    /// target disk.
+    pub fn submit(&mut self, now: SimTime, req: HostRequest) -> Vec<CtrlOutput> {
+        assert!(req.port < self.cfg.ports, "port {} out of range", req.port);
+        self.metrics.host_requests += 1;
+        self.outstanding += 1;
+        self.resident_bytes += req.bytes();
+        self.metrics.peak_outstanding = self.metrics.peak_outstanding.max(self.outstanding);
+        let mut out = Vec::new();
+        match req.direction {
+            Direction::Write => {
+                self.cache.invalidate(req.port, req.lba, req.blocks);
+                self.start_fetch(now, req.port, req.lba, req.blocks, req.direction, vec![req], &mut out);
+            }
+            Direction::Read => {
+                if let Some(hit) = self.cache.lookup_extent(req.port, req.lba, req.blocks, now) {
+                    self.metrics.cache_hits += 1;
+                    let at = self.charge_completion(now, req.bytes());
+                    let port = req.port;
+                    self.finish(req, at, &mut out);
+                    self.maybe_async_prefetch(now, port, hit, &mut out);
+                } else if let Some(f) = self
+                    .inflight
+                    .values_mut()
+                    .find(|f| f.port == req.port && f.lba <= req.lba && req.end() <= f.lba + f.blocks)
+                {
+                    self.metrics.inflight_hits += 1;
+                    f.waiters.push(req);
+                } else {
+                    let extent = self.plan_extent(&req);
+                    let port = req.port;
+                    let lba = req.lba;
+                    self.start_fetch(now, port, lba, extent, req.direction, vec![req], &mut out);
+                    // Prefetch the extent after the missed one as well: a
+                    // sequential reader is about to want it. Under memory
+                    // pressure these speculative fetches are exactly the
+                    // wasted work that collapses Figure 8's large-prefetch
+                    // configurations.
+                    self.maybe_async_prefetch(
+                        now,
+                        port,
+                        ExtentHit { start: lba, blocks: extent, touched: extent },
+                        &mut out,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Speculative read-ahead: once a stream has consumed half of its
+    /// cached extent, fetch the next extent in the background so a steady
+    /// reader never stalls (and so, under memory pressure, the wasted
+    /// prefetches are what collapse throughput — the paper's Figure 8).
+    fn maybe_async_prefetch(&mut self, now: SimTime, port: usize, hit: ExtentHit, out: &mut Vec<CtrlOutput>) {
+        // Trigger once a quarter of the extent is consumed, so the next
+        // fetch overlaps the remaining consumption.
+        if self.cfg.prefetch_bytes == 0 || hit.touched * 4 < hit.blocks {
+            return;
+        }
+        let next = hit.start + hit.blocks;
+        let disk_end = self.disks[port].geometry().total_blocks();
+        if next >= disk_end || self.cache.contains(port, next) {
+            return;
+        }
+        if self.inflight.values().any(|f| f.port == port && f.lba <= next && next < f.lba + f.blocks) {
+            return;
+        }
+        let blocks = bytes_to_blocks(self.cfg.prefetch_bytes)
+            .max(1)
+            .min(disk_end - next);
+        self.metrics.async_prefetches += 1;
+        self.start_fetch(now, port, next, blocks, Direction::Read, Vec::new(), out);
+    }
+
+    /// Delivers a previously scheduled [`CtrlEvent`].
+    pub fn on_event(&mut self, now: SimTime, ev: CtrlEvent) -> Vec<CtrlOutput> {
+        let mut out = Vec::new();
+        match ev {
+            CtrlEvent::DiskOpFinished { port } => {
+                let disk_outs = self.disks[port].on_op_finished(now);
+                self.map_disk_outputs(port, disk_outs, &mut out);
+            }
+            CtrlEvent::DiskComplete { port, disk_req } => {
+                let fetch = self
+                    .inflight
+                    .remove(&(port, disk_req))
+                    .expect("completion for unknown disk request");
+                self.metrics.bytes_from_disks += fetch.blocks * BLOCK_SIZE;
+                // Move the extent over the port link before anything is
+                // visible to the host.
+                let link_time = self.transfer_time(fetch.blocks * BLOCK_SIZE, self.cfg.link_rate);
+                let link_end = self.link_free[port].max(now) + link_time;
+                self.link_free[port] = link_end;
+                // Reads land in the controller cache when prefetching.
+                if fetch.direction == Direction::Read && self.cfg.cache_bytes > 0 {
+                    self.cache.insert(port, fetch.lba, fetch.blocks, now);
+                }
+                for w in fetch.waiters {
+                    let at = self.charge_completion(link_end, w.bytes());
+                    self.finish(w, at, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Extent size (blocks) to fetch for a read miss: the request itself,
+    /// extended to the controller's prefetch size and clipped to the disk.
+    fn plan_extent(&self, req: &HostRequest) -> u64 {
+        let want = bytes_to_blocks(self.cfg.prefetch_bytes).max(req.blocks);
+        let disk_end = self.disks[req.port].geometry().total_blocks();
+        // Out-of-range requests are rejected by the disk's own validation;
+        // saturate here so the error message comes from there.
+        want.min(disk_end.saturating_sub(req.lba)).max(req.blocks)
+    }
+
+    fn start_fetch(
+        &mut self,
+        now: SimTime,
+        port: usize,
+        lba: Lba,
+        extent_blocks: u64,
+        direction: Direction,
+        waiters: Vec<HostRequest>,
+        out: &mut Vec<CtrlOutput>,
+    ) {
+        let disk_id = RequestId(self.next_disk_req);
+        self.next_disk_req += 1;
+        self.metrics.disk_fetches += 1;
+        let disk_req = DiskRequest { id: disk_id, lba, blocks: extent_blocks, direction };
+        self.inflight.insert(
+            (port, disk_id),
+            InflightFetch { port, lba, blocks: extent_blocks, direction, waiters },
+        );
+        let disk_outs = self.disks[port].submit(now, disk_req);
+        self.map_disk_outputs(port, disk_outs, out);
+    }
+
+    fn map_disk_outputs(&mut self, port: usize, disk_outs: Vec<DiskOutput>, out: &mut Vec<CtrlOutput>) {
+        for o in disk_outs {
+            match o {
+                DiskOutput::Complete { id, at, .. } => {
+                    out.push(CtrlOutput::Event { at, event: CtrlEvent::DiskComplete { port, disk_req: id } });
+                }
+                DiskOutput::OpFinished { at } => {
+                    out.push(CtrlOutput::Event { at, event: CtrlEvent::DiskOpFinished { port } });
+                }
+            }
+        }
+    }
+
+    /// Charges firmware CPU and the shared host bus for delivering `bytes`
+    /// of one host request, starting no earlier than `ready`; returns the
+    /// completion instant.
+    fn charge_completion(&mut self, ready: SimTime, bytes: u64) -> SimTime {
+        let cpu_time = self.cfg.cpu_fixed
+            + self.cfg.cpu_per_mib.mul_f64(bytes as f64 / (1024.0 * 1024.0))
+            + self
+                .cfg
+                .cpu_per_resident_mib
+                .mul_f64(self.resident_bytes as f64 / (1024.0 * 1024.0));
+        let cpu_end = self.cpu_free.max(ready) + cpu_time;
+        self.cpu_free = cpu_end;
+        let bus_end = self.bus_free.max(cpu_end) + self.transfer_time(bytes, self.cfg.aggregate_rate);
+        self.bus_free = bus_end;
+        bus_end
+    }
+
+    fn finish(&mut self, req: HostRequest, at: SimTime, out: &mut Vec<CtrlOutput>) {
+        self.outstanding -= 1;
+        self.resident_bytes -= req.bytes();
+        self.metrics.bytes_to_host += req.bytes();
+        out.push(CtrlOutput::Complete { id: req.id, bytes: req.bytes(), at });
+    }
+
+    fn transfer_time(&self, bytes: u64, rate: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / rate as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqio_disk::{CacheConfig, DiskConfig};
+    use seqio_simcore::units::{KIB, MIB};
+    use seqio_simcore::EventQueue;
+
+    fn make(cfg: ControllerConfig, disk_cfg: DiskConfig) -> Controller {
+        let disks = (0..cfg.ports).map(|p| Disk::new(disk_cfg.clone(), 42 + p as u64)).collect();
+        Controller::new(cfg, disks)
+    }
+
+    /// Runs requests through a controller with a real event loop.
+    /// `schedule` holds (submit time, request); returns completions
+    /// (id -> completion time) in completion order.
+    fn run(ctrl: &mut Controller, schedule: Vec<(SimTime, HostRequest)>) -> Vec<(RequestId, SimTime)> {
+        #[derive(Debug)]
+        enum Ev {
+            Submit(HostRequest),
+            Ctrl(CtrlEvent),
+        }
+        let mut q = EventQueue::new();
+        for (at, r) in schedule {
+            q.push(at, Ev::Submit(r));
+        }
+        let mut done = Vec::new();
+        while let Some((now, ev)) = q.pop() {
+            let outs = match ev {
+                Ev::Submit(r) => ctrl.submit(now, r),
+                Ev::Ctrl(e) => ctrl.on_event(now, e),
+            };
+            for o in outs {
+                match o {
+                    CtrlOutput::Complete { id, at, .. } => done.push((id, at)),
+                    CtrlOutput::Event { at, event } => q.push(at, Ev::Ctrl(event)),
+                }
+            }
+        }
+        done.sort_by_key(|&(_, at)| at);
+        done
+    }
+
+    #[test]
+    fn single_read_completes() {
+        let mut c = make(ControllerConfig::single_port(), DiskConfig::wd800jd());
+        let done = run(&mut c, vec![(SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128))]);
+        assert_eq!(done.len(), 1);
+        let (id, at) = done[0];
+        assert_eq!(id, RequestId(1));
+        let ms = at.as_millis_f64();
+        assert!(ms > 0.3 && ms < 40.0, "64K read took {ms}ms");
+        assert_eq!(c.outstanding(), 0);
+        assert_eq!(c.metrics().bytes_to_host, 64 * KIB);
+    }
+
+    #[test]
+    fn link_serializes_per_port() {
+        // Two large cache-hit-free reads on one port: the second completes
+        // strictly after the first's link transfer.
+        let mut c = make(ControllerConfig::single_port(), DiskConfig::wd800jd());
+        let done = run(
+            &mut c,
+            vec![
+                (SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 2048)),
+                (SimTime::ZERO, HostRequest::read(RequestId(2), 0, 10_000_000, 2048)),
+            ],
+        );
+        assert_eq!(done.len(), 2);
+        assert!(done[1].1 > done[0].1);
+    }
+
+    #[test]
+    fn ports_run_in_parallel_but_share_bus() {
+        let cfg = ControllerConfig { ports: 2, ..ControllerConfig::bc4810() };
+        let mut c = make(cfg, DiskConfig::wd800jd());
+        let done = run(
+            &mut c,
+            vec![
+                (SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 2048)),
+                (SimTime::ZERO, HostRequest::read(RequestId(2), 1, 0, 2048)),
+            ],
+        );
+        assert_eq!(done.len(), 2);
+        // Both finish within a small window of each other (parallel disks),
+        // but not at the identical instant (shared bus serializes delivery).
+        let gap = done[1].1.duration_since(done[0].1);
+        assert!(gap < SimDuration::from_millis(30), "gap {gap}");
+        assert!(gap > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn controller_prefetch_serves_sequential_follow_ups() {
+        let cfg = ControllerConfig::single_port().with_prefetch(128 * MIB, MIB);
+        let mut c = make(cfg, DiskConfig::wd800jd());
+        // First 64K read triggers a 1 MiB fetch; the next sequential read
+        // must be a controller cache hit (no second disk fetch).
+        let done = run(
+            &mut c,
+            vec![
+                (SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128)),
+                (SimTime::ZERO + SimDuration::from_millis(100), HostRequest::read(RequestId(2), 0, 128, 128)),
+            ],
+        );
+        assert_eq!(done.len(), 2);
+        // One demand fetch plus speculative prefetches of later extents.
+        assert!(c.metrics().disk_fetches >= 1);
+        assert!(c.metrics().async_prefetches >= 1, "miss should trigger speculative prefetch");
+        assert_eq!(c.metrics().cache_hits, 1);
+        // The hit is fast: well under a mechanical latency.
+        let hit_latency = done[1].1.duration_since(SimTime::ZERO + SimDuration::from_millis(100));
+        assert!(hit_latency < SimDuration::from_millis(2), "hit took {hit_latency}");
+    }
+
+    #[test]
+    fn inflight_prefetch_attaches_waiters() {
+        let cfg = ControllerConfig::single_port().with_prefetch(128 * MIB, 4 * MIB);
+        let mut c = make(cfg, DiskConfig::wd800jd());
+        // Second request arrives while the 4 MiB fetch is still in flight.
+        let done = run(
+            &mut c,
+            vec![
+                (SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128)),
+                (SimTime::ZERO + SimDuration::from_micros(200), HostRequest::read(RequestId(2), 0, 128, 128)),
+            ],
+        );
+        assert_eq!(done.len(), 2);
+        // One demand fetch (plus any speculative ones); the second request
+        // attached to the in-flight demand fetch.
+        assert_eq!(c.metrics().inflight_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_thrash_with_many_streams() {
+        // 8 streams x 2 MiB prefetch: with an 8 MiB controller cache extents
+        // are mostly reclaimed before reuse; with a 64 MiB cache (all streams
+        // fit) nearly every follow-up request hits. This is the Figure 8
+        // crossover.
+        let run_case = |cache_mib: u64| {
+            let cfg = ControllerConfig::single_port().with_prefetch(cache_mib * MIB, 2 * MIB);
+            let mut c = make(cfg, DiskConfig::wd800jd());
+            let spacing = c.disk(0).geometry().total_blocks() / 8;
+            let mut sched = Vec::new();
+            let mut t = SimTime::ZERO;
+            for round in 0..4u64 {
+                for s in 0..8u64 {
+                    sched.push((
+                        t,
+                        HostRequest::read(RequestId(round * 8 + s), 0, s * spacing + round * 128, 128),
+                    ));
+                    t += SimDuration::from_millis(40);
+                }
+            }
+            let done = run(&mut c, sched);
+            assert_eq!(done.len(), 32);
+            (c.metrics().cache_hits, c.cache_evictions())
+        };
+        let (thrash_hits, thrash_evictions) = run_case(8);
+        let (ample_hits, _) = run_case(64);
+        assert!(thrash_evictions > 0);
+        assert!(
+            ample_hits >= 20,
+            "ample cache should hit on nearly all 24 follow-ups, got {ample_hits}"
+        );
+        assert!(
+            thrash_hits < ample_hits / 2,
+            "thrashing cache ({thrash_hits}) should hit far less than ample ({ample_hits})"
+        );
+    }
+
+    #[test]
+    fn cpu_pressure_grows_with_outstanding() {
+        // Complete one request with nothing else resident, then another with
+        // many requests resident; the second pays more CPU time.
+        let mut quiet = make(ControllerConfig::single_port(), DiskConfig::wd800jd());
+        let d1 = run(&mut quiet, vec![(SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128))]);
+
+        let mut busy = make(ControllerConfig::single_port(), DiskConfig::wd800jd());
+        let mut sched = vec![(SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128))];
+        for i in 0..64u64 {
+            sched.push((SimTime::ZERO, HostRequest::read(RequestId(100 + i), 0, 10_000_000 + i * 2_000_000, 128)));
+        }
+        let d2 = run(&mut busy, sched);
+        let quiet_first = d1[0].1;
+        let busy_first = d2[0].1;
+        assert!(busy_first > quiet_first, "pressure must delay completion");
+    }
+
+    #[test]
+    fn write_then_read_misses_controller_cache() {
+        let cfg = ControllerConfig::single_port().with_prefetch(128 * MIB, MIB);
+        let mut c = make(cfg, DiskConfig::wd800jd());
+        let done = run(
+            &mut c,
+            vec![
+                (SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128)),
+                (SimTime::ZERO + SimDuration::from_millis(100), HostRequest::write(RequestId(2), 0, 0, 128)),
+                (SimTime::ZERO + SimDuration::from_millis(200), HostRequest::read(RequestId(3), 0, 128, 128)),
+            ],
+        );
+        assert_eq!(done.len(), 3);
+        // The post-write read must not be served from the (invalidated)
+        // cache region the write touched.
+        assert!(c.metrics().disk_fetches >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "port")]
+    fn bad_port_panics() {
+        let mut c = make(ControllerConfig::single_port(), DiskConfig::wd800jd());
+        let _ = c.submit(SimTime::ZERO, HostRequest::read(RequestId(1), 5, 0, 8));
+    }
+
+    #[test]
+    fn disabled_disk_cache_still_works_end_to_end() {
+        let disk_cfg = DiskConfig::wd800jd().with_cache(CacheConfig::disabled());
+        let mut c = make(ControllerConfig::single_port(), disk_cfg);
+        let done = run(&mut c, vec![(SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128))]);
+        assert_eq!(done.len(), 1);
+    }
+}

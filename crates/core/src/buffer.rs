@@ -1,0 +1,423 @@
+//! The buffered set: host-memory staging of prefetched data.
+//!
+//! Every dispatched stream owns one or more R-sized [`IoBuffer`]s. A buffer
+//! is allocated when the read-ahead request is issued, marked *filled* when
+//! the disk delivers, serves client requests from memory, and is freed when
+//! the last byte is consumed — or reclaimed by the garbage collector if its
+//! stream goes quiet (paper §4.3). Total allocation never exceeds `M`.
+
+use std::collections::HashMap;
+
+use seqio_simcore::SimTime;
+
+/// Identifier of one staging buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u64);
+
+/// Identifier of a detected stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+/// Block address (512-byte units).
+pub type Lba = u64;
+
+const BLOCK: u64 = 512;
+
+/// One staging buffer.
+#[derive(Debug, Clone)]
+pub struct IoBuffer {
+    /// Owning stream.
+    pub stream: StreamId,
+    /// Target disk.
+    pub disk: usize,
+    /// First block staged.
+    pub start: Lba,
+    /// Length in blocks.
+    pub blocks: u64,
+    /// `true` once the disk delivered the data.
+    pub filled: bool,
+    /// Blocks from `start` already served to clients.
+    pub consumed: u64,
+    /// Last time the buffer served (or received) data.
+    pub last_access: SimTime,
+}
+
+impl IoBuffer {
+    /// One past the last staged block.
+    pub fn end(&self) -> Lba {
+        self.start + self.blocks
+    }
+}
+
+/// Outcome of trying to serve a client request from the buffered set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// Entirely covered by filled buffers: serve from memory now.
+    Ready,
+    /// Covered, but part of it is still being filled by an in-flight
+    /// read-ahead: the request must wait for the fill to land.
+    InFlight,
+    /// Not covered: the scheduler must fetch it.
+    Missing,
+}
+
+/// The buffered set with `M`-bounded accounting.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    buffers: HashMap<BufferId, IoBuffer>,
+    by_stream: HashMap<StreamId, Vec<BufferId>>,
+    next_id: u64,
+    allocations: u64,
+    gc_freed: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool bounded at `capacity` bytes (`M`).
+    pub fn new(capacity: u64) -> Self {
+        BufferPool {
+            capacity,
+            used: 0,
+            peak: 0,
+            buffers: HashMap::new(),
+            by_stream: HashMap::new(),
+            next_id: 0,
+            allocations: 0,
+            gc_freed: 0,
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Highest allocation ever reached.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Configured bound (`M`).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Total buffers ever allocated.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Buffers reclaimed by the garbage collector.
+    pub fn gc_freed(&self) -> u64 {
+        self.gc_freed
+    }
+
+    /// Allocates a buffer for `[start, start+blocks)` of `stream` on `disk`,
+    /// or returns `None` if that would exceed `M`.
+    pub fn try_alloc(
+        &mut self,
+        stream: StreamId,
+        disk: usize,
+        start: Lba,
+        blocks: u64,
+        now: SimTime,
+    ) -> Option<BufferId> {
+        let bytes = blocks * BLOCK;
+        if self.used + bytes > self.capacity {
+            return None;
+        }
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.allocations += 1;
+        self.buffers.insert(
+            id,
+            IoBuffer { stream, disk, start, blocks, filled: false, consumed: 0, last_access: now },
+        );
+        self.by_stream.entry(stream).or_default().push(id);
+        Some(id)
+    }
+
+    /// Marks a buffer as filled by the disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer does not exist.
+    pub fn mark_filled(&mut self, id: BufferId, now: SimTime) {
+        let b = self.buffers.get_mut(&id).expect("mark_filled: unknown buffer");
+        b.filled = true;
+        b.last_access = now;
+    }
+
+    /// Classifies how `[lba, lba+blocks)` of `stream` is covered by the
+    /// stream's buffers (chaining across contiguous buffers).
+    pub fn coverage(&self, stream: StreamId, lba: Lba, blocks: u64) -> Coverage {
+        let end = lba + blocks;
+        let Some(ids) = self.by_stream.get(&stream) else { return Coverage::Missing };
+        let mut bufs: Vec<&IoBuffer> = ids.iter().filter_map(|i| self.buffers.get(i)).collect();
+        bufs.sort_by_key(|b| b.start);
+        let mut at = lba;
+        let mut any_unfilled = false;
+        for b in bufs {
+            if b.end() <= at || b.start > at {
+                if b.start > at {
+                    break; // gap
+                }
+                continue;
+            }
+            if !b.filled {
+                any_unfilled = true;
+            }
+            at = b.end();
+            if at >= end {
+                return if any_unfilled { Coverage::InFlight } else { Coverage::Ready };
+            }
+        }
+        Coverage::Missing
+    }
+
+    /// Returns the first block at or after `from` (bounded by `limit`) that
+    /// no buffer of `stream` covers — filled or in flight. Used to resume
+    /// fetching exactly at the gap instead of re-reading staged data.
+    pub fn covered_until(&self, stream: StreamId, from: Lba, limit: Lba) -> Lba {
+        let Some(ids) = self.by_stream.get(&stream) else { return from };
+        let mut bufs: Vec<&IoBuffer> = ids.iter().filter_map(|i| self.buffers.get(i)).collect();
+        bufs.sort_by_key(|b| b.start);
+        let mut at = from;
+        for b in bufs {
+            if b.end() <= at {
+                continue;
+            }
+            if b.start > at {
+                break; // gap
+            }
+            at = b.end();
+            if at >= limit {
+                return limit;
+            }
+        }
+        at.min(limit)
+    }
+
+    /// Records that `[lba, lba+blocks)` of `stream` has been served,
+    /// advancing consumption watermarks. Buffers whose data is entirely at
+    /// or below the served range's end are freed ("last request that
+    /// corresponds to an I/O buffer" — paper §4.3). Returns the number of
+    /// bytes freed.
+    pub fn consume(&mut self, stream: StreamId, lba: Lba, blocks: u64, now: SimTime) -> u64 {
+        let end = lba + blocks;
+        let buffers = &mut self.buffers;
+        let Some(ids) = self.by_stream.get_mut(&stream) else { return 0 };
+        let mut freed = 0;
+        ids.retain(|id| {
+            let b = buffers.get_mut(id).expect("index out of sync");
+            if b.start < end && b.filled {
+                let new_consumed = (end.min(b.end())) - b.start;
+                b.consumed = b.consumed.max(new_consumed);
+                b.last_access = now;
+            }
+            if b.filled && b.consumed >= b.blocks {
+                freed += b.blocks * BLOCK;
+                buffers.remove(id);
+                false
+            } else {
+                true
+            }
+        });
+        self.used -= freed;
+        if freed > 0 {
+            self.prune_stream_index(stream);
+        }
+        freed
+    }
+
+    fn prune_stream_index(&mut self, stream: StreamId) {
+        if let Some(v) = self.by_stream.get(&stream) {
+            if v.is_empty() {
+                self.by_stream.remove(&stream);
+            }
+        }
+    }
+
+    /// Frees every buffer of `stream` (used when a stream is torn down).
+    /// Returns bytes freed. In-flight (unfilled) buffers are kept — their
+    /// disk request is still outstanding — unless `force` is set.
+    pub fn free_stream(&mut self, stream: StreamId, force: bool) -> u64 {
+        let buffers = &mut self.buffers;
+        let Some(ids) = self.by_stream.get_mut(&stream) else { return 0 };
+        let mut freed = 0;
+        ids.retain(|id| {
+            let b = &buffers[id];
+            if b.filled || force {
+                freed += b.blocks * BLOCK;
+                buffers.remove(id);
+                false
+            } else {
+                true
+            }
+        });
+        self.used -= freed;
+        self.prune_stream_index(stream);
+        freed
+    }
+
+    /// Reclaims filled buffers idle since before `cutoff`; returns the
+    /// affected streams and bytes freed.
+    pub fn gc(&mut self, cutoff: SimTime) -> (Vec<StreamId>, u64) {
+        let victims: Vec<BufferId> = self
+            .buffers
+            .iter()
+            .filter(|(_, b)| b.filled && b.last_access < cutoff)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut freed = 0;
+        let mut streams = Vec::new();
+        for id in victims {
+            let b = self.buffers.remove(&id).expect("victim exists");
+            freed += b.blocks * BLOCK;
+            self.gc_freed += 1;
+            if let Some(v) = self.by_stream.get_mut(&b.stream) {
+                v.retain(|x| *x != id);
+            }
+            self.prune_stream_index(b.stream);
+            if !streams.contains(&b.stream) {
+                streams.push(b.stream);
+            }
+        }
+        self.used -= freed;
+        (streams, freed)
+    }
+
+    /// `true` if `stream` has no buffers at all.
+    pub fn stream_is_empty(&self, stream: StreamId) -> bool {
+        !self.by_stream.contains_key(&stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    const S: StreamId = StreamId(1);
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let mut p = BufferPool::new(1024 * 1024); // 2048 blocks
+        let a = p.try_alloc(S, 0, 0, 1024, t(0));
+        assert!(a.is_some());
+        let b = p.try_alloc(S, 0, 1024, 1024, t(0));
+        assert!(b.is_some());
+        assert_eq!(p.used_bytes(), 1024 * 1024);
+        assert!(p.try_alloc(S, 0, 2048, 1, t(0)).is_none(), "over capacity");
+        assert_eq!(p.peak_bytes(), 1024 * 1024);
+    }
+
+    #[test]
+    fn coverage_transitions() {
+        let mut p = BufferPool::new(10 * 1024 * 1024);
+        assert_eq!(p.coverage(S, 0, 128), Coverage::Missing);
+        let id = p.try_alloc(S, 0, 0, 1024, t(0)).unwrap();
+        assert_eq!(p.coverage(S, 0, 128), Coverage::InFlight);
+        p.mark_filled(id, t(1));
+        assert_eq!(p.coverage(S, 0, 128), Coverage::Ready);
+        assert_eq!(p.coverage(S, 896, 128), Coverage::Ready);
+        assert_eq!(p.coverage(S, 1000, 128), Coverage::Missing, "past the end");
+    }
+
+    #[test]
+    fn coverage_chains_across_contiguous_buffers() {
+        let mut p = BufferPool::new(10 * 1024 * 1024);
+        let a = p.try_alloc(S, 0, 0, 1024, t(0)).unwrap();
+        let b = p.try_alloc(S, 0, 1024, 1024, t(0)).unwrap();
+        p.mark_filled(a, t(1));
+        assert_eq!(p.coverage(S, 1000, 48), Coverage::InFlight, "straddles into unfilled");
+        p.mark_filled(b, t(2));
+        assert_eq!(p.coverage(S, 1000, 48), Coverage::Ready);
+        // A gap breaks the chain.
+        assert_eq!(p.coverage(S, 2048, 8), Coverage::Missing);
+    }
+
+    #[test]
+    fn consume_frees_fully_used_buffers() {
+        let mut p = BufferPool::new(10 * 1024 * 1024);
+        let a = p.try_alloc(S, 0, 0, 1024, t(0)).unwrap();
+        p.mark_filled(a, t(1));
+        // Consume in four quarters; only the last frees.
+        for q in 0..4u64 {
+            let freed = p.consume(S, q * 256, 256, t(2 + q));
+            if q < 3 {
+                assert_eq!(freed, 0);
+            } else {
+                assert_eq!(freed, 1024 * 512);
+            }
+        }
+        assert_eq!(p.used_bytes(), 0);
+        assert!(p.stream_is_empty(S));
+    }
+
+    #[test]
+    fn consume_with_skip_frees_bypassed_buffers() {
+        let mut p = BufferPool::new(10 * 1024 * 1024);
+        let a = p.try_alloc(S, 0, 0, 512, t(0)).unwrap();
+        let b = p.try_alloc(S, 0, 512, 512, t(0)).unwrap();
+        p.mark_filled(a, t(1));
+        p.mark_filled(b, t(1));
+        // A near-sequential client skips the first buffer entirely.
+        let freed = p.consume(S, 512, 512, t(2));
+        // Both buffers end at or below 1024: both are freed.
+        assert_eq!(freed, 1024 * 512);
+    }
+
+    #[test]
+    fn gc_reclaims_idle_filled_buffers_only() {
+        let mut p = BufferPool::new(10 * 1024 * 1024);
+        let a = p.try_alloc(S, 0, 0, 512, t(0)).unwrap();
+        let _inflight = p.try_alloc(StreamId(2), 0, 9000, 512, t(0)).unwrap();
+        p.mark_filled(a, t(1));
+        let (streams, freed) = p.gc(t(100));
+        assert_eq!(streams, vec![S]);
+        assert_eq!(freed, 512 * 512);
+        assert_eq!(p.gc_freed(), 1);
+        // The unfilled buffer survives (its disk request is outstanding).
+        assert_eq!(p.used_bytes(), 512 * 512);
+    }
+
+    #[test]
+    fn gc_respects_recent_access() {
+        let mut p = BufferPool::new(10 * 1024 * 1024);
+        let a = p.try_alloc(S, 0, 0, 512, t(0)).unwrap();
+        p.mark_filled(a, t(50));
+        let (_, freed) = p.gc(t(10));
+        assert_eq!(freed, 0, "recently touched buffer must survive");
+    }
+
+    #[test]
+    fn free_stream_keeps_inflight_unless_forced() {
+        let mut p = BufferPool::new(10 * 1024 * 1024);
+        let a = p.try_alloc(S, 0, 0, 512, t(0)).unwrap();
+        let _b = p.try_alloc(S, 0, 512, 512, t(0)).unwrap();
+        p.mark_filled(a, t(1));
+        let freed = p.free_stream(S, false);
+        assert_eq!(freed, 512 * 512);
+        let freed2 = p.free_stream(S, true);
+        assert_eq!(freed2, 512 * 512);
+        assert_eq!(p.used_bytes(), 0);
+    }
+
+    #[test]
+    fn per_stream_isolation() {
+        let mut p = BufferPool::new(10 * 1024 * 1024);
+        let a = p.try_alloc(StreamId(1), 0, 0, 512, t(0)).unwrap();
+        p.mark_filled(a, t(1));
+        assert_eq!(p.coverage(StreamId(2), 0, 8), Coverage::Missing);
+        assert_eq!(p.consume(StreamId(2), 0, 512, t(2)), 0);
+        assert_eq!(p.coverage(StreamId(1), 0, 8), Coverage::Ready);
+    }
+}

@@ -1,0 +1,229 @@
+//! Request classification (paper §4.1).
+//!
+//! Requests that do not match an already-tracked stream land here. The
+//! classifier allocates a small bitmap around the request's block and counts
+//! distinct blocks touched in that region; once the count crosses the
+//! threshold, the region is promoted to a sequential stream. Everything else
+//! is forwarded directly to the disk.
+
+use std::collections::{BTreeMap, HashMap};
+
+use seqio_simcore::SimTime;
+
+use crate::bitmap::{Lba, RegionBitmap};
+
+/// Verdict for one observed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// The region just crossed the threshold: promote to a stream.
+    Detected,
+    /// Not (yet) sequential: forward directly to the disk.
+    Pending,
+}
+
+#[derive(Debug)]
+struct Region {
+    bitmap: RegionBitmap,
+    last_set: SimTime,
+}
+
+/// Bitmap-based sequential-stream detector.
+#[derive(Debug)]
+pub struct Classifier {
+    offset_blocks: u64,
+    threshold_blocks: u64,
+    /// Per disk, regions keyed by their base block.
+    regions: HashMap<usize, BTreeMap<Lba, Region>>,
+    region_count: usize,
+    detections: u64,
+    memory_bytes: usize,
+}
+
+impl Classifier {
+    /// Creates a classifier with the given detection window (each side of
+    /// the first request) and distinct-block threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(offset_blocks: u64, threshold_blocks: u64) -> Self {
+        assert!(offset_blocks > 0, "detection window must be positive");
+        assert!(threshold_blocks > 0, "detection threshold must be positive");
+        Classifier {
+            offset_blocks,
+            threshold_blocks,
+            regions: HashMap::new(),
+            region_count: 0,
+            detections: 0,
+            memory_bytes: 0,
+        }
+    }
+
+    /// Streams detected so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Live detection regions.
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// Approximate memory held by detection bitmaps — the quantity the
+    /// paper bounds by allocating small per-region bitmaps on demand.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// Observes a request that matched no stream. On `Detected` the region
+    /// is consumed (the caller creates the stream).
+    pub fn observe(&mut self, disk: usize, lba: Lba, blocks: u64, now: SimTime) -> Classification {
+        let disk_regions = self.regions.entry(disk).or_default();
+        // Find the region with the greatest base <= lba and check coverage.
+        if let Some((&base, region)) = disk_regions.range_mut(..=lba).next_back() {
+            if region.bitmap.covers(lba) {
+                region.bitmap.set_range(lba, blocks);
+                region.last_set = now;
+                if region.bitmap.set_count() >= self.threshold_blocks {
+                    let r = disk_regions.remove(&base).expect("region present");
+                    self.region_count -= 1;
+                    self.memory_bytes -= r.bitmap.memory_bytes();
+                    self.detections += 1;
+                    return Classification::Detected;
+                }
+                return Classification::Pending;
+            }
+        }
+        // Allocate a fresh region around the request.
+        let base = lba.saturating_sub(self.offset_blocks);
+        let len = (lba - base) + blocks + self.offset_blocks;
+        let mut bitmap = RegionBitmap::new(base, len);
+        bitmap.set_range(lba, blocks);
+        let detected = bitmap.set_count() >= self.threshold_blocks;
+        if detected {
+            // A single huge request can qualify on its own.
+            self.detections += 1;
+            return Classification::Detected;
+        }
+        self.memory_bytes += bitmap.memory_bytes();
+        self.region_count += 1;
+        disk_regions.insert(base, Region { bitmap, last_set: now });
+        Classification::Pending
+    }
+
+    /// Drops regions that have not been touched since `cutoff` (the paper's
+    /// periodic reclamation of hash entries for never-promoted regions).
+    /// Returns how many were reclaimed.
+    pub fn gc(&mut self, cutoff: SimTime) -> usize {
+        let mut reclaimed = 0;
+        for regions in self.regions.values_mut() {
+            let stale: Vec<Lba> = regions
+                .iter()
+                .filter(|(_, r)| r.last_set < cutoff)
+                .map(|(&b, _)| b)
+                .collect();
+            for b in stale {
+                let r = regions.remove(&b).expect("stale region present");
+                self.memory_bytes -= r.bitmap.memory_bytes();
+                self.region_count -= 1;
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    /// 64 KiB requests (128 blocks), threshold under two requests' worth.
+    fn clf() -> Classifier {
+        Classifier::new(4096, 192)
+    }
+
+    #[test]
+    fn sequential_requests_detected_on_second() {
+        let mut c = clf();
+        assert_eq!(c.observe(0, 0, 128, t(0)), Classification::Pending);
+        assert_eq!(c.observe(0, 128, 128, t(1)), Classification::Detected);
+        assert_eq!(c.detections(), 1);
+        assert_eq!(c.region_count(), 0, "detected region consumed");
+    }
+
+    #[test]
+    fn scattered_requests_stay_pending() {
+        let mut c = clf();
+        for i in 0..20u64 {
+            // Far apart: each allocates its own region, none crosses threshold.
+            assert_eq!(c.observe(0, i * 1_000_000, 128, t(i)), Classification::Pending);
+        }
+        assert_eq!(c.detections(), 0);
+        assert_eq!(c.region_count(), 20);
+    }
+
+    #[test]
+    fn duplicate_blocks_do_not_accumulate() {
+        let mut c = clf();
+        for i in 0..10 {
+            assert_eq!(
+                c.observe(0, 0, 128, t(i)),
+                Classification::Pending,
+                "re-reading the same 64K must never trip detection"
+            );
+        }
+    }
+
+    #[test]
+    fn disks_are_independent() {
+        let mut c = clf();
+        assert_eq!(c.observe(0, 0, 128, t(0)), Classification::Pending);
+        assert_eq!(c.observe(1, 128, 128, t(1)), Classification::Pending);
+        assert_eq!(c.observe(1, 256, 128, t(2)), Classification::Detected);
+    }
+
+    #[test]
+    fn near_sequential_with_gap_still_detected() {
+        let mut c = clf();
+        assert_eq!(c.observe(0, 0, 128, t(0)), Classification::Pending);
+        // Skip 64 blocks: still inside the region, enough distinct blocks.
+        assert_eq!(c.observe(0, 192, 128, t(1)), Classification::Detected);
+    }
+
+    #[test]
+    fn gc_reclaims_stale_regions() {
+        let mut c = clf();
+        let _ = c.observe(0, 0, 128, t(0));
+        let _ = c.observe(0, 10_000_000, 128, t(100));
+        let before = c.memory_bytes();
+        assert!(before > 0);
+        assert_eq!(c.gc(t(50)), 1);
+        assert_eq!(c.region_count(), 1);
+        assert!(c.memory_bytes() < before);
+        // The surviving region still works.
+        assert_eq!(c.observe(0, 10_000_128, 128, t(101)), Classification::Detected);
+    }
+
+    #[test]
+    fn giant_request_detects_immediately() {
+        let mut c = clf();
+        assert_eq!(c.observe(0, 0, 4096, t(0)), Classification::Detected);
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_gc() {
+        let mut c = clf();
+        for i in 0..1000u64 {
+            let _ = c.observe(0, i * 1_000_000, 8, t(i));
+        }
+        let big = c.memory_bytes();
+        c.gc(t(2_000));
+        assert_eq!(c.region_count(), 0);
+        assert_eq!(c.memory_bytes(), 0);
+        assert!(big > 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Scheduler configuration: the paper's four tunables `D`, `R`, `N`, `M`
+//! plus classifier and garbage-collection knobs.
+
+use seqio_simcore::units::{format_bytes, GIB, KIB, MIB};
+use seqio_simcore::SimDuration;
+
+/// How the scheduler picks the next stream to admit into the dispatch set
+/// (paper §4.2: "involved policies are possible ... we currently use a
+/// simple round-robin policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// First-come first-served over waiting streams (the paper's choice).
+    #[default]
+    RoundRobin,
+    /// Prefer the waiting stream whose next disk access is closest to the
+    /// last admitted offset on that disk — the paper's sketched alternative
+    /// that tries to keep nearby streams together to shorten seeks.
+    OffsetOrdered,
+}
+
+/// Configuration of the host-level stream scheduler.
+///
+/// The four headline parameters follow the paper's notation:
+///
+/// * `D` — [`dispatch_streams`](Self::dispatch_streams): streams allowed to
+///   issue disk requests simultaneously;
+/// * `R` — [`read_ahead_bytes`](Self::read_ahead_bytes): size of each disk
+///   request issued on behalf of a stream (independent of client request
+///   size);
+/// * `N` — [`requests_per_residency`](Self::requests_per_residency): disk
+///   requests a stream issues before round-robin replacement;
+/// * `M` — [`memory_bytes`](Self::memory_bytes): host memory available for
+///   staging, with the invariant `M >= D * R * N`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// `D`: maximum number of streams in the dispatch set.
+    pub dispatch_streams: usize,
+    /// `R`: read-ahead (disk request) size in bytes.
+    pub read_ahead_bytes: u64,
+    /// `N`: requests a stream issues per dispatch-set residency.
+    pub requests_per_residency: u64,
+    /// `M`: host memory devoted to I/O buffering, in bytes.
+    pub memory_bytes: u64,
+    /// How far ahead of the client's consumption point a stream may stage
+    /// data, in bytes (`0` = auto: one residency, `R * N`). Without this
+    /// bound a stream whose client went away would keep cycling through the
+    /// dispatch set prefetching data nobody reads.
+    pub prefetch_lead_bytes: u64,
+    /// Classifier: how far around a request's block the detection bitmap
+    /// extends, in blocks (the paper's `offset`; "a few tens" of requests).
+    pub detect_offset_blocks: u64,
+    /// Classifier: set-bit count within a region that flags a sequential
+    /// stream.
+    pub detect_threshold_blocks: u64,
+    /// How far ahead of a stream's expected next block an arriving request
+    /// may be and still match the stream (tolerates small skips).
+    pub stream_match_slack_blocks: u64,
+    /// Buffers idle longer than this are reclaimed by the garbage collector.
+    pub buffer_timeout: SimDuration,
+    /// Period of the garbage-collection sweep.
+    pub gc_period: SimDuration,
+    /// Paper §4.2: the completion path calls the classifier/issue path
+    /// before completing client requests, keeping disks busy. Disabling
+    /// reverses the order (ablation).
+    pub issue_path_priority: bool,
+    /// Dispatch-set admission order.
+    pub dispatch_policy: DispatchPolicy,
+}
+
+impl ServerConfig {
+    /// A reasonable starting point: `D`=4, `R`=1 MiB, `N`=8, `M`=64 MiB.
+    pub fn default_tuning() -> Self {
+        ServerConfig {
+            dispatch_streams: 4,
+            read_ahead_bytes: MIB,
+            requests_per_residency: 8,
+            memory_bytes: 64 * MIB,
+            prefetch_lead_bytes: 0,
+            detect_offset_blocks: 4096,
+            detect_threshold_blocks: 192,
+            stream_match_slack_blocks: 128,
+            buffer_timeout: SimDuration::from_secs(10),
+            gc_period: SimDuration::from_secs(1),
+            issue_path_priority: true,
+            dispatch_policy: DispatchPolicy::RoundRobin,
+        }
+    }
+
+    /// Builds the paper's "adequate memory" configuration for Figures 10/12:
+    /// all `streams` staged *and* dispatched (`D = S`, `N = 1`,
+    /// `M = D * R * N`).
+    pub fn all_dispatched(streams: usize, read_ahead_bytes: u64) -> Self {
+        ServerConfig {
+            dispatch_streams: streams,
+            read_ahead_bytes,
+            requests_per_residency: 1,
+            memory_bytes: streams as u64 * read_ahead_bytes,
+            ..Self::default_tuning()
+        }
+    }
+
+    /// Builds the memory-limited configuration of Figure 11: `D` is derived
+    /// from available memory as `D = M / (R * N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory cannot hold even one buffer.
+    pub fn memory_limited(memory_bytes: u64, read_ahead_bytes: u64, n: u64) -> Self {
+        let d = (memory_bytes / (read_ahead_bytes * n)) as usize;
+        assert!(d >= 1, "memory holds no buffers: M={memory_bytes}, R={read_ahead_bytes}, N={n}");
+        ServerConfig {
+            dispatch_streams: d,
+            read_ahead_bytes,
+            requests_per_residency: n,
+            memory_bytes,
+            ..Self::default_tuning()
+        }
+    }
+
+    /// The paper's conclusion configuration (Figures 13/14): a small
+    /// dispatch set (typically one stream per disk), long residencies.
+    pub fn small_dispatch(disks: usize, read_ahead_bytes: u64, n: u64) -> Self {
+        ServerConfig {
+            dispatch_streams: disks,
+            read_ahead_bytes,
+            requests_per_residency: n,
+            memory_bytes: disks as u64 * read_ahead_bytes * n,
+            ..Self::default_tuning()
+        }
+    }
+
+    /// Static auto-tuning: derives `D`, `R`, `N` from the storage node's
+    /// memory and disk count, the paper's "adjust (statically) to different
+    /// storage node configurations". One dispatched stream per disk,
+    /// 512 KiB read-ahead, and the longest residency that keeps
+    /// `D * R * N` within half the node's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks == 0` or the memory cannot hold one buffer per disk.
+    pub fn auto_tune(node_memory_bytes: u64, disks: usize) -> Self {
+        assert!(disks > 0, "auto_tune needs at least one disk");
+        let r = 512 * KIB;
+        let d = disks;
+        let budget = node_memory_bytes / 2;
+        let n = (budget / (d as u64 * r)).clamp(1, 128);
+        assert!(
+            d as u64 * r <= budget.max(d as u64 * r),
+            "node memory too small for one buffer per disk"
+        );
+        ServerConfig {
+            dispatch_streams: d,
+            read_ahead_bytes: r,
+            requests_per_residency: n,
+            memory_bytes: d as u64 * r * n,
+            ..Self::default_tuning()
+        }
+    }
+
+    /// The staging-memory lower bound `D * R * N`.
+    pub fn working_set_bytes(&self) -> u64 {
+        self.dispatch_streams as u64 * self.read_ahead_bytes * self.requests_per_residency
+    }
+
+    /// The per-stream staging lead actually in effect (resolves the `0 =
+    /// auto` setting of [`prefetch_lead_bytes`](Self::prefetch_lead_bytes)).
+    pub fn effective_lead_bytes(&self) -> u64 {
+        if self.prefetch_lead_bytes > 0 {
+            self.prefetch_lead_bytes
+        } else {
+            self.read_ahead_bytes * self.requests_per_residency
+        }
+    }
+
+    /// Read-ahead size in 512-byte blocks.
+    pub fn read_ahead_blocks(&self) -> u64 {
+        self.read_ahead_bytes.div_ceil(512)
+    }
+
+    /// Validates the configuration, including the paper's memory invariant
+    /// `M >= D * R * N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dispatch_streams == 0 {
+            return Err("dispatch set must hold at least one stream (D >= 1)".into());
+        }
+        if self.read_ahead_bytes == 0 {
+            return Err("read-ahead must be positive (R > 0)".into());
+        }
+        if self.requests_per_residency == 0 {
+            return Err("residency must allow at least one request (N >= 1)".into());
+        }
+        if self.memory_bytes < self.working_set_bytes() {
+            return Err(format!(
+                "memory invariant violated: M = {} but D*R*N = {}",
+                format_bytes(self.memory_bytes),
+                format_bytes(self.working_set_bytes())
+            ));
+        }
+        if self.memory_bytes > 64 * GIB {
+            return Err("memory above 64 GiB is surely a misconfiguration".into());
+        }
+        if self.detect_offset_blocks == 0 || self.detect_threshold_blocks == 0 {
+            return Err("classifier window and threshold must be positive".into());
+        }
+        if self.detect_threshold_blocks > 2 * self.detect_offset_blocks {
+            return Err("detection threshold exceeds the bitmap window".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tuning_valid() {
+        assert!(ServerConfig::default_tuning().validate().is_ok());
+    }
+
+    #[test]
+    fn memory_invariant_enforced() {
+        let mut c = ServerConfig::default_tuning();
+        c.memory_bytes = c.working_set_bytes() - 1;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("memory invariant"), "{err}");
+    }
+
+    #[test]
+    fn all_dispatched_matches_paper_setup() {
+        // Fig. 10: 100 streams, R = 8 MiB => M = 800 MiB.
+        let c = ServerConfig::all_dispatched(100, 8 * MIB);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.dispatch_streams, 100);
+        assert_eq!(c.requests_per_residency, 1);
+        assert_eq!(c.memory_bytes, 800 * MIB);
+    }
+
+    #[test]
+    fn memory_limited_derives_dispatch() {
+        // Fig. 11: M = 16 MiB, R = 8 MiB => only 2 streams dispatch.
+        let c = ServerConfig::memory_limited(16 * MIB, 8 * MIB, 1);
+        assert_eq!(c.dispatch_streams, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no buffers")]
+    fn memory_limited_too_small_panics() {
+        let _ = ServerConfig::memory_limited(MIB, 8 * MIB, 1);
+    }
+
+    #[test]
+    fn small_dispatch_matches_fig13() {
+        let c = ServerConfig::small_dispatch(8, 512 * KIB, 128);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.dispatch_streams, 8);
+        assert_eq!(c.memory_bytes, 512 * MIB);
+    }
+
+    #[test]
+    fn auto_tune_scales_with_memory() {
+        let small = ServerConfig::auto_tune(64 * MIB, 1);
+        let large = ServerConfig::auto_tune(GIB, 8);
+        assert!(small.validate().is_ok());
+        assert!(large.validate().is_ok());
+        assert!(small.requests_per_residency < large.requests_per_residency * 8);
+        assert_eq!(large.dispatch_streams, 8);
+        assert!(large.memory_bytes <= GIB / 2);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let mut c = ServerConfig::default_tuning();
+        c.dispatch_streams = 0;
+        assert!(c.validate().is_err());
+        let mut c = ServerConfig::default_tuning();
+        c.read_ahead_bytes = 0;
+        assert!(c.validate().is_err());
+        let mut c = ServerConfig::default_tuning();
+        c.requests_per_residency = 0;
+        assert!(c.validate().is_err());
+        let mut c = ServerConfig::default_tuning();
+        c.detect_threshold_blocks = c.detect_offset_blocks * 3;
+        assert!(c.validate().is_err());
+    }
+}

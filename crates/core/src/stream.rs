@@ -1,0 +1,234 @@
+//! The stream table: state for every detected sequential stream.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use seqio_simcore::SimTime;
+
+use crate::buffer::{Lba, StreamId};
+
+/// A client request parked on a stream's private queue until its data is
+/// staged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// Caller-side request identifier.
+    pub client: u64,
+    /// First block requested.
+    pub lba: Lba,
+    /// Length in blocks.
+    pub blocks: u64,
+}
+
+/// State of one detected sequential stream.
+#[derive(Debug)]
+pub struct Stream {
+    /// Identifier.
+    pub id: StreamId,
+    /// Destination disk.
+    pub disk: usize,
+    /// Next block the client is expected to ask for.
+    pub client_next: Lba,
+    /// Next block the scheduler will read ahead from the disk.
+    pub frontier: Lba,
+    /// Client requests waiting for data.
+    pub pending: VecDeque<PendingRequest>,
+    /// `true` while the stream occupies a dispatch-set slot.
+    pub dispatched: bool,
+    /// `true` while the stream sits in the round-robin admission queue.
+    pub waiting: bool,
+    /// `true` while a read-ahead disk request is outstanding.
+    pub inflight: bool,
+    /// Read-ahead requests issued during the current residency.
+    pub issued_in_residency: u64,
+    /// Last time the stream saw a request or completed a fill.
+    pub last_active: SimTime,
+}
+
+/// Lookup structure over all live streams.
+#[derive(Debug, Default)]
+pub struct StreamTable {
+    streams: HashMap<StreamId, Stream>,
+    /// Per disk: (client_next, id) ordered index for prefix matching.
+    index: HashMap<usize, BTreeMap<(Lba, StreamId), ()>>,
+    next_id: u64,
+}
+
+impl StreamTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` when no streams are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Registers a new stream whose client is expected to continue at
+    /// `client_next` and whose read-ahead starts at `frontier`.
+    pub fn create(&mut self, disk: usize, client_next: Lba, frontier: Lba, now: SimTime) -> StreamId {
+        let id = StreamId(self.next_id);
+        self.next_id += 1;
+        self.streams.insert(
+            id,
+            Stream {
+                id,
+                disk,
+                client_next,
+                frontier,
+                pending: VecDeque::new(),
+                dispatched: false,
+                waiting: false,
+                inflight: false,
+                issued_in_residency: 0,
+                last_active: now,
+            },
+        );
+        self.index.entry(disk).or_default().insert((client_next, id), ());
+        id
+    }
+
+    /// Borrows a stream.
+    pub fn get(&self, id: StreamId) -> Option<&Stream> {
+        self.streams.get(&id)
+    }
+
+    /// Mutably borrows a stream.
+    pub fn get_mut(&mut self, id: StreamId) -> Option<&mut Stream> {
+        self.streams.get_mut(&id)
+    }
+
+    /// Finds the stream on `disk` whose expected next block is at or up to
+    /// `slack` blocks behind `lba` (i.e. `client_next <= lba <=
+    /// client_next + slack`). Prefers the closest (largest `client_next`).
+    pub fn match_request(&self, disk: usize, lba: Lba, slack: u64) -> Option<StreamId> {
+        let idx = self.index.get(&disk)?;
+        let lo = (lba.saturating_sub(slack), StreamId(0));
+        let hi = (lba, StreamId(u64::MAX));
+        idx.range(lo..=hi).next_back().map(|(&(_, id), ())| id)
+    }
+
+    /// Moves a stream's expected-next pointer (reindexing it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not exist.
+    pub fn advance_client_next(&mut self, id: StreamId, new_next: Lba) {
+        let s = self.streams.get_mut(&id).expect("advance on unknown stream");
+        if s.client_next == new_next {
+            return;
+        }
+        let idx = self.index.get_mut(&s.disk).expect("index out of sync");
+        idx.remove(&(s.client_next, id));
+        idx.insert((new_next, id), ());
+        s.client_next = new_next;
+    }
+
+    /// Removes a stream, returning it.
+    pub fn remove(&mut self, id: StreamId) -> Option<Stream> {
+        let s = self.streams.remove(&id)?;
+        if let Some(idx) = self.index.get_mut(&s.disk) {
+            idx.remove(&(s.client_next, id));
+        }
+        Some(s)
+    }
+
+    /// Iterates over all streams.
+    pub fn iter(&self) -> impl Iterator<Item = &Stream> {
+        self.streams.values()
+    }
+
+    /// Ids of streams idle since before `cutoff` with nothing pending or in
+    /// flight — garbage-collection candidates.
+    pub fn idle_streams(&self, cutoff: SimTime) -> Vec<StreamId> {
+        self.streams
+            .values()
+            .filter(|s| s.last_active < cutoff && s.pending.is_empty() && !s.inflight && !s.dispatched)
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn create_and_match_exact() {
+        let mut tb = StreamTable::new();
+        let id = tb.create(0, 1000, 1000, t(0));
+        assert_eq!(tb.match_request(0, 1000, 128), Some(id));
+        assert_eq!(tb.match_request(0, 999, 128), None, "behind expected");
+        assert_eq!(tb.match_request(1, 1000, 128), None, "wrong disk");
+    }
+
+    #[test]
+    fn match_allows_slack() {
+        let mut tb = StreamTable::new();
+        let id = tb.create(0, 1000, 1000, t(0));
+        assert_eq!(tb.match_request(0, 1100, 128), Some(id));
+        assert_eq!(tb.match_request(0, 1129, 128), None, "past slack");
+    }
+
+    #[test]
+    fn closest_stream_wins() {
+        let mut tb = StreamTable::new();
+        let _far = tb.create(0, 900, 900, t(0));
+        let near = tb.create(0, 1000, 1000, t(0));
+        assert_eq!(tb.match_request(0, 1000, 200), Some(near));
+    }
+
+    #[test]
+    fn advance_reindexes() {
+        let mut tb = StreamTable::new();
+        let id = tb.create(0, 1000, 1000, t(0));
+        tb.advance_client_next(id, 1128);
+        assert_eq!(tb.match_request(0, 1000, 0), None);
+        assert_eq!(tb.match_request(0, 1128, 0), Some(id));
+        assert_eq!(tb.get(id).unwrap().client_next, 1128);
+    }
+
+    #[test]
+    fn remove_clears_index() {
+        let mut tb = StreamTable::new();
+        let id = tb.create(0, 1000, 1000, t(0));
+        assert!(tb.remove(id).is_some());
+        assert!(tb.remove(id).is_none());
+        assert_eq!(tb.match_request(0, 1000, 0), None);
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn idle_detection_excludes_busy_streams() {
+        let mut tb = StreamTable::new();
+        let idle = tb.create(0, 0, 0, t(0));
+        let busy = tb.create(0, 5000, 5000, t(0));
+        tb.get_mut(busy).unwrap().inflight = true;
+        let recent = tb.create(0, 9000, 9000, t(100));
+        let ids = tb.idle_streams(t(50));
+        assert!(ids.contains(&idle));
+        assert!(!ids.contains(&busy), "inflight streams are not idle");
+        assert!(!ids.contains(&recent), "recently active streams are not idle");
+    }
+
+    #[test]
+    fn two_streams_same_position_coexist() {
+        let mut tb = StreamTable::new();
+        let a = tb.create(0, 1000, 1000, t(0));
+        let b = tb.create(0, 1000, 1000, t(0));
+        // Both live; match returns one of them deterministically (the larger id).
+        let m = tb.match_request(0, 1000, 0).unwrap();
+        assert!(m == a || m == b);
+        assert_eq!(tb.len(), 2);
+        tb.remove(m);
+        assert!(tb.match_request(0, 1000, 0).is_some(), "the other remains indexed");
+    }
+}

@@ -1,0 +1,106 @@
+//! Disk request types.
+
+use std::fmt;
+
+/// Logical block address, in 512-byte blocks.
+pub type Lba = u64;
+
+/// Size of one logical block in bytes.
+pub const BLOCK_SIZE: u64 = 512;
+
+/// Converts a byte count to whole blocks (rounding up).
+///
+/// # Examples
+///
+/// ```
+/// use seqio_disk::bytes_to_blocks;
+///
+/// assert_eq!(bytes_to_blocks(512), 1);
+/// assert_eq!(bytes_to_blocks(513), 2);
+/// assert_eq!(bytes_to_blocks(64 * 1024), 128);
+/// ```
+pub const fn bytes_to_blocks(bytes: u64) -> u64 {
+    bytes.div_ceil(BLOCK_SIZE)
+}
+
+/// Identifier the submitter uses to match completions to requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Direction of a disk transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Read from media into host memory.
+    Read,
+    /// Write from host memory onto media.
+    Write,
+}
+
+/// A request submitted to a [`Disk`](crate::Disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// Caller-chosen identifier echoed back on completion.
+    pub id: RequestId,
+    /// First block of the transfer.
+    pub lba: Lba,
+    /// Length of the transfer in blocks (must be positive).
+    pub blocks: u64,
+    /// Read or write.
+    pub direction: Direction,
+}
+
+impl DiskRequest {
+    /// Convenience constructor for a read.
+    pub fn read(id: RequestId, lba: Lba, blocks: u64) -> Self {
+        DiskRequest { id, lba, blocks, direction: Direction::Read }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(id: RequestId, lba: Lba, blocks: u64) -> Self {
+        DiskRequest { id, lba, blocks, direction: Direction::Write }
+    }
+
+    /// One past the last block of the transfer.
+    pub fn end(&self) -> Lba {
+        self.lba + self.blocks
+    }
+
+    /// Transfer length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.blocks * BLOCK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_conversion_rounds_up() {
+        assert_eq!(bytes_to_blocks(0), 0);
+        assert_eq!(bytes_to_blocks(1), 1);
+        assert_eq!(bytes_to_blocks(1024), 2);
+        assert_eq!(bytes_to_blocks(1025), 3);
+    }
+
+    #[test]
+    fn request_accessors() {
+        let r = DiskRequest::read(RequestId(3), 100, 8);
+        assert_eq!(r.end(), 108);
+        assert_eq!(r.bytes(), 4096);
+        assert_eq!(r.direction, Direction::Read);
+        let w = DiskRequest::write(RequestId(4), 0, 1);
+        assert_eq!(w.direction, Direction::Write);
+    }
+
+    #[test]
+    fn request_id_display() {
+        assert_eq!(RequestId(17).to_string(), "req#17");
+    }
+}

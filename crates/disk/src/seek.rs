@@ -1,0 +1,182 @@
+//! Seek-time model.
+//!
+//! Seek time as a function of cylinder distance follows the classic
+//! three-parameter curve used by DiskSim and the disk-modeling literature
+//! (Ruemmler & Wilkes): an acceleration-dominated `sqrt` region for short
+//! seeks blending into a linear coast region for long seeks:
+//!
+//! ```text
+//! seek(d) = c + a*sqrt(d) + b*d      (d >= 1 cylinders)
+//! seek(0) = 0
+//! ```
+//!
+//! The three coefficients are fitted from the numbers a datasheet actually
+//! publishes: track-to-track, average (one-third stroke) and full-stroke
+//! seek times.
+
+use seqio_simcore::SimDuration;
+
+/// Datasheet seek characteristics used to fit a [`SeekModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekConfig {
+    /// Track-to-track (single-cylinder) seek time.
+    pub track_to_track: SimDuration,
+    /// Average seek time (industry convention: one-third stroke).
+    pub average: SimDuration,
+    /// Full-stroke seek time.
+    pub full_stroke: SimDuration,
+}
+
+impl SeekConfig {
+    /// Validates ordering of the three published figures.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `track_to_track <= average <= full_stroke` does
+    /// not hold or any figure is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.track_to_track == SimDuration::ZERO {
+            return Err("track-to-track seek must be positive".into());
+        }
+        if self.track_to_track > self.average || self.average > self.full_stroke {
+            return Err("seek times must satisfy track_to_track <= average <= full_stroke".into());
+        }
+        Ok(())
+    }
+}
+
+/// Fitted seek curve over a given cylinder count.
+#[derive(Debug, Clone, Copy)]
+pub struct SeekModel {
+    a: f64, // ms per sqrt(cylinder)
+    b: f64, // ms per cylinder
+    c: f64, // ms constant (settle)
+    max_cylinders: u64,
+}
+
+impl SeekModel {
+    /// Fits the curve through the three datasheet points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, `total_cylinders < 9`, or the
+    /// fitted curve would be non-monotonic (which would indicate physically
+    /// inconsistent datasheet numbers).
+    pub fn fit(cfg: &SeekConfig, total_cylinders: u64) -> Self {
+        cfg.validate().expect("invalid seek config");
+        assert!(total_cylinders >= 9, "too few cylinders to fit a seek curve");
+        let d_full = (total_cylinders - 1) as f64;
+        let d_avg = d_full / 3.0;
+        let t2t = cfg.track_to_track.as_millis_f64();
+        let avg = cfg.average.as_millis_f64();
+        let full = cfg.full_stroke.as_millis_f64();
+
+        // Solve:
+        //   c + a*1        + b*1      = t2t
+        //   c + a*sqrt(dA) + b*dA     = avg
+        //   c + a*sqrt(dF) + b*dF     = full
+        let s_a = d_avg.sqrt();
+        let s_f = d_full.sqrt();
+        // Subtract row 1 from rows 2 and 3:
+        //   a*(sA-1) + b*(dA-1) = avg - t2t
+        //   a*(sF-1) + b*(dF-1) = full - t2t
+        let m11 = s_a - 1.0;
+        let m12 = d_avg - 1.0;
+        let m21 = s_f - 1.0;
+        let m22 = d_full - 1.0;
+        let r1 = avg - t2t;
+        let r2 = full - t2t;
+        let det = m11 * m22 - m12 * m21;
+        assert!(det.abs() > 1e-12, "degenerate seek fit");
+        let a = (r1 * m22 - m12 * r2) / det;
+        let b = (m11 * r2 - r1 * m21) / det;
+        let c = t2t - a - b;
+        let model = SeekModel { a, b, c, max_cylinders: total_cylinders };
+        // Monotonicity: derivative a/(2*sqrt(d)) + b >= 0 for d in [1, dF].
+        // Sufficient check at the endpoint where each term is smallest.
+        let deriv_at_full = a / (2.0 * s_f) + b;
+        let deriv_at_one = a / 2.0 + b;
+        assert!(
+            deriv_at_full >= -1e-9 && deriv_at_one >= -1e-9 && model.time(1) >= SimDuration::ZERO,
+            "seek curve fit is non-monotonic; datasheet numbers inconsistent"
+        );
+        model
+    }
+
+    /// Seek time for a move of `distance` cylinders (0 for no move).
+    pub fn time(&self, distance: u64) -> SimDuration {
+        if distance == 0 {
+            return SimDuration::ZERO;
+        }
+        let d = distance.min(self.max_cylinders - 1) as f64;
+        let ms = self.c + self.a * d.sqrt() + self.b * d;
+        SimDuration::from_millis_f64(ms.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn wd_cfg() -> SeekConfig {
+        SeekConfig {
+            track_to_track: SimDuration::from_millis(2),
+            average: SimDuration::from_millis_f64(8.9),
+            full_stroke: SimDuration::from_millis(21),
+        }
+    }
+
+    #[test]
+    fn fit_reproduces_datasheet_points() {
+        let cyls = 100_000;
+        let m = SeekModel::fit(&wd_cfg(), cyls);
+        let t2t = m.time(1).as_millis_f64();
+        let avg = m.time((cyls - 1) / 3).as_millis_f64();
+        let full = m.time(cyls - 1).as_millis_f64();
+        assert!((t2t - 2.0).abs() < 0.05, "t2t {t2t}");
+        assert!((avg - 8.9).abs() < 0.1, "avg {avg}");
+        assert!((full - 21.0).abs() < 0.05, "full {full}");
+    }
+
+    #[test]
+    fn zero_distance_is_free() {
+        let m = SeekModel::fit(&wd_cfg(), 100_000);
+        assert_eq!(m.time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn distance_clamped_to_stroke() {
+        let m = SeekModel::fit(&wd_cfg(), 100_000);
+        assert_eq!(m.time(99_999), m.time(10_000_000));
+    }
+
+    #[test]
+    fn validate_rejects_misordered() {
+        let bad = SeekConfig {
+            track_to_track: SimDuration::from_millis(10),
+            average: SimDuration::from_millis(5),
+            full_stroke: SimDuration::from_millis(20),
+        };
+        assert!(bad.validate().is_err());
+        assert!(wd_cfg().validate().is_ok());
+    }
+
+    proptest! {
+        /// The fitted curve is monotonically non-decreasing in distance.
+        #[test]
+        fn prop_monotonic(d1 in 1u64..99_999, d2 in 1u64..99_999) {
+            let m = SeekModel::fit(&wd_cfg(), 100_000);
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(m.time(lo) <= m.time(hi));
+        }
+
+        /// Seek time is always within [0, full_stroke] for in-range distances.
+        #[test]
+        fn prop_bounded(d in 0u64..99_999) {
+            let m = SeekModel::fit(&wd_cfg(), 100_000);
+            let t = m.time(d);
+            prop_assert!(t <= SimDuration::from_millis_f64(21.01));
+        }
+    }
+}

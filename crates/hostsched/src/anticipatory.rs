@@ -1,0 +1,234 @@
+//! The anticipatory scheduler (Iyer & Druschel, SOSP'01; Linux 2.6 "as").
+//!
+//! After serving a request from process `P`, the disk is *deceptively idle*:
+//! `P` is probably about to issue the sequential follow-up, but it has not
+//! reached the block layer yet. Instead of seeking away to another process,
+//! the scheduler keeps the disk idle for a short window; if `P`'s next
+//! request arrives in time, it is serviced seek-free. A batch limit keeps
+//! one process from monopolizing the disk.
+
+use seqio_simcore::{SimDuration, SimTime};
+
+use crate::scheduler::{BlockRequest, IoScheduler, SchedDecision};
+
+/// Anticipatory scheduler: elevator plus per-process idling.
+#[derive(Debug)]
+pub struct Anticipatory {
+    entries: Vec<(BlockRequest, SimTime)>,
+    head: u64,
+    /// Process whose follow-up we are anticipating, if any.
+    last_process: Option<usize>,
+    /// When the current anticipation window expires.
+    antic_until: Option<SimTime>,
+    antic_timeout: SimDuration,
+    /// Requests served to the current process in the current batch.
+    batch: u32,
+    batch_limit: u32,
+    /// Aging bound, as in the deadline scheduler.
+    max_age: SimDuration,
+}
+
+impl Anticipatory {
+    /// Creates the scheduler with the given anticipation window (Linux
+    /// default ~6 ms) and a 16-request batch limit.
+    pub fn new(antic_timeout: SimDuration) -> Self {
+        Anticipatory {
+            entries: Vec::new(),
+            head: 0,
+            last_process: None,
+            antic_until: None,
+            antic_timeout,
+            batch: 0,
+            batch_limit: 16,
+            max_age: SimDuration::from_millis(500),
+        }
+    }
+
+    fn position_of_process(&self, p: usize) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _))| r.process == p)
+            .min_by_key(|(_, (r, _))| r.lba)
+            .map(|(i, _)| i)
+    }
+
+    fn elevator_pick(&self, now: SimTime) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        if let Some((i, _)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, at))| now.saturating_duration_since(*at) > self.max_age)
+            .min_by_key(|(_, (_, at))| *at)
+        {
+            return Some(i);
+        }
+        let up = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _))| r.lba >= self.head)
+            .min_by_key(|(_, (r, _))| r.lba)
+            .map(|(i, _)| i);
+        up.or_else(|| {
+            self.entries.iter().enumerate().min_by_key(|(_, (r, _))| r.lba).map(|(i, _)| i)
+        })
+    }
+
+    fn dispatch_at(&mut self, i: usize) -> SchedDecision {
+        let (r, _) = self.entries.swap_remove(i);
+        self.head = r.lba + r.blocks;
+        if self.last_process == Some(r.process) {
+            self.batch += 1;
+        } else {
+            self.last_process = Some(r.process);
+            self.batch = 1;
+        }
+        self.antic_until = None;
+        SchedDecision::Dispatch(r)
+    }
+}
+
+impl IoScheduler for Anticipatory {
+    fn add(&mut self, req: BlockRequest, now: SimTime) {
+        self.entries.push((req, now));
+    }
+
+    fn next(&mut self, now: SimTime) -> SchedDecision {
+        // Continue the current process's batch if it has a queued request.
+        if let Some(p) = self.last_process {
+            if self.batch < self.batch_limit {
+                if let Some(i) = self.position_of_process(p) {
+                    return self.dispatch_at(i);
+                }
+                // The anticipated process has nothing queued: idle briefly.
+                let deadline = *self.antic_until.get_or_insert(now + self.antic_timeout);
+                if now < deadline {
+                    // Only worth waiting if there is any reason to believe
+                    // the process continues; we always anticipate (the
+                    // common case for sequential readers).
+                    return SchedDecision::WaitUntil(deadline);
+                }
+            }
+        }
+        // Batch over or anticipation expired: fall back to the elevator.
+        // A process whose batch just expired yields to other queues first.
+        self.antic_until = None;
+        let exhausted = match self.last_process {
+            Some(p) if self.batch >= self.batch_limit => Some(p),
+            _ => None,
+        };
+        if let Some(p) = exhausted {
+            let other = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (r, _))| r.process != p)
+                .min_by_key(|(_, (r, _))| r.lba)
+                .map(|(i, _)| i);
+            if let Some(i) = other {
+                self.last_process = None;
+                return self.dispatch_at(i);
+            }
+        }
+        match self.elevator_pick(now) {
+            Some(i) => {
+                // Switching process resets the batch (handled in dispatch_at).
+                self.last_process = None;
+                self.dispatch_at(i)
+            }
+            None => {
+                self.last_process = None;
+                SchedDecision::Idle
+            }
+        }
+    }
+
+    fn on_complete(&mut self, _process: usize, _now: SimTime) {}
+
+    fn queued(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, process: usize, lba: u64) -> BlockRequest {
+        BlockRequest { id, process, lba, blocks: 8 }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn anticipates_same_process() {
+        let mut s = Anticipatory::new(SimDuration::from_millis(6));
+        s.add(req(1, 0, 0), t(0));
+        s.add(req(2, 1, 1_000_000), t(0));
+        assert!(matches!(s.next(t(0)), SchedDecision::Dispatch(r) if r.id == 1));
+        // Process 0 has nothing queued: the scheduler waits instead of
+        // seeking to process 1.
+        let SchedDecision::WaitUntil(deadline) = s.next(t(100)) else {
+            panic!("expected anticipation");
+        };
+        assert_eq!(deadline, t(100) + SimDuration::from_millis(6));
+        // Process 0's follow-up arrives in time and is served seek-free.
+        s.add(req(3, 0, 8), t(500));
+        assert!(matches!(s.next(t(500)), SchedDecision::Dispatch(r) if r.id == 3));
+    }
+
+    #[test]
+    fn anticipation_times_out() {
+        let mut s = Anticipatory::new(SimDuration::from_millis(6));
+        s.add(req(1, 0, 0), t(0));
+        s.add(req(2, 1, 1_000_000), t(0));
+        let _ = s.next(t(0));
+        let SchedDecision::WaitUntil(deadline) = s.next(t(10)) else { panic!() };
+        // Past the deadline the other process is served.
+        let after = deadline + SimDuration::from_nanos(1);
+        assert!(matches!(s.next(after), SchedDecision::Dispatch(r) if r.id == 2));
+    }
+
+    #[test]
+    fn batch_limit_prevents_monopoly() {
+        let mut s = Anticipatory::new(SimDuration::from_millis(6));
+        // Process 0 has a deep queue; process 1 has one request.
+        for i in 0..32 {
+            s.add(req(i, 0, i * 8), t(0));
+        }
+        s.add(req(99, 1, 500_000), t(0));
+        let mut served_0 = 0;
+        loop {
+            match s.next(t(1)) {
+                SchedDecision::Dispatch(r) if r.process == 0 => served_0 += 1,
+                SchedDecision::Dispatch(r) => {
+                    assert_eq!(r.id, 99);
+                    break;
+                }
+                other => panic!("{other:?}"),
+            }
+            assert!(served_0 <= 16, "batch limit exceeded");
+        }
+        assert_eq!(served_0, 16);
+    }
+
+    #[test]
+    fn idle_when_empty() {
+        let mut s = Anticipatory::new(SimDuration::from_millis(6));
+        assert_eq!(s.next(t(0)), SchedDecision::Idle);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn no_anticipation_before_first_dispatch() {
+        let mut s = Anticipatory::new(SimDuration::from_millis(6));
+        s.add(req(1, 3, 42), t(0));
+        assert!(matches!(s.next(t(0)), SchedDecision::Dispatch(r) if r.id == 1));
+    }
+}

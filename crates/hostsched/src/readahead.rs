@@ -1,0 +1,273 @@
+//! Kernel file read-ahead (the 2.6-era ramping window).
+//!
+//! Each sequentially-read file gets a read-ahead window that starts small
+//! and doubles up to `VM_MAX_READAHEAD` (128 KiB). Reads inside the cached
+//! window hit the page cache; crossing the middle of the window triggers an
+//! asynchronous fetch of the next window so a steady reader pipelines.
+
+use crate::scheduler::Lba;
+
+/// Read-ahead tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadaheadConfig {
+    /// Initial window in bytes (Linux: 16 KiB).
+    pub initial_bytes: u64,
+    /// Maximum window in bytes (Linux: 128 KiB).
+    pub max_bytes: u64,
+}
+
+impl Default for ReadaheadConfig {
+    fn default() -> Self {
+        ReadaheadConfig { initial_bytes: 16 * 1024, max_bytes: 128 * 1024 }
+    }
+}
+
+impl ReadaheadConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the windows are zero or misordered.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_bytes == 0 || self.max_bytes < self.initial_bytes {
+            return Err("need 0 < initial <= max read-ahead".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a page-cache read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaOutcome {
+    /// Served from the cache. `prefetch` asks the caller to start an
+    /// asynchronous fetch of the next window.
+    Hit {
+        /// Background fetch to issue, if the reader crossed the trigger.
+        prefetch: Option<(Lba, u64)>,
+    },
+    /// The data is already being fetched: the reader blocks until
+    /// [`StreamRa::on_fetch_complete`] is called.
+    Blocked,
+    /// Cache miss: fetch this extent synchronously; the reader blocks.
+    Miss {
+        /// First block to fetch.
+        lba: Lba,
+        /// Blocks to fetch (the current window).
+        blocks: u64,
+    },
+}
+
+/// Per-file (per-stream) read-ahead state.
+#[derive(Debug, Clone)]
+pub struct StreamRa {
+    cfg: ReadaheadConfig,
+    /// Cached extent `[start, end)` (the most recent window(s)).
+    cached: Option<(Lba, Lba)>,
+    /// Extent currently being fetched.
+    inflight: Option<(Lba, Lba)>,
+    /// Current window size in blocks.
+    window: u64,
+    /// `true` once an async prefetch was triggered for the current window.
+    triggered: bool,
+}
+
+impl StreamRa {
+    /// Creates fresh state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ReadaheadConfig) -> Self {
+        cfg.validate().expect("invalid read-ahead config");
+        StreamRa { cfg, cached: None, inflight: None, window: cfg.initial_bytes / 512, triggered: false }
+    }
+
+    /// Current window in blocks.
+    pub fn window_blocks(&self) -> u64 {
+        self.window
+    }
+
+    fn grow(&mut self) {
+        self.window = (self.window * 2).min(self.cfg.max_bytes / 512);
+    }
+
+    /// Processes a read of `[lba, lba+blocks)`.
+    pub fn on_read(&mut self, lba: Lba, blocks: u64) -> RaOutcome {
+        let end = lba + blocks;
+        if let Some((cs, ce)) = self.cached {
+            if lba >= cs && end <= ce {
+                // Cache hit; maybe trigger the async next-window fetch when
+                // the reader crosses the middle of the cached extent.
+                let mut prefetch = None;
+                if !self.triggered && self.inflight.is_none() && end * 2 >= cs + ce {
+                    self.triggered = true;
+                    self.grow();
+                    prefetch = Some((ce, self.window));
+                    self.inflight = Some((ce, ce + self.window));
+                }
+                return RaOutcome::Hit { prefetch };
+            }
+        }
+        if self.inflight.is_some() {
+            // Either inside the in-flight window, or a miss while a fetch
+            // is outstanding: the reader waits for the fetch either way (a
+            // file has at most one read-ahead in flight).
+            return RaOutcome::Blocked;
+        }
+        // Miss: fetch a fresh window from the requested offset.
+        let fetch = self.window.max(blocks);
+        self.inflight = Some((lba, lba + fetch));
+        self.triggered = false;
+        RaOutcome::Miss { lba, blocks: fetch }
+    }
+
+    /// Notes that the in-flight fetch landed; the cached extent becomes the
+    /// union of the old tail and the fetched window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fetch was in flight.
+    pub fn on_fetch_complete(&mut self) {
+        let (is, ie) = self.inflight.take().expect("no fetch in flight");
+        self.cached = match self.cached {
+            // Contiguous extension: keep one merged extent.
+            Some((cs, ce)) if ce == is => Some((cs, ie)),
+            _ => Some((is, ie)),
+        };
+        self.triggered = false;
+    }
+
+    /// Bytes currently held in the page cache for this file.
+    pub fn cached_bytes(&self) -> u64 {
+        self.cached.map(|(s, e)| (e - s) * 512).unwrap_or(0)
+    }
+
+    /// Drops the cached extent (memory pressure).
+    pub fn shrink(&mut self) {
+        self.cached = None;
+        self.window = self.cfg.initial_bytes / 512;
+        self.triggered = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ra() -> StreamRa {
+        StreamRa::new(ReadaheadConfig::default())
+    }
+
+    #[test]
+    fn first_read_misses_with_initial_window() {
+        let mut r = ra();
+        match r.on_read(0, 8) {
+            RaOutcome::Miss { lba, blocks } => {
+                assert_eq!(lba, 0);
+                assert_eq!(blocks, 32); // 16 KiB
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_reads_hit_after_fetch() {
+        let mut r = ra();
+        let RaOutcome::Miss { blocks, .. } = r.on_read(0, 8) else { panic!() };
+        r.on_fetch_complete();
+        for i in 0..blocks / 8 / 2 - 1 {
+            match r.on_read(i * 8, 8) {
+                RaOutcome::Hit { .. } => {}
+                other => panic!("read {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_the_middle_triggers_async_prefetch() {
+        let mut r = ra();
+        let _ = r.on_read(0, 8);
+        r.on_fetch_complete(); // cached [0, 32)
+        // Read into the second half.
+        match r.on_read(16, 8) {
+            RaOutcome::Hit { prefetch: Some((lba, blocks)) } => {
+                assert_eq!(lba, 32);
+                assert_eq!(blocks, 64, "window doubled to 32 KiB");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Only one trigger per window.
+        assert!(matches!(r.on_read(24, 8), RaOutcome::Hit { prefetch: None }));
+    }
+
+    #[test]
+    fn window_caps_at_max() {
+        let mut r = ra();
+        let mut at = 0u64;
+        // Run several windows; the window must never exceed 128 KiB = 256 blocks.
+        for _ in 0..8 {
+            match r.on_read(at, 8) {
+                RaOutcome::Miss { lba, blocks } => {
+                    assert!(blocks <= 256);
+                    r.on_fetch_complete();
+                    at = lba; // keep reading from the window start
+                }
+                RaOutcome::Hit { prefetch } => {
+                    if prefetch.is_some() {
+                        r.on_fetch_complete();
+                    }
+                    at += 8;
+                }
+                RaOutcome::Blocked => {
+                    r.on_fetch_complete();
+                }
+            }
+        }
+        assert!(r.window_blocks() <= 256);
+    }
+
+    #[test]
+    fn read_into_inflight_blocks() {
+        let mut r = ra();
+        let _ = r.on_read(0, 8);
+        r.on_fetch_complete(); // cached [0,32)
+        let RaOutcome::Hit { prefetch: Some(_) } = r.on_read(16, 8) else { panic!() };
+        // Next window [32, 96) is in flight; reading it blocks.
+        assert_eq!(r.on_read(32, 8), RaOutcome::Blocked);
+        r.on_fetch_complete();
+        assert!(matches!(r.on_read(32, 8), RaOutcome::Hit { .. }));
+    }
+
+    #[test]
+    fn merged_extent_spans_windows() {
+        let mut r = ra();
+        let _ = r.on_read(0, 8);
+        r.on_fetch_complete();
+        let RaOutcome::Hit { prefetch: Some(_) } = r.on_read(16, 8) else { panic!() };
+        r.on_fetch_complete();
+        // Old window [0,32) and new [32,96) merge: block 0 still cached.
+        assert!(matches!(r.on_read(0, 8), RaOutcome::Hit { .. }));
+        assert_eq!(r.cached_bytes(), 96 * 512);
+    }
+
+    #[test]
+    fn random_reads_keep_missing() {
+        let mut r = ra();
+        for i in 0..10u64 {
+            match r.on_read(i * 100_000, 8) {
+                RaOutcome::Miss { .. } => r.on_fetch_complete(),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_resets_state() {
+        let mut r = ra();
+        let _ = r.on_read(0, 8);
+        r.on_fetch_complete();
+        r.shrink();
+        assert_eq!(r.cached_bytes(), 0);
+        assert!(matches!(r.on_read(8, 8), RaOutcome::Miss { .. }));
+    }
+}

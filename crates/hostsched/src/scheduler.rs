@@ -1,0 +1,245 @@
+//! Block-layer scheduler abstraction plus the Noop and Deadline policies.
+
+use std::collections::VecDeque;
+
+use seqio_simcore::{SimDuration, SimTime};
+
+/// Block address (512-byte units).
+pub type Lba = u64;
+
+/// A request queued at the block layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRequest {
+    /// Caller-side identifier.
+    pub id: u64,
+    /// Submitting process (stream) — the unit of fairness/anticipation.
+    pub process: usize,
+    /// First block.
+    pub lba: Lba,
+    /// Length in blocks.
+    pub blocks: u64,
+}
+
+/// What the scheduler wants the driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedDecision {
+    /// Send this request to the disk.
+    Dispatch(BlockRequest),
+    /// Keep the disk idle until the given instant (anticipation); if a new
+    /// request arrives earlier, ask again.
+    WaitUntil(SimTime),
+    /// Nothing to do.
+    Idle,
+}
+
+/// A block-layer I/O scheduler.
+///
+/// The driver calls [`add`](Self::add) on arrival, [`next`](Self::next)
+/// whenever the disk is free, and [`on_complete`](Self::on_complete) when a
+/// dispatched request finishes.
+pub trait IoScheduler: std::fmt::Debug {
+    /// Queues a request.
+    fn add(&mut self, req: BlockRequest, now: SimTime);
+    /// Picks the next action for a free disk.
+    fn next(&mut self, now: SimTime) -> SchedDecision;
+    /// Notes that `process`'s dispatched request completed.
+    fn on_complete(&mut self, process: usize, now: SimTime);
+    /// Number of queued (undispatched) requests.
+    fn queued(&self) -> usize;
+}
+
+/// The selectable scheduler policies (Linux 2.6.11 era).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// FIFO with no reordering.
+    Noop,
+    /// C-LOOK elevator with request-age deadlines.
+    Deadline,
+    /// Deadline plus deceptive-idleness anticipation.
+    Anticipatory,
+    /// Per-process queues served round-robin.
+    Cfq,
+}
+
+impl SchedKind {
+    /// Instantiates the policy with its default tunables.
+    pub fn build(self) -> Box<dyn IoScheduler> {
+        match self {
+            SchedKind::Noop => Box::new(Noop::new()),
+            SchedKind::Deadline => Box::new(Deadline::new(SimDuration::from_millis(500))),
+            SchedKind::Anticipatory => {
+                Box::new(crate::anticipatory::Anticipatory::new(SimDuration::from_millis(6)))
+            }
+            SchedKind::Cfq => Box::new(crate::cfq::Cfq::new(4)),
+        }
+    }
+
+    /// Human-readable name (used in figure legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Noop => "noop",
+            SchedKind::Deadline => "deadline",
+            SchedKind::Anticipatory => "anticipatory",
+            SchedKind::Cfq => "cfq",
+        }
+    }
+}
+
+/// FIFO scheduler.
+#[derive(Debug, Default)]
+pub struct Noop {
+    q: VecDeque<BlockRequest>,
+}
+
+impl Noop {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl IoScheduler for Noop {
+    fn add(&mut self, req: BlockRequest, _now: SimTime) {
+        self.q.push_back(req);
+    }
+
+    fn next(&mut self, _now: SimTime) -> SchedDecision {
+        match self.q.pop_front() {
+            Some(r) => SchedDecision::Dispatch(r),
+            None => SchedDecision::Idle,
+        }
+    }
+
+    fn on_complete(&mut self, _process: usize, _now: SimTime) {}
+
+    fn queued(&self) -> usize {
+        self.q.len()
+    }
+}
+
+/// C-LOOK elevator with age-based deadlines.
+#[derive(Debug)]
+pub struct Deadline {
+    entries: Vec<(BlockRequest, SimTime)>,
+    head: Lba,
+    max_age: SimDuration,
+}
+
+impl Deadline {
+    /// Creates the scheduler; requests older than `max_age` pre-empt the
+    /// elevator order.
+    pub fn new(max_age: SimDuration) -> Self {
+        Deadline { entries: Vec::new(), head: 0, max_age }
+    }
+
+    fn pick(&self, now: SimTime) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        // Expired request? Oldest first.
+        if let Some((i, _)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, at))| now.saturating_duration_since(*at) > self.max_age)
+            .min_by_key(|(_, (_, at))| *at)
+        {
+            return Some(i);
+        }
+        // C-LOOK: nearest at/above head, else wrap to lowest.
+        let up = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _))| r.lba >= self.head)
+            .min_by_key(|(_, (r, _))| r.lba)
+            .map(|(i, _)| i);
+        up.or_else(|| {
+            self.entries.iter().enumerate().min_by_key(|(_, (r, _))| r.lba).map(|(i, _)| i)
+        })
+    }
+}
+
+impl IoScheduler for Deadline {
+    fn add(&mut self, req: BlockRequest, now: SimTime) {
+        self.entries.push((req, now));
+    }
+
+    fn next(&mut self, now: SimTime) -> SchedDecision {
+        match self.pick(now) {
+            Some(i) => {
+                let (r, _) = self.entries.swap_remove(i);
+                self.head = r.lba + r.blocks;
+                SchedDecision::Dispatch(r)
+            }
+            None => SchedDecision::Idle,
+        }
+    }
+
+    fn on_complete(&mut self, _process: usize, _now: SimTime) {}
+
+    fn queued(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, process: usize, lba: Lba) -> BlockRequest {
+        BlockRequest { id, process, lba, blocks: 8 }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn noop_is_fifo() {
+        let mut s = Noop::new();
+        s.add(req(1, 0, 900), t(0));
+        s.add(req(2, 1, 100), t(0));
+        assert_eq!(s.queued(), 2);
+        assert!(matches!(s.next(t(1)), SchedDecision::Dispatch(r) if r.id == 1));
+        assert!(matches!(s.next(t(1)), SchedDecision::Dispatch(r) if r.id == 2));
+        assert_eq!(s.next(t(1)), SchedDecision::Idle);
+    }
+
+    #[test]
+    fn deadline_sweeps_by_lba() {
+        let mut s = Deadline::new(SimDuration::from_millis(500));
+        s.add(req(1, 0, 900), t(0));
+        s.add(req(2, 1, 100), t(0));
+        s.add(req(3, 2, 500), t(0));
+        // Head starts at 0: sweep upward 100, 500, 900.
+        let order: Vec<u64> = (0..3)
+            .map(|_| match s.next(t(1)) {
+                SchedDecision::Dispatch(r) => r.id,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn deadline_ages_out_starved_requests() {
+        let mut s = Deadline::new(SimDuration::from_millis(10));
+        s.add(req(1, 0, 1_000_000), t(0)); // far away, would starve
+        s.add(req(2, 1, 10), t(5));
+        // Past the deadline, the old far request is served first.
+        assert!(matches!(s.next(t(20)), SchedDecision::Dispatch(r) if r.id == 1));
+        assert!(matches!(s.next(t(20)), SchedDecision::Dispatch(r) if r.id == 2));
+    }
+
+    #[test]
+    fn kind_builds_all_policies() {
+        for k in [SchedKind::Noop, SchedKind::Deadline, SchedKind::Anticipatory, SchedKind::Cfq] {
+            let mut s = k.build();
+            assert_eq!(s.queued(), 0);
+            s.add(req(1, 0, 0), t(0));
+            assert!(matches!(s.next(t(0)), SchedDecision::Dispatch(_)));
+            assert!(!k.name().is_empty());
+        }
+    }
+}

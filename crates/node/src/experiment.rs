@@ -1,0 +1,447 @@
+//! Experiment specification and results.
+
+use seqio_controller::ControllerConfig;
+use seqio_core::{ServerConfig, ServerMetrics};
+use seqio_disk::{bytes_to_blocks, DiskConfig};
+use seqio_hostsched::{ReadaheadConfig, SchedKind};
+use seqio_simcore::{LatencyHistogram, SimDuration};
+use seqio_workload::Pattern;
+
+use crate::calibration::CostModel;
+use crate::system::StorageNode;
+
+/// Physical layout of a storage node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeShape {
+    /// Number of controllers.
+    pub controllers: usize,
+    /// Disks attached to each controller.
+    pub disks_per_controller: usize,
+    /// Controller template (its `ports` field is overridden to
+    /// `disks_per_controller`).
+    pub controller: ControllerConfig,
+    /// Disk model used for every spindle.
+    pub disk: DiskConfig,
+}
+
+impl NodeShape {
+    /// One controller, one disk — the paper's base configuration.
+    pub fn single_disk() -> Self {
+        NodeShape {
+            controllers: 1,
+            disks_per_controller: 1,
+            controller: ControllerConfig::single_port(),
+            disk: DiskConfig::wd800jd(),
+        }
+    }
+
+    /// One BC4810 with eight disks — the paper's medium configuration.
+    pub fn eight_disk() -> Self {
+        NodeShape {
+            controllers: 1,
+            disks_per_controller: 8,
+            controller: ControllerConfig::bc4810(),
+            disk: DiskConfig::wd800jd(),
+        }
+    }
+
+    /// Fifteen controllers x four disks = 60 disks — the paper's large
+    /// configuration (Figure 1).
+    pub fn sixty_disk() -> Self {
+        NodeShape {
+            controllers: 15,
+            disks_per_controller: 4,
+            controller: ControllerConfig { ports: 4, ..ControllerConfig::bc4810() },
+            disk: DiskConfig::wd800jd(),
+        }
+    }
+
+    /// Total spindles.
+    pub fn total_disks(&self) -> usize {
+        self.controllers * self.disks_per_controller
+    }
+
+    /// Validates the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.controllers == 0 || self.disks_per_controller == 0 {
+            return Err("need at least one controller and one disk".into());
+        }
+        let mut c = self.controller.clone();
+        c.ports = self.disks_per_controller;
+        c.validate()?;
+        self.disk.validate()
+    }
+}
+
+/// Which request path services the clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frontend {
+    /// Requests go straight to the controllers (the baseline of Figures
+    /// 1, 4, 5, 6, 7, 8).
+    Direct,
+    /// The paper's stream scheduler with an explicit configuration.
+    StreamScheduler(ServerConfig),
+    /// The stream scheduler in the "adequate memory" setup of Figure 10:
+    /// `D` = total streams, `N` = 1, `M = D * R`.
+    AllDispatched {
+        /// Read-ahead size `R` in bytes.
+        read_ahead_bytes: u64,
+    },
+    /// A Linux-like kernel path: page-cache read-ahead plus a block-layer
+    /// scheduler (Figure 2).
+    Linux {
+        /// Block-layer scheduling policy.
+        scheduler: SchedKind,
+        /// Kernel read-ahead tunables.
+        readahead: ReadaheadConfig,
+    },
+}
+
+impl Frontend {
+    /// Convenience constructor matching the facade-crate quick start:
+    /// stream scheduling with every stream dispatched at the given `R`.
+    pub fn stream_scheduler_with_readahead(read_ahead_bytes: u64) -> Self {
+        Frontend::AllDispatched { read_ahead_bytes }
+    }
+}
+
+/// How streams are laid out on each disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// `disksize / streams` apart (the paper's default).
+    Uniform,
+    /// Fixed byte interval between stream starts (Figure 5 uses 1 GByte).
+    Interval(u64),
+}
+
+/// A complete experiment description (builder-constructed).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Node layout.
+    pub shape: NodeShape,
+    /// Concurrent sequential streams per disk.
+    pub streams_per_disk: usize,
+    /// Client request size in bytes.
+    pub request_bytes: u64,
+    /// Request path.
+    pub frontend: Frontend,
+    /// Stream placement.
+    pub placement: Placement,
+    /// Per-stream access pattern (sequential, near-sequential or random).
+    pub pattern: Pattern,
+    /// Issue writes instead of reads (writes always bypass staging).
+    pub writes: bool,
+    /// Requests per stream (`None` = open-ended until the clock stops).
+    pub requests_per_stream: Option<u64>,
+    /// Record a [`TraceRecord`](crate::TraceRecord) per completed request
+    /// inside the measured window.
+    pub record_trace: bool,
+    /// Replay this trace instead of generating a workload: requests arrive
+    /// open-loop at their recorded send times (`streams_per_disk`,
+    /// `pattern`, `placement` and `requests_per_stream` are ignored).
+    pub replay: Option<Vec<crate::TraceRecord>>,
+    /// Cost model.
+    pub costs: CostModel,
+    /// Warm-up excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measured window.
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Starts a builder with the paper's defaults: single disk, 10 streams,
+    /// 64 KiB requests, direct path, uniform placement, open-ended streams,
+    /// 2 s warm-up + 6 s measurement.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder {
+            spec: Experiment {
+                shape: NodeShape::single_disk(),
+                streams_per_disk: 10,
+                request_bytes: 64 * 1024,
+                frontend: Frontend::Direct,
+                placement: Placement::Uniform,
+                pattern: Pattern::Sequential,
+                writes: false,
+                requests_per_stream: None,
+                record_trace: false,
+                replay: None,
+                costs: CostModel::default(),
+                warmup: SimDuration::from_secs(2),
+                duration: SimDuration::from_secs(6),
+                seed: 1,
+            },
+        }
+    }
+
+    /// Total streams across the node.
+    pub fn total_streams(&self) -> usize {
+        self.streams_per_disk * self.shape.total_disks()
+    }
+
+    /// Request size in blocks.
+    pub fn request_blocks(&self) -> u64 {
+        bytes_to_blocks(self.request_bytes)
+    }
+
+    /// Validates the full specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.shape.validate()?;
+        self.costs.validate()?;
+        if self.streams_per_disk == 0 {
+            return Err("need at least one stream per disk".into());
+        }
+        if self.request_bytes == 0 {
+            return Err("request size must be positive".into());
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err("measurement window must be positive".into());
+        }
+        if let Frontend::StreamScheduler(cfg) = &self.frontend {
+            cfg.validate()?;
+        }
+        if let Frontend::Linux { readahead, .. } = &self.frontend {
+            readahead.validate()?;
+            if self.writes {
+                return Err("the Linux front end models a read path only".into());
+            }
+        }
+        if let Some(t) = &self.replay {
+            if t.is_empty() {
+                return Err("replay trace is empty".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is invalid.
+    pub fn run(&self) -> RunResult {
+        self.validate().expect("invalid experiment");
+        StorageNode::new(self.clone()).run()
+    }
+}
+
+/// Builder for [`Experiment`].
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    spec: Experiment,
+}
+
+impl ExperimentBuilder {
+    /// Sets the node layout.
+    pub fn shape(mut self, shape: NodeShape) -> Self {
+        self.spec.shape = shape;
+        self
+    }
+
+    /// Sets streams per disk.
+    pub fn streams_per_disk(mut self, n: usize) -> Self {
+        self.spec.streams_per_disk = n;
+        self
+    }
+
+    /// Sets the client request size in bytes.
+    pub fn request_size(mut self, bytes: u64) -> Self {
+        self.spec.request_bytes = bytes;
+        self
+    }
+
+    /// Sets the request path.
+    pub fn frontend(mut self, f: Frontend) -> Self {
+        self.spec.frontend = f;
+        self
+    }
+
+    /// Sets the stream placement policy.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.spec.placement = p;
+        self
+    }
+
+    /// Sets the per-stream access pattern.
+    pub fn pattern(mut self, p: Pattern) -> Self {
+        self.spec.pattern = p;
+        self
+    }
+
+    /// Switches the workload to writes.
+    pub fn writes(mut self, w: bool) -> Self {
+        self.spec.writes = w;
+        self
+    }
+
+    /// Enables per-request trace capture.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.spec.record_trace = on;
+        self
+    }
+
+    /// Replays a previously captured trace (open-loop).
+    pub fn replay(mut self, trace: Vec<crate::TraceRecord>) -> Self {
+        self.spec.replay = Some(trace);
+        self
+    }
+
+    /// Limits each stream to `n` requests (default: open-ended).
+    pub fn requests_per_stream(mut self, n: u64) -> Self {
+        self.spec.requests_per_stream = Some(n);
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn costs(mut self, c: CostModel) -> Self {
+        self.spec.costs = c;
+        self
+    }
+
+    /// Sets the warm-up period.
+    pub fn warmup(mut self, d: SimDuration) -> Self {
+        self.spec.warmup = d;
+        self
+    }
+
+    /// Sets the measured window length.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.spec.duration = d;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.spec.seed = s;
+        self
+    }
+
+    /// Finalizes the specification without running it.
+    pub fn build(self) -> Experiment {
+        self.spec
+    }
+
+    /// Builds and runs in one step.
+    pub fn run(self) -> RunResult {
+        self.spec.run()
+    }
+}
+
+/// Measured outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-stream throughput in MBytes/s over the measured window.
+    pub per_stream_mbs: Vec<f64>,
+    /// Client-side response-time distribution (measured window only).
+    pub response: LatencyHistogram,
+    /// Bytes delivered inside the window.
+    pub bytes_delivered: u64,
+    /// Length of the realized measurement window.
+    pub window: SimDuration,
+    /// Stream-scheduler counters, when that frontend was used.
+    pub server_metrics: Option<ServerMetrics>,
+    /// Per-disk seek counts (for diagnostics).
+    pub disk_seeks: Vec<u64>,
+    /// Per-disk mechanism busy time (for diagnostics).
+    pub disk_busy: Vec<SimDuration>,
+    /// Per-disk media operations (for diagnostics).
+    pub disk_ops: Vec<u64>,
+    /// Controller prefetched bytes reclaimed before use (summed).
+    pub ctrl_wasted_bytes: u64,
+    /// Bytes the controllers pulled off the disks (summed; compare with
+    /// `bytes_delivered` to see prefetch overshoot).
+    pub ctrl_bytes_from_disks: u64,
+    /// Total client requests completed inside the window.
+    pub requests_completed: u64,
+    /// Per-request records, when tracing was enabled.
+    pub trace: Option<Vec<crate::TraceRecord>>,
+}
+
+impl RunResult {
+    /// System throughput: the sum of per-stream throughputs, exactly as the
+    /// paper computes it.
+    pub fn total_throughput_mbs(&self) -> f64 {
+        self.per_stream_mbs.iter().sum()
+    }
+
+    /// Mean client-side response time in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.response.mean().as_millis_f64()
+    }
+
+    /// Median client-side response time in milliseconds (0 if unmeasured).
+    pub fn p50_response_ms(&self) -> f64 {
+        self.response.quantile(0.5).map(|d| d.as_millis_f64()).unwrap_or(0.0)
+    }
+
+    /// 99th-percentile client-side response time in milliseconds.
+    pub fn p99_response_ms(&self) -> f64 {
+        self.response.quantile(0.99).map(|d| d.as_millis_f64()).unwrap_or(0.0)
+    }
+
+    /// Throughput per disk, assuming streams were spread evenly.
+    pub fn per_disk_throughput_mbs(&self, disks: usize) -> f64 {
+        self.total_throughput_mbs() / disks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_valid() {
+        for s in [NodeShape::single_disk(), NodeShape::eight_disk(), NodeShape::sixty_disk()] {
+            assert!(s.validate().is_ok(), "{s:?}");
+        }
+        assert_eq!(NodeShape::sixty_disk().total_disks(), 60);
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        let e = Experiment::builder().build();
+        assert!(e.validate().is_ok());
+        assert_eq!(e.total_streams(), 10);
+        assert_eq!(e.request_blocks(), 128);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let e = Experiment::builder()
+            .shape(NodeShape::eight_disk())
+            .streams_per_disk(30)
+            .request_size(128 * 1024)
+            .frontend(Frontend::stream_scheduler_with_readahead(1024 * 1024))
+            .placement(Placement::Interval(1 << 30))
+            .requests_per_stream(100)
+            .warmup(SimDuration::from_millis(100))
+            .duration(SimDuration::from_secs(1))
+            .seed(42)
+            .build();
+        assert_eq!(e.total_streams(), 240);
+        assert!(matches!(e.frontend, Frontend::AllDispatched { read_ahead_bytes } if read_ahead_bytes == 1 << 20));
+        assert!(e.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut e = Experiment::builder().build();
+        e.streams_per_disk = 0;
+        assert!(e.validate().is_err());
+        let mut e = Experiment::builder().build();
+        e.request_bytes = 0;
+        assert!(e.validate().is_err());
+        let mut e = Experiment::builder().build();
+        e.duration = SimDuration::ZERO;
+        assert!(e.validate().is_err());
+    }
+}

@@ -1,0 +1,940 @@
+//! The storage-node discrete-event engine.
+//!
+//! [`StorageNode`] assembles clients, a request-path front end (direct,
+//! the paper's stream scheduler, or a Linux-like kernel path), controllers
+//! and disks, and runs the whole thing on one event queue. The paper's
+//! measurement methodology is reproduced exactly: closed-loop clients with
+//! one outstanding request per stream, header-only network, throughput as
+//! the sum of per-stream throughputs over the measured window, response
+//! time taken at the client.
+
+use std::collections::HashMap;
+
+use seqio_controller::{Controller, ControllerConfig, CtrlEvent, CtrlOutput, HostRequest};
+use seqio_core::{ServerConfig, ServerOutput, StorageServer};
+use seqio_disk::{Direction, Disk, RequestId};
+use seqio_hostsched::{BlockRequest, IoScheduler, RaOutcome, SchedDecision, StreamRa};
+use seqio_simcore::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime};
+use seqio_workload::{interval_offsets, uniform_offsets, ClientSet, StreamSpec};
+
+use crate::experiment::{Experiment, Frontend, Placement, RunResult};
+
+#[derive(Debug)]
+enum Ev {
+    /// Client request `id` arrives at the node.
+    Arrive(u64),
+    /// Send a request to controller `ctrl`.
+    SubmitCtrl { ctrl: usize, req: HostRequest },
+    /// A controller-internal event is due.
+    CtrlEv { ctrl: usize, ev: CtrlEvent },
+    /// Controller `ctrl` finished its request `id`.
+    CtrlDone { ctrl: usize, id: u64 },
+    /// Response for client request `id` reaches the client.
+    Deliver { id: u64, from_memory: bool },
+    /// Stream-scheduler garbage-collection tick.
+    Gc,
+    /// Re-poll a Linux block scheduler (anticipation expiry).
+    LinuxKick { disk: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClientMeta {
+    stream: usize,
+    disk: usize,
+    lba: u64,
+    blocks: u64,
+    sent: SimTime,
+}
+
+/// What a controller-level request was for.
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    /// A client request passed through directly.
+    Client(u64),
+    /// A stream-scheduler backend request.
+    Backend(u64),
+    /// A Linux read-ahead fetch for `stream` on `disk`.
+    Fetch { disk: usize, stream: usize },
+}
+
+#[derive(Debug)]
+struct LinuxDisk {
+    sched: Box<dyn IoScheduler>,
+    ra: HashMap<usize, StreamRa>,
+    /// Client requests blocked on each stream's in-flight fetch.
+    waiters: HashMap<usize, Vec<u64>>,
+    busy: bool,
+}
+
+#[derive(Debug)]
+enum Fe {
+    Direct,
+    Stream(Box<StorageServer>),
+    Linux(Vec<LinuxDisk>),
+}
+
+/// How client requests are produced.
+#[derive(Debug)]
+enum Drive {
+    /// Closed loop: each stream re-issues after its completion.
+    Closed(ClientSet),
+    /// Open loop: arrivals at recorded timestamps.
+    Replay,
+}
+
+/// The assembled storage node (see module docs).
+#[derive(Debug)]
+pub(crate) struct StorageNode {
+    spec: Experiment,
+    q: EventQueue<Ev>,
+    rng: SimRng,
+    controllers: Vec<Controller>,
+    dpc: usize,
+    fe: Fe,
+    drive: Drive,
+    meta: HashMap<u64, ClientMeta>,
+    next_client_id: u64,
+    tags: HashMap<(usize, u64), Tag>,
+    next_ctrl_id: u64,
+    cpu_free: SimTime,
+    warmup_at: SimTime,
+    stop_at: SimTime,
+    stream_bytes: Vec<u64>,
+    response: LatencyHistogram,
+    last_delivery: SimTime,
+    requests_completed: u64,
+    trace: Option<Vec<crate::TraceRecord>>,
+}
+
+impl StorageNode {
+    /// Builds the node from a validated experiment.
+    pub(crate) fn new(spec: Experiment) -> Self {
+        let mut rng = SimRng::seed_from(spec.seed);
+        let dpc = spec.shape.disks_per_controller;
+        let mut controllers = Vec::with_capacity(spec.shape.controllers);
+        for c in 0..spec.shape.controllers {
+            let cfg = ControllerConfig { ports: dpc, ..spec.shape.controller.clone() };
+            let disks = (0..dpc)
+                .map(|p| Disk::new(spec.shape.disk.clone(), spec.seed ^ ((c * dpc + p) as u64) << 8 | 1))
+                .collect();
+            controllers.push(Controller::new(cfg, disks));
+        }
+        let disk_blocks = controllers[0].disk(0).geometry().total_blocks();
+        let total_disks = spec.shape.total_disks();
+
+        // Stream layout: `streams_per_disk` per spindle.
+        let mut specs = Vec::with_capacity(total_disks * spec.streams_per_disk);
+        let request_blocks = spec.request_blocks();
+        let reqs = spec.requests_per_stream.unwrap_or(u64::MAX);
+        for d in 0..total_disks {
+            let offsets = match spec.placement {
+                Placement::Uniform => uniform_offsets(disk_blocks, spec.streams_per_disk),
+                Placement::Interval(bytes) => interval_offsets(
+                    disk_blocks,
+                    spec.streams_per_disk,
+                    bytes.div_ceil(512),
+                    // Open-ended streams just need their start to fit; finite
+                    // ones must fit their whole run in the interval.
+                    request_blocks * reqs.min(bytes.div_ceil(512) / request_blocks.max(1)),
+                ),
+            };
+            for start in offsets {
+                specs.push(StreamSpec {
+                    disk: d,
+                    start,
+                    request_blocks,
+                    num_requests: reqs,
+                    pattern: spec.pattern,
+                });
+            }
+        }
+        let drive = match &spec.replay {
+            None => Drive::Closed(ClientSet::new(specs, 1, &mut rng)),
+            Some(_) => Drive::Replay,
+        };
+
+        let fe = match &spec.frontend {
+            Frontend::Direct => Fe::Direct,
+            Frontend::StreamScheduler(cfg) => Fe::Stream(Box::new(StorageServer::new(
+                cfg.clone(),
+                vec![disk_blocks; total_disks],
+            ))),
+            Frontend::AllDispatched { read_ahead_bytes } => {
+                let cfg = ServerConfig::all_dispatched(
+                    spec.streams_per_disk * total_disks,
+                    *read_ahead_bytes,
+                );
+                Fe::Stream(Box::new(StorageServer::new(cfg, vec![disk_blocks; total_disks])))
+            }
+            Frontend::Linux { scheduler, .. } => Fe::Linux(
+                (0..total_disks)
+                    .map(|_| LinuxDisk {
+                        sched: scheduler.build(),
+                        ra: HashMap::new(),
+                        waiters: HashMap::new(),
+                        busy: false,
+                    })
+                    .collect(),
+            ),
+        };
+        let warmup_at = SimTime::ZERO + spec.warmup;
+        let stop_at = warmup_at + spec.duration;
+        let n_streams = match (&drive, &spec.replay) {
+            (Drive::Closed(c), _) => c.len(),
+            (Drive::Replay, Some(t)) => t.iter().map(|r| r.stream + 1).max().unwrap_or(1),
+            (Drive::Replay, None) => unreachable!("replay drive implies a trace"),
+        };
+        let trace = if spec.record_trace { Some(Vec::new()) } else { None };
+        StorageNode {
+            spec,
+            q: EventQueue::new(),
+            rng,
+            controllers,
+            dpc,
+            fe,
+            drive,
+            meta: HashMap::new(),
+            next_client_id: 0,
+            tags: HashMap::new(),
+            next_ctrl_id: 0,
+            cpu_free: SimTime::ZERO,
+            warmup_at,
+            stop_at,
+            stream_bytes: vec![0; n_streams],
+            response: LatencyHistogram::new(),
+            last_delivery: SimTime::ZERO,
+            requests_completed: 0,
+            trace,
+        }
+    }
+
+    /// Runs to the stop time (or workload exhaustion) and reports.
+    pub(crate) fn run(mut self) -> RunResult {
+        // Kick off. Closed loop: every stream sends its first request,
+        // slightly staggered so arrival ties do not all land on one instant.
+        // Replay: schedule every recorded request at its send time.
+        match &mut self.drive {
+            Drive::Closed(clients) => {
+                let initial = clients.initial_requests();
+                let net = self.spec.costs.network_oneway;
+                let mut pending = Vec::new();
+                for (i, r) in initial.into_iter().enumerate() {
+                    let sent = SimTime::ZERO + SimDuration::from_micros(i as u64 % 997);
+                    pending.push((r, sent, sent + net));
+                }
+                for (r, sent, at) in pending {
+                    let id = self.alloc_client_id(r.stream, r.disk, r.lba, r.blocks, sent);
+                    self.q.push(at, Ev::Arrive(id));
+                }
+            }
+            Drive::Replay => {
+                let trace = self.spec.replay.clone().expect("replay drive implies a trace");
+                let net = self.spec.costs.network_oneway;
+                for rec in trace {
+                    let id =
+                        self.alloc_client_id(rec.stream, rec.disk, rec.lba, rec.blocks, rec.sent);
+                    self.q.push(rec.sent + net, Ev::Arrive(id));
+                }
+            }
+        }
+        if matches!(self.fe, Fe::Stream(_)) {
+            let period = match &self.fe {
+                Fe::Stream(s) => s.gc_period(),
+                _ => unreachable!(),
+            };
+            self.q.push(SimTime::ZERO + period, Ev::Gc);
+        }
+
+        while let Some((now, ev)) = self.q.pop() {
+            if now > self.stop_at {
+                break;
+            }
+            self.handle(now, ev);
+        }
+
+        let effective_end = self.last_delivery.min(self.stop_at).max(self.warmup_at);
+        let window = effective_end.duration_since(self.warmup_at);
+        let secs = window.as_secs_f64();
+        let per_stream_mbs = self
+            .stream_bytes
+            .iter()
+            .map(|&b| if secs > 0.0 { b as f64 / (1024.0 * 1024.0) / secs } else { 0.0 })
+            .collect();
+        let server_metrics = match &self.fe {
+            Fe::Stream(s) => Some(s.metrics()),
+            _ => None,
+        };
+        let mut disk_seeks = Vec::new();
+        let mut disk_busy = Vec::new();
+        let mut disk_ops = Vec::new();
+        let mut ctrl_wasted_bytes = 0;
+        let mut ctrl_bytes_from_disks = 0;
+        for c in &self.controllers {
+            ctrl_wasted_bytes += c.cache_wasted_bytes();
+            ctrl_bytes_from_disks += c.metrics().bytes_from_disks;
+            for p in 0..self.dpc {
+                let m = c.disk(p).metrics();
+                disk_seeks.push(m.seeks);
+                disk_busy.push(m.busy_time);
+                disk_ops.push(m.media_ops);
+            }
+        }
+        RunResult {
+            per_stream_mbs,
+            response: self.response,
+            bytes_delivered: self.stream_bytes.iter().sum(),
+            window,
+            server_metrics,
+            disk_seeks,
+            disk_busy,
+            disk_ops,
+            ctrl_wasted_bytes,
+            ctrl_bytes_from_disks,
+            requests_completed: self.requests_completed,
+            trace: self.trace,
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrive(id) => self.on_arrive(now, id),
+            Ev::SubmitCtrl { ctrl, req } => {
+                let outs = self.controllers[ctrl].submit(now, req);
+                self.map_ctrl_outputs(ctrl, outs);
+            }
+            Ev::CtrlEv { ctrl, ev } => {
+                let outs = self.controllers[ctrl].on_event(now, ev);
+                self.map_ctrl_outputs(ctrl, outs);
+            }
+            Ev::CtrlDone { ctrl, id } => self.on_ctrl_done(now, ctrl, id),
+            Ev::Deliver { id, from_memory } => self.on_deliver(now, id, from_memory),
+            Ev::Gc => {
+                if let Fe::Stream(server) = &mut self.fe {
+                    let outs = server.on_gc(now);
+                    let period = server.gc_period();
+                    self.apply_server_outputs(now, outs);
+                    self.q.push(now + period, Ev::Gc);
+                }
+            }
+            Ev::LinuxKick { disk } => self.linux_kick(now, disk),
+        }
+    }
+
+    // ----- client side ------------------------------------------------
+
+    fn alloc_client_id(&mut self, stream: usize, disk: usize, lba: u64, blocks: u64, sent: SimTime) -> u64 {
+        let id = self.next_client_id;
+        self.next_client_id += 1;
+        self.meta.insert(id, ClientMeta { stream, disk, lba, blocks, sent });
+        id
+    }
+
+    fn net(&self) -> SimDuration {
+        self.spec.costs.network_oneway
+    }
+
+    fn on_deliver(&mut self, now: SimTime, id: u64, from_memory: bool) {
+        let meta = self.meta.remove(&id).expect("delivery for unknown request");
+        if now >= self.warmup_at && now <= self.stop_at {
+            self.stream_bytes[meta.stream] += meta.blocks * 512;
+            self.response.record(now.duration_since(meta.sent));
+            self.requests_completed += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push(crate::TraceRecord {
+                    stream: meta.stream,
+                    disk: meta.disk,
+                    lba: meta.lba,
+                    blocks: meta.blocks,
+                    sent: meta.sent,
+                    completed: now,
+                    from_memory,
+                });
+            }
+        }
+        self.last_delivery = now;
+        let Drive::Closed(clients) = &mut self.drive else { return };
+        if let Some(next) = clients.on_complete(meta.stream) {
+            let think = if from_memory {
+                self.spec.costs.hit_turnaround
+            } else {
+                let mean = self.spec.costs.wake_per_stream.as_secs_f64()
+                    * self.stream_bytes.len() as f64;
+                let jitter = if mean > 0.0 {
+                    SimDuration::from_secs_f64(self.rng.exponential(mean))
+                } else {
+                    SimDuration::ZERO
+                };
+                self.spec.costs.wake_base + jitter
+            };
+            let sent = now + think;
+            let cid = self.alloc_client_id(next.stream, next.disk, next.lba, next.blocks, sent);
+            self.q.push(sent + self.net(), Ev::Arrive(cid));
+        }
+    }
+
+    // ----- node front ends ----------------------------------------------
+
+    fn on_arrive(&mut self, now: SimTime, id: u64) {
+        let meta = self.meta[&id];
+        match &mut self.fe {
+            Fe::Direct => {
+                let at = self.charge(now, self.spec.costs.cpu_request);
+                let write = self.spec.writes;
+                self.submit_to_disk(at, meta.disk, meta.lba, meta.blocks, write, Tag::Client(id));
+            }
+            Fe::Stream(server) => {
+                let req = seqio_core::ClientRequest {
+                    id,
+                    disk: meta.disk,
+                    lba: meta.lba,
+                    blocks: meta.blocks,
+                    write: self.spec.writes,
+                };
+                let outs = server.on_client_request(now, req);
+                self.apply_server_outputs(now, outs);
+            }
+            Fe::Linux(disks) => {
+                let d = &mut disks[meta.disk];
+                let ra_cfg = match &self.spec.frontend {
+                    Frontend::Linux { readahead, .. } => *readahead,
+                    _ => unreachable!("Linux fe implies Linux frontend"),
+                };
+                let ra = d.ra.entry(meta.stream).or_insert_with(|| StreamRa::new(ra_cfg));
+                match ra.on_read(meta.lba, meta.blocks) {
+                    RaOutcome::Hit { prefetch } => {
+                        let at = now + self.spec.costs.cpu_request;
+                        self.q.push(at, Ev::Deliver { id, from_memory: true });
+                        if let Some((lba, blocks)) = prefetch {
+                            d.sched.add(
+                                BlockRequest { id: 0, process: meta.stream, lba, blocks },
+                                now,
+                            );
+                        }
+                        self.linux_kick(now, meta.disk);
+                    }
+                    RaOutcome::Blocked => {
+                        d.waiters.entry(meta.stream).or_default().push(id);
+                    }
+                    RaOutcome::Miss { lba, blocks } => {
+                        d.waiters.entry(meta.stream).or_default().push(id);
+                        d.sched.add(
+                            BlockRequest { id: 0, process: meta.stream, lba, blocks },
+                            now,
+                        );
+                        self.linux_kick(now, meta.disk);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies stream-scheduler outputs, charging server CPU per action.
+    fn apply_server_outputs(&mut self, now: SimTime, outs: Vec<ServerOutput>) {
+        for o in outs {
+            match o {
+                ServerOutput::SubmitDisk(b) => {
+                    let mut cost = self.spec.costs.cpu_request;
+                    if b.admitted {
+                        cost = cost
+                            + self.spec.costs.swap_fixed
+                            + self
+                                .spec
+                                .costs
+                                .swap_per_mib
+                                .mul_f64(b.blocks as f64 * 512.0 / (1024.0 * 1024.0));
+                    }
+                    let at = self.charge(now, cost);
+                    self.submit_to_disk(at, b.disk, b.lba, b.blocks, b.write, Tag::Backend(b.id));
+                }
+                ServerOutput::CompleteClient { client, from_memory } => {
+                    let at = self.charge(now, self.spec.costs.cpu_completion);
+                    self.q.push(at + self.net(), Ev::Deliver { id: client, from_memory });
+                }
+            }
+        }
+    }
+
+    /// Serializes work on the (single-threaded) server process.
+    fn charge(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let end = self.cpu_free.max(now) + cost;
+        self.cpu_free = end;
+        end
+    }
+
+    // ----- controller plumbing ------------------------------------------
+
+    fn submit_to_disk(
+        &mut self,
+        at: SimTime,
+        disk: usize,
+        lba: u64,
+        blocks: u64,
+        write: bool,
+        tag: Tag,
+    ) {
+        let ctrl = disk / self.dpc;
+        let port = disk % self.dpc;
+        let id = self.next_ctrl_id;
+        self.next_ctrl_id += 1;
+        self.tags.insert((ctrl, id), tag);
+        let req = HostRequest {
+            id: RequestId(id),
+            port,
+            lba,
+            blocks,
+            direction: if write { Direction::Write } else { Direction::Read },
+        };
+        self.q.push(at, Ev::SubmitCtrl { ctrl, req });
+    }
+
+    fn map_ctrl_outputs(&mut self, ctrl: usize, outs: Vec<CtrlOutput>) {
+        for o in outs {
+            match o {
+                CtrlOutput::Complete { id, at, .. } => {
+                    self.q.push(at, Ev::CtrlDone { ctrl, id: id.0 });
+                }
+                CtrlOutput::Event { at, event } => {
+                    self.q.push(at, Ev::CtrlEv { ctrl, ev: event });
+                }
+            }
+        }
+    }
+
+    fn on_ctrl_done(&mut self, now: SimTime, ctrl: usize, id: u64) {
+        let tag = self.tags.remove(&(ctrl, id)).expect("completion for unknown tag");
+        match tag {
+            Tag::Client(req) => {
+                let at = self.charge(now, self.spec.costs.cpu_completion);
+                self.q.push(at + self.net(), Ev::Deliver { id: req, from_memory: false });
+            }
+            Tag::Backend(bid) => {
+                if let Fe::Stream(server) = &mut self.fe {
+                    let outs = server.on_disk_complete(now, bid);
+                    self.apply_server_outputs(now, outs);
+                }
+            }
+            Tag::Fetch { disk, stream } => {
+                if let Fe::Linux(disks) = &mut self.fe {
+                    let d = &mut disks[disk];
+                    d.busy = false;
+                    d.sched.on_complete(stream, now);
+                    if let Some(ra) = d.ra.get_mut(&stream) {
+                        ra.on_fetch_complete();
+                    }
+                    let waiters = d.waiters.remove(&stream).unwrap_or_default();
+                    for w in waiters {
+                        let at = now + self.spec.costs.cpu_completion;
+                        self.q.push(at, Ev::Deliver { id: w, from_memory: false });
+                    }
+                }
+                self.linux_kick(now, disk);
+            }
+        }
+    }
+
+    // ----- Linux dispatch loop --------------------------------------------
+
+    fn linux_kick(&mut self, now: SimTime, disk: usize) {
+        let decision = {
+            let Fe::Linux(disks) = &mut self.fe else { return };
+            let d = &mut disks[disk];
+            if d.busy {
+                return;
+            }
+            match d.sched.next(now) {
+                SchedDecision::Dispatch(r) => {
+                    d.busy = true;
+                    Some(r)
+                }
+                SchedDecision::WaitUntil(t) => {
+                    self.q.push(t.max(now), Ev::LinuxKick { disk });
+                    None
+                }
+                SchedDecision::Idle => None,
+            }
+        };
+        if let Some(r) = decision {
+            self.submit_to_disk(
+                now,
+                disk,
+                r.lba,
+                r.blocks,
+                false,
+                Tag::Fetch { disk, stream: r.process },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::NodeShape;
+    use seqio_hostsched::{ReadaheadConfig, SchedKind};
+    use seqio_simcore::units::{KIB, MIB};
+
+    fn quick(spec: Experiment) -> RunResult {
+        spec.run()
+    }
+
+    #[test]
+    fn direct_single_stream_reaches_streaming_rate() {
+        let r = quick(
+            Experiment::builder()
+                .streams_per_disk(1)
+                .warmup(SimDuration::from_millis(500))
+                .duration(SimDuration::from_secs(2))
+                .build(),
+        );
+        let t = r.total_throughput_mbs();
+        assert!(t > 25.0 && t < 65.0, "single direct stream: {t} MB/s");
+        assert!(r.requests_completed > 100);
+    }
+
+    #[test]
+    fn direct_many_streams_collapse() {
+        let one = quick(
+            Experiment::builder()
+                .streams_per_disk(1)
+                .warmup(SimDuration::from_millis(500))
+                .duration(SimDuration::from_secs(2))
+                .build(),
+        );
+        let hundred = quick(
+            Experiment::builder()
+                .streams_per_disk(100)
+                .warmup(SimDuration::from_millis(500))
+                .duration(SimDuration::from_secs(2))
+                .build(),
+        );
+        let t1 = one.total_throughput_mbs();
+        let t100 = hundred.total_throughput_mbs();
+        assert!(
+            t100 < t1 / 2.0,
+            "throughput must collapse: 1 stream {t1} vs 100 streams {t100}"
+        );
+    }
+
+    #[test]
+    fn stream_scheduler_restores_throughput() {
+        // Warm-up must cover the 100-stream detection transient (~2 s of
+        // seek-bound direct requests) before measuring steady state.
+        let direct = quick(
+            Experiment::builder()
+                .streams_per_disk(100)
+                .warmup(SimDuration::from_secs(3))
+                .duration(SimDuration::from_secs(3))
+                .build(),
+        );
+        let sched = quick(
+            Experiment::builder()
+                .streams_per_disk(100)
+                .frontend(Frontend::stream_scheduler_with_readahead(4 * MIB))
+                .warmup(SimDuration::from_secs(3))
+                .duration(SimDuration::from_secs(3))
+                .build(),
+        );
+        let td = direct.total_throughput_mbs();
+        let ts = sched.total_throughput_mbs();
+        assert!(
+            ts > 2.0 * td,
+            "stream scheduler should be >2x direct at 100 streams: {ts} vs {td}"
+        );
+        let m = sched.server_metrics.expect("stream fe reports metrics");
+        assert!(m.streams_detected >= 90, "detected {}", m.streams_detected);
+        assert!(m.memory_hits > m.direct_requests, "hits {} direct {}", m.memory_hits, m.direct_requests);
+    }
+
+    #[test]
+    fn linux_frontend_runs_and_degrades_with_streams() {
+        let mk = |streams: usize| {
+            Experiment::builder()
+                .streams_per_disk(streams)
+                .request_size(4 * KIB)
+                .frontend(Frontend::Linux {
+                    scheduler: SchedKind::Anticipatory,
+                    readahead: ReadaheadConfig::default(),
+                })
+                .costs(crate::calibration::CostModel::local_xdd())
+                .warmup(SimDuration::from_millis(500))
+                .duration(SimDuration::from_secs(2))
+                .build()
+                .run()
+        };
+        let few = mk(2).total_throughput_mbs();
+        let many = mk(128).total_throughput_mbs();
+        assert!(few > 15.0, "2-stream anticipatory: {few} MB/s");
+        assert!(many < few, "128 streams ({many}) must be slower than 2 ({few})");
+    }
+
+    #[test]
+    fn eight_disk_node_scales() {
+        let r = quick(
+            Experiment::builder()
+                .shape(NodeShape::eight_disk())
+                .streams_per_disk(1)
+                .warmup(SimDuration::from_millis(500))
+                .duration(SimDuration::from_secs(2))
+                .build(),
+        );
+        let t = r.total_throughput_mbs();
+        assert!(t > 100.0, "8 disks x 1 stream: {t} MB/s");
+        assert_eq!(r.per_stream_mbs.len(), 8);
+        assert_eq!(r.disk_seeks.len(), 8);
+    }
+
+    #[test]
+    fn finite_workload_terminates() {
+        let r = quick(
+            Experiment::builder()
+                .streams_per_disk(4)
+                .requests_per_stream(50)
+                .warmup(SimDuration::ZERO)
+                .duration(SimDuration::from_secs(30))
+                .build(),
+        );
+        assert_eq!(r.requests_completed, 200, "all 4 x 50 requests complete");
+    }
+
+    #[test]
+    fn response_time_grows_with_streams() {
+        let few = quick(
+            Experiment::builder()
+                .streams_per_disk(2)
+                .warmup(SimDuration::from_millis(500))
+                .duration(SimDuration::from_secs(2))
+                .build(),
+        );
+        let many = quick(
+            Experiment::builder()
+                .streams_per_disk(60)
+                .warmup(SimDuration::from_millis(500))
+                .duration(SimDuration::from_secs(2))
+                .build(),
+        );
+        assert!(
+            many.mean_response_ms() > few.mean_response_ms(),
+            "more streams -> longer responses ({} vs {})",
+            many.mean_response_ms(),
+            few.mean_response_ms()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            quick(
+                Experiment::builder()
+                    .streams_per_disk(10)
+                    .seed(99)
+                    .warmup(SimDuration::from_millis(200))
+                    .duration(SimDuration::from_millis(800))
+                    .build(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.bytes_delivered, b.bytes_delivered);
+        assert_eq!(a.requests_completed, b.requests_completed);
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+    use crate::experiment::{Experiment, Frontend};
+    use seqio_simcore::units::MIB;
+    use seqio_workload::Pattern;
+
+    #[test]
+    fn near_sequential_streams_still_benefit_from_scheduling() {
+        let run = |fe: Option<Frontend>| {
+            let mut b = Experiment::builder()
+                .streams_per_disk(40)
+                .pattern(Pattern::NearSequential { p: 0.1, jitter_blocks: 32 })
+                .warmup(SimDuration::from_secs(2))
+                .duration(SimDuration::from_secs(2))
+                .seed(21);
+            if let Some(f) = fe {
+                b = b.frontend(f);
+            }
+            b.run().total_throughput_mbs()
+        };
+        let direct = run(None);
+        let sched = run(Some(Frontend::stream_scheduler_with_readahead(2 * MIB)));
+        assert!(
+            sched > 1.5 * direct,
+            "scheduler should still help near-sequential streams: {sched:.1} vs {direct:.1}"
+        );
+    }
+
+    #[test]
+    fn random_workload_is_passed_through_not_hijacked() {
+        let r = Experiment::builder()
+            .streams_per_disk(8)
+            .pattern(Pattern::Random { span_blocks: 400_000 })
+            .frontend(Frontend::stream_scheduler_with_readahead(MIB))
+            .requests_per_stream(40)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(60))
+            .seed(22)
+            .run();
+        assert_eq!(r.requests_completed, 320, "random workload completes");
+        let m = r.server_metrics.unwrap();
+        assert!(
+            m.direct_requests > m.memory_hits,
+            "random traffic should mostly bypass staging: direct {} vs hits {}",
+            m.direct_requests,
+            m.memory_hits
+        );
+    }
+
+    #[test]
+    fn write_workload_completes_and_bypasses_staging() {
+        let r = Experiment::builder()
+            .streams_per_disk(6)
+            .writes(true)
+            .requests_per_stream(30)
+            .frontend(Frontend::stream_scheduler_with_readahead(MIB))
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(60))
+            .seed(23)
+            .run();
+        assert_eq!(r.requests_completed, 180);
+        let m = r.server_metrics.unwrap();
+        assert_eq!(m.direct_requests, 180, "writes always go straight to disk");
+        assert_eq!(m.memory_hits, 0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let r = Experiment::builder()
+            .streams_per_disk(20)
+            .warmup(SimDuration::from_millis(500))
+            .duration(SimDuration::from_secs(1))
+            .seed(24)
+            .run();
+        assert!(r.p50_response_ms() <= r.p99_response_ms());
+        assert!(r.p99_response_ms() > 0.0);
+    }
+
+    #[test]
+    fn linux_frontend_rejects_writes() {
+        use seqio_hostsched::{ReadaheadConfig, SchedKind};
+        let e = Experiment::builder()
+            .writes(true)
+            .frontend(Frontend::Linux {
+                scheduler: SchedKind::Noop,
+                readahead: ReadaheadConfig::default(),
+            })
+            .build();
+        assert!(e.validate().is_err());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::experiment::Experiment;
+
+    #[test]
+    fn trace_records_every_windowed_completion() {
+        let r = Experiment::builder()
+            .streams_per_disk(4)
+            .requests_per_stream(25)
+            .record_trace(true)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(60))
+            .seed(31)
+            .run();
+        let trace = r.trace.as_ref().expect("tracing enabled");
+        assert_eq!(trace.len() as u64, r.requests_completed);
+        assert_eq!(trace.len(), 100);
+        for rec in trace {
+            assert!(rec.completed > rec.sent);
+            assert!(rec.stream < 4);
+            assert_eq!(rec.blocks, 128);
+        }
+        // Within a stream, records are sequential in lba.
+        let mut last = std::collections::HashMap::new();
+        for rec in trace {
+            if let Some(prev) = last.insert(rec.stream, rec.lba) {
+                assert!(rec.lba > prev, "stream {} went backwards", rec.stream);
+            }
+        }
+        // CSV round trip has the right row count.
+        let csv = crate::trace::to_csv(trace);
+        assert_eq!(csv.lines().count(), 101);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let r = Experiment::builder()
+            .streams_per_disk(1)
+            .requests_per_stream(5)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(10))
+            .run();
+        assert!(r.trace.is_none());
+    }
+}
+
+#[cfg(test)]
+mod replay_tests {
+    use super::*;
+    use crate::experiment::{Experiment, Frontend};
+    use seqio_simcore::units::MIB;
+
+    fn capture() -> crate::RunResult {
+        Experiment::builder()
+            .streams_per_disk(6)
+            .requests_per_stream(30)
+            .record_trace(true)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(60))
+            .seed(41)
+            .run()
+    }
+
+    #[test]
+    fn replay_completes_every_recorded_request() {
+        let original = capture();
+        let trace = original.trace.clone().unwrap();
+        let replayed = Experiment::builder()
+            .replay(trace.clone())
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(120))
+            .seed(42)
+            .run();
+        assert_eq!(replayed.requests_completed, trace.len() as u64);
+        assert_eq!(replayed.bytes_delivered, original.bytes_delivered);
+    }
+
+    #[test]
+    fn replay_through_a_different_frontend() {
+        let trace = capture().trace.unwrap();
+        let replayed = Experiment::builder()
+            .replay(trace.clone())
+            .frontend(Frontend::stream_scheduler_with_readahead(MIB))
+            .record_trace(true)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(120))
+            .seed(43)
+            .run();
+        assert_eq!(replayed.requests_completed, trace.len() as u64);
+        let out = replayed.trace.unwrap();
+        assert_eq!(out.len(), trace.len());
+        // Open loop: send times are preserved from the input trace.
+        let mut sent_in: Vec<_> = trace.iter().map(|r| r.sent).collect();
+        let mut sent_out: Vec<_> = out.iter().map(|r| r.sent).collect();
+        sent_in.sort();
+        sent_out.sort();
+        assert_eq!(sent_in, sent_out);
+    }
+
+    #[test]
+    fn empty_replay_rejected() {
+        let e = Experiment::builder().replay(Vec::new()).build();
+        assert!(e.validate().is_err());
+    }
+}

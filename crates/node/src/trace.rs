@@ -1,0 +1,145 @@
+//! Optional per-request trace capture.
+//!
+//! When enabled on an [`Experiment`](crate::Experiment), the engine records
+//! one [`TraceRecord`] per completed client request (within the measured
+//! window), which downstream tooling can dump as CSV for latency analysis
+//! or replay studies.
+
+use std::fmt::Write as _;
+
+use seqio_simcore::SimTime;
+
+/// One completed client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Stream index within the experiment.
+    pub stream: usize,
+    /// Target disk.
+    pub disk: usize,
+    /// First block.
+    pub lba: u64,
+    /// Length in blocks.
+    pub blocks: u64,
+    /// When the client sent the request.
+    pub sent: SimTime,
+    /// When the response reached the client.
+    pub completed: SimTime,
+    /// Whether the buffered set served it without new disk I/O.
+    pub from_memory: bool,
+}
+
+impl TraceRecord {
+    /// Client-observed latency.
+    pub fn latency(&self) -> seqio_simcore::SimDuration {
+        self.completed.duration_since(self.sent)
+    }
+}
+
+/// Renders records as CSV (with header).
+pub fn to_csv(records: &[TraceRecord]) -> String {
+    let mut out = String::from("stream,disk,lba,blocks,sent_ns,completed_ns,latency_us,from_memory\n");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.1},{}",
+            r.stream,
+            r.disk,
+            r.lba,
+            r.blocks,
+            r.sent.as_nanos(),
+            r.completed.as_nanos(),
+            r.latency().as_micros_f64(),
+            r.from_memory
+        );
+    }
+    out
+}
+
+/// Parses the CSV produced by [`to_csv`] back into records.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn from_csv(csv: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in csv.lines().enumerate() {
+        if i == 0 && line.starts_with("stream,") {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 8 {
+            return Err(format!("line {}: expected 8 fields, got {}", i + 1, f.len()));
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("line {}: bad {what} {s:?}", i + 1))
+        };
+        out.push(TraceRecord {
+            stream: parse_u64(f[0], "stream")? as usize,
+            disk: parse_u64(f[1], "disk")? as usize,
+            lba: parse_u64(f[2], "lba")?,
+            blocks: parse_u64(f[3], "blocks")?,
+            sent: SimTime::from_nanos(parse_u64(f[4], "sent")?),
+            completed: SimTime::from_nanos(parse_u64(f[5], "completed")?),
+            from_memory: f[7].trim() == "true",
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(stream: usize, sent_us: u64, done_us: u64) -> TraceRecord {
+        TraceRecord {
+            stream,
+            disk: 0,
+            lba: stream as u64 * 1000,
+            blocks: 128,
+            sent: SimTime::from_nanos(sent_us * 1_000),
+            completed: SimTime::from_nanos(done_us * 1_000),
+            from_memory: stream.is_multiple_of(2),
+        }
+    }
+
+    #[test]
+    fn latency_is_completion_minus_send() {
+        let r = rec(1, 100, 350);
+        assert_eq!(r.latency().as_micros_f64(), 250.0);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let records = vec![rec(0, 0, 100), rec(1, 50, 400), rec(2, 60, 90)];
+        let parsed = from_csv(&to_csv(&records)).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for (a, b) in records.iter().zip(&parsed) {
+            assert_eq!(a.stream, b.stream);
+            assert_eq!(a.lba, b.lba);
+            assert_eq!(a.sent, b.sent);
+            assert_eq!(a.from_memory, b.from_memory);
+        }
+    }
+
+    #[test]
+    fn from_csv_reports_bad_lines() {
+        assert!(from_csv("1,2,3").is_err());
+        assert!(from_csv("a,b,c,d,e,f,g,h").is_err());
+        assert!(from_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&[rec(0, 0, 100), rec(1, 50, 400)]);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("stream,disk,lba"));
+        assert_eq!(lines.clone().count(), 2);
+        let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(row[0], "0");
+        assert_eq!(row[6], "100.0");
+        assert_eq!(row[7], "true");
+    }
+}

@@ -1,0 +1,245 @@
+//! Deterministic discrete-event queue.
+//!
+//! [`EventQueue`] is the heart of the simulation: a priority queue of
+//! `(SimTime, payload)` pairs. Ties on time are broken by insertion order
+//! (FIFO), which makes every simulation run bit-for-bit reproducible for a
+//! given seed and event-generation order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use seqio_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .field("payload", &self.payload)
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (or zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — scheduling into the
+    /// past is always a model bug and would silently corrupt causality.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: event at {at} but now is {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (a simple progress metric).
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5u64, 3, 9, 1, 7] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(42);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), ());
+        q.push(SimTime::from_nanos(30), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), ());
+        q.pop();
+        q.push(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn same_time_as_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1);
+        q.pop();
+        q.push(SimTime::from_nanos(10), 2); // zero-delay follow-up event
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), 2)));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO + SimDuration::from_micros(1), ());
+        q.push(SimTime::ZERO + SimDuration::from_micros(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_count(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1_000)));
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_count(), 2);
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and within
+        /// one timestamp, insertion order.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(i > li, "FIFO violated within a timestamp");
+                    }
+                }
+                last = Some((t, i));
+            }
+        }
+
+        /// The queue drains exactly the number of events pushed.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.push(SimTime::from_nanos(t), ());
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            prop_assert_eq!(n, times.len());
+        }
+    }
+}

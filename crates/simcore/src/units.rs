@@ -1,0 +1,61 @@
+//! Byte-size constants and formatting helpers shared across the workspace.
+
+/// One kibibyte (1024 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (1024 KiB).
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte (1024 MiB).
+pub const GIB: u64 = 1024 * MIB;
+
+/// Formats a byte count with a binary unit suffix ("64K", "8M", "1.5G").
+///
+/// Intended for figure legends, so it mirrors the paper's compact labels.
+///
+/// # Examples
+///
+/// ```
+/// use seqio_simcore::units::{format_bytes, MIB};
+///
+/// assert_eq!(format_bytes(64 * 1024), "64K");
+/// assert_eq!(format_bytes(8 * MIB), "8M");
+/// assert_eq!(format_bytes(1536 * MIB), "1.5G");
+/// ```
+pub fn format_bytes(n: u64) -> String {
+    fn fmt(v: f64, suffix: &str) -> String {
+        if (v - v.round()).abs() < 1e-9 {
+            format!("{}{}", v.round() as u64, suffix)
+        } else {
+            format!("{v:.1}{suffix}")
+        }
+    }
+    if n >= GIB {
+        fmt(n as f64 / GIB as f64, "G")
+    } else if n >= MIB {
+        fmt(n as f64 / MIB as f64, "M")
+    } else if n >= KIB {
+        fmt(n as f64 / KIB as f64, "K")
+    } else {
+        format!("{n}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_relate() {
+        assert_eq!(MIB, 1024 * KIB);
+        assert_eq!(GIB, 1024 * MIB);
+    }
+
+    #[test]
+    fn formats_round_and_fractional() {
+        assert_eq!(format_bytes(0), "0B");
+        assert_eq!(format_bytes(512), "512B");
+        assert_eq!(format_bytes(KIB), "1K");
+        assert_eq!(format_bytes(128 * KIB), "128K");
+        assert_eq!(format_bytes(2 * MIB + 512 * KIB), "2.5M");
+        assert_eq!(format_bytes(GIB), "1G");
+    }
+}

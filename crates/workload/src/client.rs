@@ -1,0 +1,204 @@
+//! Client emulation.
+//!
+//! The paper's harness emulates streams from separate client machines: each
+//! client "issues requests from all streams it emulates as soon as it
+//! receives a response, never exceeding the maximum number of outstanding
+//! I/Os" (one per stream in every experiment). [`ClientSet`] reproduces that
+//! closed-loop behaviour; the storage-node engine asks it what to send next.
+
+use seqio_disk::Lba;
+use seqio_simcore::SimRng;
+
+use crate::stream::{StreamSpec, StreamState};
+
+/// Identifier of a stream within a [`ClientSet`].
+pub type StreamIdx = usize;
+
+/// A request the client set wants submitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientRequest {
+    /// Which stream issued it.
+    pub stream: StreamIdx,
+    /// Destination disk.
+    pub disk: usize,
+    /// First block.
+    pub lba: Lba,
+    /// Length in blocks.
+    pub blocks: u64,
+}
+
+/// Closed-loop generator over a set of streams.
+#[derive(Debug)]
+pub struct ClientSet {
+    streams: Vec<StreamState>,
+    outstanding: Vec<u32>,
+    max_outstanding: u32,
+    completed: Vec<u64>,
+}
+
+impl ClientSet {
+    /// Builds a client set with `max_outstanding` in-flight requests per
+    /// stream (the paper uses 1 throughout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_outstanding == 0`, `specs` is empty, or any spec is
+    /// invalid.
+    pub fn new(specs: Vec<StreamSpec>, max_outstanding: u32, rng: &mut SimRng) -> Self {
+        assert!(max_outstanding > 0, "need at least one outstanding request");
+        assert!(!specs.is_empty(), "need at least one stream");
+        let streams: Vec<StreamState> =
+            specs.into_iter().enumerate().map(|(i, s)| StreamState::new(s, rng.fork(i as u64))).collect();
+        let n = streams.len();
+        ClientSet { streams, outstanding: vec![0; n], max_outstanding, completed: vec![0; n] }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` if there are no streams (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Initial burst: fills every stream's window.
+    pub fn initial_requests(&mut self) -> Vec<ClientRequest> {
+        let mut out = Vec::new();
+        for s in 0..self.streams.len() {
+            while self.outstanding[s] < self.max_outstanding {
+                match self.try_issue(s) {
+                    Some(r) => out.push(r),
+                    None => break,
+                }
+            }
+        }
+        out
+    }
+
+    /// Called when a request from `stream` completes; returns the follow-up
+    /// request, if the stream has one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` has nothing outstanding (double completion).
+    pub fn on_complete(&mut self, stream: StreamIdx) -> Option<ClientRequest> {
+        assert!(self.outstanding[stream] > 0, "completion without outstanding request");
+        self.outstanding[stream] -= 1;
+        self.completed[stream] += 1;
+        self.try_issue(stream)
+    }
+
+    fn try_issue(&mut self, s: StreamIdx) -> Option<ClientRequest> {
+        if self.outstanding[s] >= self.max_outstanding {
+            return None;
+        }
+        let (lba, blocks) = self.streams[s].next_request()?;
+        self.outstanding[s] += 1;
+        Some(ClientRequest { stream: s, disk: self.streams[s].spec().disk, lba, blocks })
+    }
+
+    /// Requests completed by `stream` so far.
+    pub fn completed(&self, stream: StreamIdx) -> u64 {
+        self.completed[stream]
+    }
+
+    /// Total requests still in flight.
+    pub fn total_outstanding(&self) -> u64 {
+        self.outstanding.iter().map(|&o| o as u64).sum()
+    }
+
+    /// `true` once every stream is exhausted and nothing is in flight.
+    pub fn finished(&self) -> bool {
+        self.total_outstanding() == 0 && self.streams.iter().all(|s| s.exhausted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n_streams: usize, reqs: u64, window: u32) -> ClientSet {
+        let specs = (0..n_streams)
+            .map(|i| StreamSpec::sequential(0, i as u64 * 1_000_000, 128, reqs))
+            .collect();
+        let mut rng = SimRng::seed_from(3);
+        ClientSet::new(specs, window, &mut rng)
+    }
+
+    #[test]
+    fn initial_burst_fills_windows() {
+        let mut c = set(5, 10, 1);
+        let burst = c.initial_requests();
+        assert_eq!(burst.len(), 5);
+        assert_eq!(c.total_outstanding(), 5);
+        // Each stream contributed exactly one request at its own offset.
+        for (i, r) in burst.iter().enumerate() {
+            assert_eq!(r.stream, i);
+            assert_eq!(r.lba, i as u64 * 1_000_000);
+        }
+    }
+
+    #[test]
+    fn closed_loop_window_respected() {
+        let mut c = set(2, 100, 3);
+        let burst = c.initial_requests();
+        assert_eq!(burst.len(), 6);
+        // Completing one opens exactly one slot.
+        let next = c.on_complete(0).expect("more requests remain");
+        assert_eq!(next.stream, 0);
+        assert_eq!(c.total_outstanding(), 6);
+    }
+
+    #[test]
+    fn streams_drain_to_finished() {
+        let mut c = set(3, 4, 1);
+        let mut inflight: Vec<ClientRequest> = c.initial_requests();
+        let mut served = 0;
+        while let Some(r) = inflight.pop() {
+            served += 1;
+            if let Some(next) = c.on_complete(r.stream) {
+                inflight.push(next);
+            }
+        }
+        assert_eq!(served, 12);
+        assert!(c.finished());
+        for s in 0..3 {
+            assert_eq!(c.completed(s), 4);
+        }
+    }
+
+    #[test]
+    fn requests_within_a_stream_are_sequential() {
+        let mut c = set(1, 5, 1);
+        let mut last_end = None;
+        let mut r = c.initial_requests().pop().unwrap();
+        loop {
+            if let Some(e) = last_end {
+                assert_eq!(r.lba, e);
+            }
+            last_end = Some(r.lba + r.blocks);
+            match c.on_complete(r.stream) {
+                Some(next) => r = next,
+                None => break,
+            }
+        }
+        assert!(c.finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without outstanding")]
+    fn double_completion_panics() {
+        let mut c = set(1, 5, 1);
+        let _ = c.initial_requests();
+        let _ = c.on_complete(0);
+        // Stream 0 has one outstanding again (refilled); drain it twice.
+        let _ = c.on_complete(0);
+        let _ = c.on_complete(0);
+        let _ = c.on_complete(0);
+        let _ = c.on_complete(0);
+        let _ = c.on_complete(0); // exhausted: nothing outstanding now
+        let _ = c.on_complete(0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Stream placement on disks.
+//!
+//! The paper distributes streams uniformly: each stream starts
+//! `disksize/#streams` blocks after the previous one, so more streams cover
+//! the same surface more densely (and inter-stream seeks shrink while the
+//! covered span stays the whole disk).
+
+use seqio_disk::Lba;
+
+/// Uniform placement: `n` starting offsets spaced `total_blocks / n` apart.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > total_blocks`.
+///
+/// # Examples
+///
+/// ```
+/// use seqio_workload::uniform_offsets;
+///
+/// let offs = uniform_offsets(1000, 4);
+/// assert_eq!(offs, vec![0, 250, 500, 750]);
+/// ```
+pub fn uniform_offsets(total_blocks: u64, n: usize) -> Vec<Lba> {
+    assert!(n > 0, "need at least one stream");
+    assert!(n as u64 <= total_blocks, "more streams than blocks");
+    let spacing = total_blocks / n as u64;
+    (0..n as u64).map(|i| i * spacing).collect()
+}
+
+/// Fixed-interval placement (the paper's Figure 5 xdd setup accesses the
+/// disk "at 1 GByte intervals"): offsets `i * interval_blocks`, clipped so
+/// every stream has at least `min_run_blocks` of room before the next.
+///
+/// # Panics
+///
+/// Panics if the placement does not fit on the disk.
+pub fn interval_offsets(
+    total_blocks: u64,
+    n: usize,
+    interval_blocks: u64,
+    min_run_blocks: u64,
+) -> Vec<Lba> {
+    assert!(n > 0, "need at least one stream");
+    let last_start = (n as u64 - 1) * interval_blocks;
+    assert!(
+        last_start + min_run_blocks <= total_blocks,
+        "{n} streams at interval {interval_blocks} overflow {total_blocks} blocks"
+    );
+    (0..n as u64).map(|i| i * interval_blocks).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spacing_is_even() {
+        let offs = uniform_offsets(100_000, 7);
+        assert_eq!(offs.len(), 7);
+        let spacing = offs[1] - offs[0];
+        for w in offs.windows(2) {
+            assert_eq!(w[1] - w[0], spacing);
+        }
+        assert!(offs.last().unwrap() + spacing <= 100_000 + spacing);
+    }
+
+    #[test]
+    fn uniform_single_stream_at_zero() {
+        assert_eq!(uniform_offsets(500, 1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn uniform_zero_streams_panics() {
+        let _ = uniform_offsets(100, 0);
+    }
+
+    #[test]
+    fn interval_layout() {
+        // 1 GiB interval = 2_097_152 blocks.
+        let offs = interval_offsets(200_000_000, 3, 2_097_152, 4096);
+        assert_eq!(offs, vec![0, 2_097_152, 4_194_304]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn interval_overflow_panics() {
+        let _ = interval_offsets(1_000, 3, 900, 200);
+    }
+}

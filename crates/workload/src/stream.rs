@@ -1,0 +1,230 @@
+//! Stream specifications and per-stream request generation.
+
+use seqio_disk::Lba;
+use seqio_simcore::SimRng;
+
+/// The access pattern a stream follows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Strictly sequential: request `i` starts where request `i-1` ended.
+    Sequential,
+    /// Mostly sequential, but with probability `p` a request skips forward
+    /// up to `jitter_blocks` (models container formats and slightly
+    /// reordered readers).
+    NearSequential {
+        /// Probability of a skip per request.
+        p: f64,
+        /// Maximum forward skip in blocks.
+        jitter_blocks: u64,
+    },
+    /// Uniformly random within `[start, start + span_blocks)`.
+    Random {
+        /// Extent of the random region in blocks.
+        span_blocks: u64,
+    },
+}
+
+/// Static description of one I/O stream (the paper's client parameters:
+/// destination disk and offset, number and size of requests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Destination disk (global disk index at the storage node).
+    pub disk: usize,
+    /// Starting block.
+    pub start: Lba,
+    /// Request size in blocks.
+    pub request_blocks: u64,
+    /// Number of requests to issue (`u64::MAX` for open-ended streams that
+    /// run until the measurement window closes).
+    pub num_requests: u64,
+    /// Access pattern.
+    pub pattern: Pattern,
+}
+
+impl StreamSpec {
+    /// A strictly sequential stream.
+    pub fn sequential(disk: usize, start: Lba, request_blocks: u64, num_requests: u64) -> Self {
+        StreamSpec { disk, start, request_blocks, num_requests, pattern: Pattern::Sequential }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.request_blocks == 0 {
+            return Err("request size must be positive".into());
+        }
+        if self.num_requests == 0 {
+            return Err("stream must issue at least one request".into());
+        }
+        if let Pattern::Random { span_blocks } = self.pattern {
+            if span_blocks < self.request_blocks {
+                return Err("random span smaller than one request".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mutable generation state for one stream.
+#[derive(Debug, Clone)]
+pub struct StreamState {
+    spec: StreamSpec,
+    next_lba: Lba,
+    issued: u64,
+    rng: SimRng,
+}
+
+impl StreamState {
+    /// Creates the generator; `rng` seeds pattern randomness (unused for
+    /// strictly sequential streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid.
+    pub fn new(spec: StreamSpec, rng: SimRng) -> Self {
+        spec.validate().expect("invalid stream spec");
+        StreamState { next_lba: spec.start, spec, issued: 0, rng }
+    }
+
+    /// The stream's static description.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// `true` once the stream has generated all its requests.
+    pub fn exhausted(&self) -> bool {
+        self.issued >= self.spec.num_requests
+    }
+
+    /// Produces the next request as `(lba, blocks)`, or `None` when done.
+    pub fn next_request(&mut self) -> Option<(Lba, u64)> {
+        if self.exhausted() {
+            return None;
+        }
+        self.issued += 1;
+        let blocks = self.spec.request_blocks;
+        let lba = match self.spec.pattern {
+            Pattern::Sequential => {
+                let l = self.next_lba;
+                self.next_lba += blocks;
+                l
+            }
+            Pattern::NearSequential { p, jitter_blocks } => {
+                if jitter_blocks > 0 && self.rng.chance(p) {
+                    self.next_lba += self.rng.below(jitter_blocks) + 1;
+                }
+                let l = self.next_lba;
+                self.next_lba += blocks;
+                l
+            }
+            Pattern::Random { span_blocks } => {
+                self.spec.start + self.rng.below(span_blocks - blocks + 1)
+            }
+        };
+        Some((lba, blocks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(7)
+    }
+
+    #[test]
+    fn sequential_requests_are_contiguous() {
+        let mut s = StreamState::new(StreamSpec::sequential(0, 1000, 128, 5), rng());
+        let mut expect = 1000;
+        while let Some((lba, blocks)) = s.next_request() {
+            assert_eq!(lba, expect);
+            assert_eq!(blocks, 128);
+            expect += 128;
+        }
+        assert_eq!(s.issued(), 5);
+        assert!(s.exhausted());
+        assert_eq!(s.next_request(), None);
+    }
+
+    #[test]
+    fn near_sequential_moves_forward() {
+        let spec = StreamSpec {
+            disk: 0,
+            start: 0,
+            request_blocks: 64,
+            num_requests: 200,
+            pattern: Pattern::NearSequential { p: 0.3, jitter_blocks: 32 },
+        };
+        let mut s = StreamState::new(spec, rng());
+        let mut last_end = 0;
+        let mut skips = 0;
+        while let Some((lba, blocks)) = s.next_request() {
+            assert!(lba >= last_end, "near-sequential never goes backwards");
+            if lba > last_end {
+                skips += 1;
+            }
+            last_end = lba + blocks;
+        }
+        assert!(skips > 20, "expected some skips, saw {skips}");
+        assert!(skips < 150, "too many skips: {skips}");
+    }
+
+    #[test]
+    fn random_stays_in_span() {
+        let spec = StreamSpec {
+            disk: 0,
+            start: 5_000,
+            request_blocks: 16,
+            num_requests: 500,
+            pattern: Pattern::Random { span_blocks: 1_000 },
+        };
+        let mut s = StreamState::new(spec, rng());
+        while let Some((lba, blocks)) = s.next_request() {
+            assert!(lba >= 5_000);
+            assert!(lba + blocks <= 6_000);
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(StreamSpec::sequential(0, 0, 0, 1).validate().is_err());
+        assert!(StreamSpec::sequential(0, 0, 8, 0).validate().is_err());
+        let bad = StreamSpec {
+            disk: 0,
+            start: 0,
+            request_blocks: 100,
+            num_requests: 1,
+            pattern: Pattern::Random { span_blocks: 50 },
+        };
+        assert!(bad.validate().is_err());
+        assert!(StreamSpec::sequential(0, 0, 8, 1).validate().is_ok());
+    }
+
+    proptest! {
+        /// A sequential stream of n requests covers exactly
+        /// [start, start + n*blocks) with no gaps or overlaps.
+        #[test]
+        fn prop_sequential_coverage(start in 0u64..1_000_000, blocks in 1u64..512, n in 1u64..100) {
+            let mut s = StreamState::new(StreamSpec::sequential(0, start, blocks, n), SimRng::seed_from(1));
+            let mut expect = start;
+            let mut count = 0;
+            while let Some((lba, b)) = s.next_request() {
+                prop_assert_eq!(lba, expect);
+                expect += b;
+                count += 1;
+            }
+            prop_assert_eq!(count, n);
+            prop_assert_eq!(expect, start + n * blocks);
+        }
+    }
+}

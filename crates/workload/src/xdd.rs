@@ -1,0 +1,138 @@
+//! An `xdd`-style micro-benchmark front end.
+//!
+//! The paper uses the `xdd` disk exerciser for its real-system baselines:
+//! N threads issue synchronous sequential reads of a fixed size, each thread
+//! at its own file offset. [`XddRun`] builds the equivalent stream set.
+
+use seqio_disk::bytes_to_blocks;
+
+use crate::placement::{interval_offsets, uniform_offsets};
+use crate::stream::StreamSpec;
+
+/// Builder for an xdd-like run against one disk.
+#[derive(Debug, Clone)]
+pub struct XddRun {
+    disk: usize,
+    streams: usize,
+    request_bytes: u64,
+    requests_per_stream: u64,
+    interval_bytes: Option<u64>,
+}
+
+impl XddRun {
+    /// Starts a run description targeting global disk index `disk`.
+    pub fn new(disk: usize) -> Self {
+        XddRun {
+            disk,
+            streams: 1,
+            request_bytes: 64 * 1024,
+            requests_per_stream: 128,
+            interval_bytes: None,
+        }
+    }
+
+    /// Sets the number of concurrent threads/streams.
+    pub fn streams(&mut self, n: usize) -> &mut Self {
+        self.streams = n;
+        self
+    }
+
+    /// Sets the per-request transfer size in bytes.
+    pub fn request_bytes(&mut self, b: u64) -> &mut Self {
+        self.request_bytes = b;
+        self
+    }
+
+    /// Sets how many requests each stream issues.
+    pub fn requests_per_stream(&mut self, n: u64) -> &mut Self {
+        self.requests_per_stream = n;
+        self
+    }
+
+    /// Places streams at fixed byte intervals (the paper's Figure 5 uses
+    /// 1 GByte) instead of spreading them uniformly over the disk.
+    pub fn interval_bytes(&mut self, b: u64) -> &mut Self {
+        self.interval_bytes = Some(b);
+        self
+    }
+
+    /// Materializes the stream specs for a disk of `total_blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout does not fit the disk or any parameter is zero.
+    pub fn build(&self, total_blocks: u64) -> Vec<StreamSpec> {
+        assert!(self.streams > 0, "xdd needs at least one stream");
+        let request_blocks = bytes_to_blocks(self.request_bytes);
+        assert!(request_blocks > 0, "request size must be positive");
+        let run_blocks = request_blocks * self.requests_per_stream;
+        let offsets = match self.interval_bytes {
+            Some(b) => {
+                interval_offsets(total_blocks, self.streams, bytes_to_blocks(b), run_blocks)
+            }
+            None => {
+                let offs = uniform_offsets(total_blocks, self.streams);
+                // Ensure each stream's run fits before the next offset/disk end.
+                let spacing = if self.streams > 1 { offs[1] - offs[0] } else { total_blocks };
+                assert!(
+                    run_blocks <= spacing,
+                    "streams overlap: {run_blocks} blocks per run but spacing is {spacing}"
+                );
+                offs
+            }
+        };
+        offsets
+            .into_iter()
+            .map(|start| {
+                StreamSpec::sequential(self.disk, start, request_blocks, self.requests_per_stream)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqio_simcore::units::{GIB, KIB};
+
+    #[test]
+    fn defaults_build_one_stream() {
+        let specs = XddRun::new(0).build(10_000_000);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].request_blocks, 128);
+        assert_eq!(specs[0].num_requests, 128);
+        assert_eq!(specs[0].disk, 0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let specs = XddRun::new(2)
+            .streams(16)
+            .request_bytes(256 * KIB)
+            .requests_per_stream(64)
+            .build(100_000_000);
+        assert_eq!(specs.len(), 16);
+        assert!(specs.iter().all(|s| s.request_blocks == 512 && s.disk == 2));
+        // Uniform spacing.
+        assert_eq!(specs[1].start - specs[0].start, 100_000_000 / 16);
+    }
+
+    #[test]
+    fn gigabyte_interval_placement() {
+        let total = 200_000_000; // ~95 GiB of blocks
+        let specs = XddRun::new(0)
+            .streams(4)
+            .interval_bytes(GIB)
+            .requests_per_stream(16)
+            .build(total);
+        assert_eq!(specs[1].start, GIB / 512);
+        assert_eq!(specs[3].start, 3 * (GIB / 512));
+    }
+
+    #[test]
+    #[should_panic(expected = "streams overlap")]
+    fn overlapping_runs_panic() {
+        // 4 streams on a tiny disk with long runs.
+        let _ = XddRun::new(0).streams(4).requests_per_stream(10_000).build(100_000);
+    }
+}

@@ -1,0 +1,52 @@
+//! Parameter exploration: how `R` (read-ahead) and `M` (staging memory)
+//! trade off at a fixed stream count — the decision surface behind the
+//! paper's Figures 10 and 11.
+//!
+//! ```text
+//! cargo run --release --example parameter_sweep
+//! ```
+
+use seqio::core::ServerConfig;
+use seqio::node::{Experiment, Frontend};
+use seqio::simcore::units::{format_bytes, KIB, MIB};
+use seqio::simcore::SimDuration;
+
+fn main() {
+    let streams = 60;
+    let readaheads = [256 * KIB, MIB, 4 * MIB, 8 * MIB];
+    let memories = [16 * MIB, 64 * MIB, 256 * MIB];
+
+    println!("60 streams, one disk, 64 KiB requests; D derived as M/(R*N), N = 1\n");
+    print!("{:>10}", "R \\ M");
+    for m in memories {
+        print!("{:>12}", format_bytes(m));
+    }
+    println!();
+
+    for ra in readaheads {
+        print!("{:>10}", format_bytes(ra));
+        for m in memories {
+            if m < ra {
+                print!("{:>12}", "-");
+                continue;
+            }
+            let cfg = ServerConfig::memory_limited(m, ra, 1);
+            let r = Experiment::builder()
+                .streams_per_disk(streams)
+                .frontend(Frontend::StreamScheduler(cfg))
+                .warmup(SimDuration::from_secs(5))
+                .duration(SimDuration::from_secs(6))
+                .seed(9)
+                .run();
+            print!("{:>12.1}", r.total_throughput_mbs());
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading the table: moving right (more memory, more dispatched streams) helps \
+         far less than moving down (larger read-ahead per dispatched stream) — the \
+         paper's central Figure 11 observation. Even 16 MB of staging with 8 MB \
+         read-ahead outperforms 256 MB of staging at 256 KB."
+    );
+}

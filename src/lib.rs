@@ -1,0 +1,41 @@
+//! # seqio
+//!
+//! Facade crate for the `seqio` workspace: a reproduction of
+//! *"Reducing Disk I/O Performance Sensitivity for Large Numbers of
+//! Sequential Streams"* (Panagiotakis, Flouris, Bilas — ICDCS 2009).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a DiskSim-style storage simulator ([`disk`], [`controller`], [`simcore`]);
+//! * a Linux-like kernel I/O path with noop/deadline/anticipatory/CFQ
+//!   schedulers ([`hostsched`]);
+//! * the paper's contribution — a host-level sequential-stream scheduler
+//!   with bitmap classification, a bounded dispatch set and a memory-bounded
+//!   buffered set ([`core`]);
+//! * workload generation ([`workload`]) and a full storage-node simulation
+//!   with an experiment runner ([`node`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use seqio::node::{Experiment, Frontend, NodeShape};
+//!
+//! // 30 sequential streams on one disk, serviced through the paper's
+//! // stream scheduler with 1 MiB read-ahead.
+//! let result = Experiment::builder()
+//!     .shape(NodeShape::single_disk())
+//!     .streams_per_disk(30)
+//!     .request_size(64 * 1024)
+//!     .frontend(Frontend::stream_scheduler_with_readahead(1024 * 1024))
+//!     .seed(7)
+//!     .run();
+//! assert!(result.total_throughput_mbs() > 10.0);
+//! ```
+
+pub use seqio_controller as controller;
+pub use seqio_core as core;
+pub use seqio_disk as disk;
+pub use seqio_hostsched as hostsched;
+pub use seqio_node as node;
+pub use seqio_simcore as simcore;
+pub use seqio_workload as workload;
