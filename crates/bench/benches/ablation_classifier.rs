@@ -6,21 +6,15 @@
 //! This ablation sweeps the threshold (expressed in 64 KB requests) and
 //! reports throughput plus how many requests went to disk unclassified.
 
-use seqio_bench::{window_secs, Figure, Series};
+use seqio_bench::{window_secs, Figure, Grid};
 use seqio_core::ServerConfig;
 use seqio_node::{Experiment, Frontend};
 use seqio_simcore::units::{KIB, MIB};
 
 fn main() {
     let (warmup, duration) = window_secs((4, 4), (8, 8));
-    let mut fig = Figure::new(
-        "Ablation",
-        "Classifier threshold (100 streams, R=1M, D=S)",
-        "Detection threshold (64K requests)",
-        "Throughput (MBytes/s)",
-    );
-    let mut tput = Series::new("throughput");
-    let mut direct = Series::new("direct requests (x1000)");
+
+    let mut grid = Grid::new();
     for reqs_to_detect in [1u64, 2, 4, 8] {
         let cfg = ServerConfig {
             // Threshold in blocks: just under `reqs_to_detect` requests'
@@ -28,20 +22,32 @@ fn main() {
             detect_threshold_blocks: (reqs_to_detect - 1) * 128 + 64,
             ..ServerConfig::all_dispatched(100, MIB)
         };
-        let r = Experiment::builder()
-            .streams_per_disk(100)
-            .request_size(64 * KIB)
-            .frontend(Frontend::StreamScheduler(cfg))
-            .warmup(warmup)
-            .duration(duration)
-            .seed(2121)
-            .run();
-        let m = r.server_metrics.expect("stream scheduler metrics");
-        tput.push(reqs_to_detect.to_string(), r.total_throughput_mbs());
-        direct.push(reqs_to_detect.to_string(), m.direct_requests as f64 / 1000.0);
+        grid = grid.point(
+            "throughput",
+            reqs_to_detect.to_string(),
+            Experiment::builder()
+                .streams_per_disk(100)
+                .request_size(64 * KIB)
+                .frontend(Frontend::StreamScheduler(cfg))
+                .warmup(warmup)
+                .duration(duration)
+                .seed(2121)
+                .build(),
+        );
     }
-    fig.add(tput);
-    fig.add(direct);
+    let run = grid.run();
+
+    let mut fig = Figure::new(
+        "Ablation",
+        "Classifier threshold (100 streams, R=1M, D=S)",
+        "Detection threshold (64K requests)",
+        "Throughput (MBytes/s)",
+    );
+    run.fill(&mut fig, |r| r.total_throughput_mbs());
+    // Second metric from the same runs.
+    fig.add(run.extract("throughput", "direct requests (x1000)", |r| {
+        r.server_metrics.as_ref().expect("stream scheduler metrics").direct_requests as f64 / 1000.0
+    }));
     fig.report("ablation_classifier");
     let ys = fig.series[0].ys();
     println!(

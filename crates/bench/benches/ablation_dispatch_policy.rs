@@ -6,21 +6,17 @@
 //! sizes make the benefit unclear. This ablation measures both policies at
 //! small and large read-ahead.
 
-use seqio_bench::{window_secs, Figure, Series};
+use seqio_bench::{window_secs, Figure, Grid};
 use seqio_core::{DispatchPolicy, ServerConfig};
 use seqio_node::{Experiment, Frontend};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
 
 fn main() {
     let (warmup, duration) = window_secs((4, 4), (8, 8));
-    let mut fig = Figure::new(
-        "Ablation",
-        "Dispatch policy: round-robin vs offset-ordered (100 streams, D=4, N=4)",
-        "Read-ahead",
-        "Throughput (MBytes/s)",
-    );
+
+    let mut grid = Grid::new();
     for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::OffsetOrdered] {
-        let mut s = Series::new(format!("{policy:?}"));
+        let label = format!("{policy:?}");
         for ra in [128 * KIB, 512 * KIB, 2 * MIB] {
             let cfg = ServerConfig {
                 dispatch_streams: 4,
@@ -30,17 +26,27 @@ fn main() {
                 dispatch_policy: policy,
                 ..ServerConfig::default_tuning()
             };
-            let r = Experiment::builder()
-                .streams_per_disk(100)
-                .frontend(Frontend::StreamScheduler(cfg))
-                .warmup(warmup)
-                .duration(duration)
-                .seed(2424)
-                .run();
-            s.push(format_bytes(ra), r.total_throughput_mbs());
+            grid = grid.point(
+                &label,
+                format_bytes(ra),
+                Experiment::builder()
+                    .streams_per_disk(100)
+                    .frontend(Frontend::StreamScheduler(cfg))
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(2424)
+                    .build(),
+            );
         }
-        fig.add(s);
     }
+
+    let mut fig = Figure::new(
+        "Ablation",
+        "Dispatch policy: round-robin vs offset-ordered (100 streams, D=4, N=4)",
+        "Read-ahead",
+        "Throughput (MBytes/s)",
+    );
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("ablation_dispatch_policy");
     let rr = fig.series[0].ys();
     let off = fig.series[1].ys();

@@ -5,21 +5,17 @@
 //! flips the ordering and measures the throughput cost when the server CPU
 //! is the contended resource (many streams, small read-ahead).
 
-use seqio_bench::{window_secs, Figure, Series};
+use seqio_bench::{window_secs, Figure, Grid};
 use seqio_core::ServerConfig;
 use seqio_node::{Experiment, Frontend};
 use seqio_simcore::units::KIB;
 
 fn main() {
     let (warmup, duration) = window_secs((4, 4), (8, 8));
-    let mut fig = Figure::new(
-        "Ablation",
-        "Issue-path priority on/off (single disk, R=512K, D=4, N=8)",
-        "Streams per Disk",
-        "Throughput (MBytes/s)",
-    );
+
+    let mut grid = Grid::new();
     for priority in [true, false] {
-        let mut s = Series::new(if priority { "issue-path first" } else { "completions first" });
+        let label = if priority { "issue-path first" } else { "completions first" };
         for n in [10usize, 50, 100] {
             let mut cfg = ServerConfig {
                 dispatch_streams: 4,
@@ -29,17 +25,27 @@ fn main() {
                 ..ServerConfig::default_tuning()
             };
             cfg.issue_path_priority = priority;
-            let r = Experiment::builder()
-                .streams_per_disk(n)
-                .frontend(Frontend::StreamScheduler(cfg))
-                .warmup(warmup)
-                .duration(duration)
-                .seed(2020)
-                .run();
-            s.push(n.to_string(), r.total_throughput_mbs());
+            grid = grid.point(
+                label,
+                n.to_string(),
+                Experiment::builder()
+                    .streams_per_disk(n)
+                    .frontend(Frontend::StreamScheduler(cfg))
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(2020)
+                    .build(),
+            );
         }
-        fig.add(s);
     }
+
+    let mut fig = Figure::new(
+        "Ablation",
+        "Issue-path priority on/off (single disk, R=512K, D=4, N=8)",
+        "Streams per Disk",
+        "Throughput (MBytes/s)",
+    );
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("ablation_issue_priority");
     let on = fig.series[0].ys();
     let off = fig.series[1].ys();

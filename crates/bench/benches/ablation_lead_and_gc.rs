@@ -5,7 +5,7 @@
 //! smoothness. This ablation sweeps each on a 100-stream single-disk
 //! workload.
 
-use seqio_bench::{window_secs, Figure, Series};
+use seqio_bench::{window_secs, Figure, Grid};
 use seqio_core::ServerConfig;
 use seqio_node::{Experiment, Frontend};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
@@ -14,13 +14,7 @@ use seqio_simcore::SimDuration;
 fn main() {
     let (warmup, duration) = window_secs((4, 4), (8, 8));
 
-    let mut fig = Figure::new(
-        "Ablation",
-        "Prefetch lead bound (100 streams, R=512K, D=8, N=16)",
-        "Lead bound",
-        "Throughput (MBytes/s)",
-    );
-    let mut s = Series::new("throughput");
+    let mut grid = Grid::new();
     for lead in [512 * KIB, MIB, 4 * MIB, 16 * MIB] {
         let cfg = ServerConfig {
             dispatch_streams: 8,
@@ -30,43 +24,55 @@ fn main() {
             prefetch_lead_bytes: lead,
             ..ServerConfig::default_tuning()
         };
-        let r = Experiment::builder()
-            .streams_per_disk(100)
-            .frontend(Frontend::StreamScheduler(cfg))
-            .warmup(warmup)
-            .duration(duration)
-            .seed(2222)
-            .run();
-        s.push(format_bytes(lead), r.total_throughput_mbs());
+        grid = grid.point(
+            "throughput",
+            format_bytes(lead),
+            Experiment::builder()
+                .streams_per_disk(100)
+                .frontend(Frontend::StreamScheduler(cfg))
+                .warmup(warmup)
+                .duration(duration)
+                .seed(2222)
+                .build(),
+        );
     }
-    fig.add(s);
+    let mut fig = Figure::new(
+        "Ablation",
+        "Prefetch lead bound (100 streams, R=512K, D=8, N=16)",
+        "Lead bound",
+        "Throughput (MBytes/s)",
+    );
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("ablation_lead");
 
+    let mut grid2 = Grid::new();
+    for secs in [1u64, 5, 20] {
+        let cfg = ServerConfig {
+            buffer_timeout: SimDuration::from_secs(secs),
+            ..ServerConfig::all_dispatched(100, MIB)
+        };
+        grid2 = grid2.point(
+            "throughput",
+            secs.to_string(),
+            Experiment::builder()
+                .streams_per_disk(100)
+                .frontend(Frontend::StreamScheduler(cfg))
+                .warmup(warmup)
+                .duration(duration)
+                .seed(2223)
+                .build(),
+        );
+    }
+    let run2 = grid2.run();
     let mut fig2 = Figure::new(
         "Ablation",
         "GC buffer timeout (100 streams, R=1M, D=S)",
         "Buffer timeout (s)",
         "Throughput (MBytes/s)",
     );
-    let mut s2 = Series::new("throughput");
-    let mut gc = Series::new("buffers GC-freed (x1000)");
-    for secs in [1u64, 5, 20] {
-        let cfg = ServerConfig {
-            buffer_timeout: SimDuration::from_secs(secs),
-            ..ServerConfig::all_dispatched(100, MIB)
-        };
-        let r = Experiment::builder()
-            .streams_per_disk(100)
-            .frontend(Frontend::StreamScheduler(cfg))
-            .warmup(warmup)
-            .duration(duration)
-            .seed(2223)
-            .run();
-        s2.push(secs.to_string(), r.total_throughput_mbs());
-        let m = r.server_metrics.expect("metrics");
-        gc.push(secs.to_string(), m.streams_gced as f64 / 1000.0);
-    }
-    fig2.add(s2);
-    fig2.add(gc);
+    run2.fill(&mut fig2, |r| r.total_throughput_mbs());
+    fig2.add(run2.extract("throughput", "buffers GC-freed (x1000)", |r| {
+        r.server_metrics.as_ref().expect("metrics").streams_gced as f64 / 1000.0
+    }));
     fig2.report("ablation_gc_timeout");
 }

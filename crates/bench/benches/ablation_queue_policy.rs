@@ -6,34 +6,40 @@
 //! workload: reordering softens the collapse but does not remove it, which
 //! is exactly why a host-level fix remains worthwhile.
 
-use seqio_bench::{window_secs, Figure, Series};
+use seqio_bench::{window_secs, Figure, Grid};
 use seqio_disk::QueuePolicy;
 use seqio_node::{Experiment, NodeShape};
 
 fn main() {
     let (warmup, duration) = window_secs((3, 4), (4, 8));
+
+    let mut grid = Grid::new();
+    for policy in [QueuePolicy::Fifo, QueuePolicy::Elevator, QueuePolicy::Sstf] {
+        let label = format!("{policy:?}");
+        for n in [1usize, 10, 30, 100] {
+            let mut shape = NodeShape::single_disk();
+            shape.disk.queue_policy = policy;
+            grid = grid.point(
+                &label,
+                n.to_string(),
+                Experiment::builder()
+                    .shape(shape)
+                    .streams_per_disk(n)
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(2525)
+                    .build(),
+            );
+        }
+    }
+
     let mut fig = Figure::new(
         "Ablation",
         "Disk queue policy under the direct path (64K requests)",
         "Streams per Disk",
         "Throughput (MBytes/s)",
     );
-    for policy in [QueuePolicy::Fifo, QueuePolicy::Elevator, QueuePolicy::Sstf] {
-        let mut s = Series::new(format!("{policy:?}"));
-        for n in [1usize, 10, 30, 100] {
-            let mut shape = NodeShape::single_disk();
-            shape.disk.queue_policy = policy;
-            let r = Experiment::builder()
-                .shape(shape)
-                .streams_per_disk(n)
-                .warmup(warmup)
-                .duration(duration)
-                .seed(2525)
-                .run();
-            s.push(n.to_string(), r.total_throughput_mbs());
-        }
-        fig.add(s);
-    }
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("ablation_queue_policy");
     let fifo = fig.series[0].ys();
     let sstf = fig.series[2].ys();

@@ -4,7 +4,7 @@
 //! Paper: total streams {60, 100, 300, 500} over 60 disks, request sizes
 //! 8K–256K, direct path. Throughput collapses by 2–5x as streams/disk grow.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_node::{Experiment, NodeShape};
 use seqio_simcore::units::{format_bytes, KIB};
 
@@ -20,27 +20,32 @@ fn main() {
     // multiples: 60, 120, 300, 480).
     let per_disk_counts: Vec<usize> = if quick_mode() { vec![1, 5] } else { vec![1, 2, 5, 8] };
 
+    let mut grid = Grid::new();
+    for &per_disk in &per_disk_counts {
+        let label = format!("{} Streams", per_disk * 60);
+        for &req in &request_sizes {
+            grid = grid.point(
+                &label,
+                format_bytes(req),
+                Experiment::builder()
+                    .shape(NodeShape::sixty_disk())
+                    .streams_per_disk(per_disk)
+                    .request_size(req)
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(11)
+                    .build(),
+            );
+        }
+    }
+
     let mut fig = Figure::new(
         "Figure 1",
         "Throughput collapse for multiple sequential streams (60 disks)",
         "Request size",
         "Throughput (MBytes/s)",
     );
-    for &per_disk in &per_disk_counts {
-        let mut s = Series::new(format!("{} Streams", per_disk * 60));
-        for &req in &request_sizes {
-            let r = Experiment::builder()
-                .shape(NodeShape::sixty_disk())
-                .streams_per_disk(per_disk)
-                .request_size(req)
-                .warmup(warmup)
-                .duration(duration)
-                .seed(11)
-                .run();
-            s.push(format_bytes(req), r.total_throughput_mbs());
-        }
-        fig.add(s);
-    }
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig01_collapse");
 
     // Shape check: at any request size, 300+ total streams must deliver
@@ -54,5 +59,8 @@ fn main() {
         many[last],
         few[last]
     );
-    println!("shape ok: {}x collapse at the largest request size", (few[last] / many[last]).round());
+    println!(
+        "shape ok: {}x collapse at the largest request size",
+        (few[last] / many[last]).round()
+    );
 }

@@ -5,18 +5,38 @@
 //! CFQ and noop schedulers. All degrade sharply beyond 16 streams; the
 //! anticipatory scheduler is best but still loses ~4x by 256 streams.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
 use seqio_node::{CostModel, Experiment, Frontend};
 use seqio_simcore::units::KIB;
 
 fn main() {
     let (warmup, duration) = window_secs((2, 3), (3, 6));
-    let streams: Vec<usize> = if quick_mode() {
-        vec![1, 4, 16, 64, 256]
-    } else {
-        vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
-    };
+    let streams: Vec<usize> =
+        if quick_mode() { vec![1, 4, 16, 64, 256] } else { vec![1, 2, 4, 8, 16, 32, 64, 128, 256] };
+
+    let mut grid = Grid::new();
+    for kind in [SchedKind::Anticipatory, SchedKind::Cfq, SchedKind::Noop] {
+        let label = format!("{} scheduler", kind.name());
+        for &n in &streams {
+            grid = grid.point(
+                &label,
+                n.to_string(),
+                Experiment::builder()
+                    .streams_per_disk(n)
+                    .request_size(4 * KIB)
+                    .frontend(Frontend::Linux {
+                        scheduler: kind,
+                        readahead: ReadaheadConfig::default(),
+                    })
+                    .costs(CostModel::local_xdd())
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(22)
+                    .build(),
+            );
+        }
+    }
 
     let mut fig = Figure::new(
         "Figure 2",
@@ -24,25 +44,7 @@ fn main() {
         "Concurrent Seq. Streams",
         "Aggr. Read Throughput (MBytes/s)",
     );
-    for kind in [SchedKind::Anticipatory, SchedKind::Cfq, SchedKind::Noop] {
-        let mut s = Series::new(format!("{} scheduler", kind.name()));
-        for &n in &streams {
-            let r = Experiment::builder()
-                .streams_per_disk(n)
-                .request_size(4 * KIB)
-                .frontend(Frontend::Linux {
-                    scheduler: kind,
-                    readahead: ReadaheadConfig::default(),
-                })
-                .costs(CostModel::local_xdd())
-                .warmup(warmup)
-                .duration(duration)
-                .seed(22)
-                .run();
-            s.push(n.to_string(), r.total_throughput_mbs());
-        }
-        fig.add(s);
-    }
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig02_linux_sched");
 
     // Shape checks: anticipatory dominates at high stream counts, and even

@@ -2,7 +2,7 @@
 //! segment size tuned to the request size so no prefetching takes place,
 //! 8 MB total disk cache).
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_disk::CacheConfig;
 use seqio_node::{Experiment, NodeShape};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
@@ -17,14 +17,9 @@ fn main() {
     let stream_counts: Vec<usize> =
         if quick_mode() { vec![1, 30, 100] } else { vec![1, 10, 30, 60, 100] };
 
-    let mut fig = Figure::new(
-        "Figure 4",
-        "Impact of request size on throughput (segment = request, 8MB cache)",
-        "I/O Request Size",
-        "Throughput (MB/s)",
-    );
+    let mut grid = Grid::new();
     for &n in &stream_counts {
-        let mut s = Series::new(format!("{n} Stream{}", if n == 1 { "" } else { "s" }));
+        let label = format!("{n} Stream{}", if n == 1 { "" } else { "s" });
         for &req in &request_sizes {
             // Tune segment size and read-ahead equal to the request size;
             // shrink the segment count to keep the cache at 8 MB (paper §3.1).
@@ -34,18 +29,28 @@ fn main() {
                 segment_bytes: req,
                 read_ahead_bytes: req,
             };
-            let r = Experiment::builder()
-                .shape(shape)
-                .streams_per_disk(n)
-                .request_size(req)
-                .warmup(warmup)
-                .duration(duration)
-                .seed(44)
-                .run();
-            s.push(format_bytes(req), r.total_throughput_mbs());
+            grid = grid.point(
+                &label,
+                format_bytes(req),
+                Experiment::builder()
+                    .shape(shape)
+                    .streams_per_disk(n)
+                    .request_size(req)
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(44)
+                    .build(),
+            );
         }
-        fig.add(s);
     }
+
+    let mut fig = Figure::new(
+        "Figure 4",
+        "Impact of request size on throughput (segment = request, 8MB cache)",
+        "I/O Request Size",
+        "Throughput (MB/s)",
+    );
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig04_request_size");
 
     // Shape checks: throughput grows with request size for every stream

@@ -5,7 +5,7 @@
 //! disk's segment size is fixed (a real drive), so small requests do better
 //! than in Figure 4 thanks to firmware prefetch into the fixed segments.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_node::{CostModel, Experiment, Placement};
 use seqio_simcore::units::{format_bytes, GIB, KIB};
 
@@ -19,28 +19,33 @@ fn main() {
     let stream_counts: Vec<usize> =
         if quick_mode() { vec![1, 20, 50] } else { vec![1, 10, 20, 30, 50] };
 
+    let mut grid = Grid::new();
+    for &n in &stream_counts {
+        let label = format!("{n} Stream{}", if n == 1 { "" } else { "s" });
+        for &req in &request_sizes {
+            grid = grid.point(
+                &label,
+                format_bytes(req),
+                Experiment::builder()
+                    .streams_per_disk(n)
+                    .request_size(req)
+                    .placement(Placement::Interval(GIB))
+                    .costs(CostModel::local_xdd()) // xdd runs on the host itself
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(55)
+                    .build(),
+            );
+        }
+    }
+
     let mut fig = Figure::new(
         "Figure 5",
         "Xdd throughput with a single disk (fixed segments, 1GB intervals)",
         "Request Size",
         "Throughput (MBytes/s)",
     );
-    for &n in &stream_counts {
-        let mut s = Series::new(format!("{n} Stream{}", if n == 1 { "" } else { "s" }));
-        for &req in &request_sizes {
-            let r = Experiment::builder()
-                .streams_per_disk(n)
-                .request_size(req)
-                .placement(Placement::Interval(GIB))
-                .costs(CostModel::local_xdd()) // xdd runs on the host itself
-                .warmup(warmup)
-                .duration(duration)
-                .seed(55)
-                .run();
-            s.push(format_bytes(req), r.total_throughput_mbs());
-        }
-        fig.add(s);
-    }
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig05_xdd_single");
 
     // Shape checks: degradation with stream count (as in Fig. 4), but the

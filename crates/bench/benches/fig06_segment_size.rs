@@ -4,7 +4,7 @@
 //! size swept 32K–2M (so total cache grows with segment size). Throughput
 //! improves dramatically, ~8 MB/s at 32 KB segments to ~40 MB/s at 2 MB.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_disk::CacheConfig;
 use seqio_node::{Experiment, NodeShape};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
@@ -17,33 +17,39 @@ fn main() {
         vec![32 * KIB, 64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB, MIB, 2 * MIB]
     };
 
+    let mut grid = Grid::new();
+    for &seg in &segment_sizes {
+        let mut shape = NodeShape::single_disk();
+        shape.disk.cache =
+            CacheConfig { segment_count: 32, segment_bytes: seg, read_ahead_bytes: seg };
+        grid = grid.point(
+            "30 Streams",
+            format_bytes(seg),
+            Experiment::builder()
+                .shape(shape)
+                .streams_per_disk(30)
+                .request_size(64 * KIB)
+                .warmup(warmup)
+                .duration(duration)
+                .seed(66)
+                .build(),
+        );
+    }
+
     let mut fig = Figure::new(
         "Figure 6",
         "Effect of disk segment size (32 segments, 30 streams, 64K requests)",
         "Segment size",
         "Throughput (MBytes/s)",
     );
-    let mut s = Series::new("30 Streams");
-    for &seg in &segment_sizes {
-        let mut shape = NodeShape::single_disk();
-        shape.disk.cache =
-            CacheConfig { segment_count: 32, segment_bytes: seg, read_ahead_bytes: seg };
-        let r = Experiment::builder()
-            .shape(shape)
-            .streams_per_disk(30)
-            .request_size(64 * KIB)
-            .warmup(warmup)
-            .duration(duration)
-            .seed(66)
-            .run();
-        s.push(format_bytes(seg), r.total_throughput_mbs());
-    }
-    fig.add(s);
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig06_segment_size");
 
     // Shape check: monotonic-ish improvement, large factor end to end.
     let ys = fig.series[0].ys();
     let (first, last) = (ys[0], *ys.last().unwrap());
     assert!(last > 3.0 * first, "segment growth should help >3x: {first:.1} -> {last:.1}");
-    println!("shape ok: {first:.1} MB/s at 32K segments -> {last:.1} MB/s at 2M (paper: ~8 -> ~40)");
+    println!(
+        "shape ok: {first:.1} MB/s at 32K segments -> {last:.1} MB/s at 2M (paper: ~8 -> ~40)"
+    );
 }

@@ -6,7 +6,7 @@
 //! segments, LRU reclaims prefetched data before use and throughput drops
 //! below the little-prefetch configurations.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_disk::CacheConfig;
 use seqio_node::{Experiment, NodeShape};
 use seqio_simcore::units::{format_bytes, KIB};
@@ -14,15 +14,32 @@ use seqio_simcore::units::{format_bytes, KIB};
 fn main() {
     let (warmup, duration) = window_secs((2, 3), (4, 8));
     // (#segments, segment size) pairs keeping 8 MB total.
-    let splits: Vec<(usize, u64)> = vec![
-        (128, 64 * KIB),
-        (64, 128 * KIB),
-        (32, 256 * KIB),
-        (16, 512 * KIB),
-        (8, 1024 * KIB),
-    ];
+    let splits: Vec<(usize, u64)> =
+        vec![(128, 64 * KIB), (64, 128 * KIB), (32, 256 * KIB), (16, 512 * KIB), (8, 1024 * KIB)];
     let stream_counts: Vec<usize> =
         if quick_mode() { vec![1, 10, 30, 100] } else { vec![1, 10, 20, 30, 50, 100] };
+
+    let mut grid = Grid::new();
+    for &n in &stream_counts {
+        let label = format!("{n} Stream{}", if n == 1 { "" } else { "s" });
+        for &(count, seg) in &splits {
+            let mut shape = NodeShape::single_disk();
+            shape.disk.cache =
+                CacheConfig { segment_count: count, segment_bytes: seg, read_ahead_bytes: seg };
+            grid = grid.point(
+                &label,
+                format!("{count}x{}", format_bytes(seg)),
+                Experiment::builder()
+                    .shape(shape)
+                    .streams_per_disk(n)
+                    .request_size(64 * KIB)
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(77)
+                    .build(),
+            );
+        }
+    }
 
     let mut fig = Figure::new(
         "Figure 7",
@@ -30,24 +47,7 @@ fn main() {
         "#Segments x Segment size",
         "Throughput (MBytes/s)",
     );
-    for &n in &stream_counts {
-        let mut s = Series::new(format!("{n} Stream{}", if n == 1 { "" } else { "s" }));
-        for &(count, seg) in &splits {
-            let mut shape = NodeShape::single_disk();
-            shape.disk.cache =
-                CacheConfig { segment_count: count, segment_bytes: seg, read_ahead_bytes: seg };
-            let r = Experiment::builder()
-                .shape(shape)
-                .streams_per_disk(n)
-                .request_size(64 * KIB)
-                .warmup(warmup)
-                .duration(duration)
-                .seed(77)
-                .run();
-            s.push(format!("{count}x{}", format_bytes(seg)), r.total_throughput_mbs());
-        }
-        fig.add(s);
-    }
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig07_readahead_tradeoff");
 
     // Shape checks: with few streams, bigger segments help; with 100

@@ -6,7 +6,7 @@
 //! memory (4 MB at 60–100 streams), extents are reclaimed before reuse and
 //! throughput collapses towards zero.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_node::{Experiment, NodeShape};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
 
@@ -20,41 +20,52 @@ fn main() {
     let stream_counts: Vec<usize> =
         if quick_mode() { vec![1, 30, 60, 100] } else { vec![1, 10, 30, 60, 100] };
 
+    let mut grid = Grid::new();
+    for &n in &stream_counts {
+        let label = format!("{n} Stream{}", if n == 1 { "" } else { "s" });
+        for &pf in &prefetch_sizes {
+            let mut shape = NodeShape::single_disk();
+            shape.controller = shape.controller.with_prefetch(128 * MIB, pf);
+            grid = grid.point(
+                &label,
+                format_bytes(pf),
+                Experiment::builder()
+                    .shape(shape)
+                    .streams_per_disk(n)
+                    .request_size(64 * KIB)
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(88)
+                    .build(),
+            );
+        }
+    }
+    let run = grid.run();
+
     let mut fig = Figure::new(
         "Figure 8",
         "Prefetching at the controller level (128MB controller cache)",
         "Prefetch Size",
         "Throughput (MBytes/s)",
     );
-    let mut waste_at_100 = Vec::new();
-    for &n in &stream_counts {
-        let mut s = Series::new(format!("{n} Stream{}", if n == 1 { "" } else { "s" }));
-        for &pf in &prefetch_sizes {
-            let mut shape = NodeShape::single_disk();
-            shape.controller = shape.controller.with_prefetch(128 * MIB, pf);
-            let r = Experiment::builder()
-                .shape(shape)
-                .streams_per_disk(n)
-                .request_size(64 * KIB)
-                .warmup(warmup)
-                .duration(duration)
-                .seed(88)
-                .run();
-            s.push(format_bytes(pf), r.total_throughput_mbs());
-            if n == *stream_counts.last().unwrap() {
-                waste_at_100
-                    .push(r.ctrl_wasted_bytes as f64 / r.ctrl_bytes_from_disks.max(1) as f64);
-            }
-        }
-        fig.add(s);
-    }
+    run.fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig08_controller_prefetch");
+
+    // Wasted-prefetch fractions at the top stream count, from the same runs.
+    let top = format!("{} Streams", stream_counts.last().unwrap());
+    let waste_at_100: Vec<f64> = run
+        .series(&top)
+        .map(|(_, r)| {
+            let r = r.expect("spec cell");
+            r.ctrl_wasted_bytes as f64 / r.ctrl_bytes_from_disks.max(1) as f64
+        })
+        .collect();
 
     // Shape checks. (1) One stream is fairly insensitive to controller
     // prefetch (pipelined speculative fetches keep it near media rate).
     let one = fig.series[0].ys();
-    let ratio = one.iter().cloned().fold(f64::MIN, f64::max)
-        / one.iter().cloned().fold(f64::MAX, f64::min);
+    let ratio =
+        one.iter().cloned().fold(f64::MIN, f64::max) / one.iter().cloned().fold(f64::MAX, f64::min);
     assert!(ratio < 2.0, "1 stream should stay within 2x across prefetch sizes: {one:?}");
     // (2) Moderate prefetch lifts many-stream throughput far above tiny
     // prefetch (the paper's "significant impact").

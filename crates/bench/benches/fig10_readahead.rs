@@ -5,7 +5,7 @@
 //! the disk reaches ~50 of its ~55 MB/s maximum at every stream count; the
 //! no-read-ahead baseline sits near 5 MB/s.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_node::{Experiment, Frontend};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
 
@@ -19,41 +19,44 @@ fn main() {
         vec![8 * MIB, 2 * MIB, MIB, 512 * KIB, 128 * KIB]
     };
 
+    let mut grid = Grid::new();
+    for &ra in &readaheads {
+        let label = format!("R = {} (M = S*{0})", format_bytes(ra));
+        for &n in &stream_counts {
+            grid = grid.point(
+                &label,
+                n.to_string(),
+                Experiment::builder()
+                    .streams_per_disk(n)
+                    .frontend(Frontend::stream_scheduler_with_readahead(ra))
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(1010)
+                    .build(),
+            );
+        }
+    }
+    // Baseline: no read-ahead (requests pass through directly).
+    for &n in &stream_counts {
+        grid = grid.point(
+            "No Readahead",
+            n.to_string(),
+            Experiment::builder()
+                .streams_per_disk(n)
+                .warmup(warmup)
+                .duration(duration)
+                .seed(1010)
+                .build(),
+        );
+    }
+
     let mut fig = Figure::new(
         "Figure 10",
         "Effect of read-ahead, all streams dispatched (D=S, N=1, M=D*R)",
         "Streams per Disk",
         "Throughput (MBytes/s)",
     );
-    for &ra in &readaheads {
-        let mut s = Series::new(format!(
-            "R = {} (M = S*{0})",
-            format_bytes(ra)
-        ));
-        for &n in &stream_counts {
-            let r = Experiment::builder()
-                .streams_per_disk(n)
-                .frontend(Frontend::stream_scheduler_with_readahead(ra))
-                .warmup(warmup)
-                .duration(duration)
-                .seed(1010)
-                .run();
-            s.push(n.to_string(), r.total_throughput_mbs());
-        }
-        fig.add(s);
-    }
-    // Baseline: no read-ahead (requests pass through directly).
-    let mut base = Series::new("No Readahead");
-    for &n in &stream_counts {
-        let r = Experiment::builder()
-            .streams_per_disk(n)
-            .warmup(warmup)
-            .duration(duration)
-            .seed(1010)
-            .run();
-        base.push(n.to_string(), r.total_throughput_mbs());
-    }
-    fig.add(base);
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig10_readahead");
 
     // Shape checks: R=8M stays near the disk maximum at every stream count
@@ -64,5 +67,8 @@ fn main() {
     assert!(big.iter().all(|&y| y > 35.0), "R=8M must stay near max: {big:?}");
     let factor = big[last] / none[last];
     assert!(factor > 3.0, "R=8M should beat no-RA by >3x at 100 streams, got {factor:.1}x");
-    println!("shape ok: R=8M at 100 streams {:.0} MB/s = {factor:.1}x the no-RA baseline", big[last]);
+    println!(
+        "shape ok: R=8M at 100 streams {:.0} MB/s = {factor:.1}x the no-RA baseline",
+        big[last]
+    );
 }

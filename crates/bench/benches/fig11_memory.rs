@@ -6,7 +6,7 @@
 //! (e.g. one 8 MB-R stream in 16 MB of memory outperforms 100 dispatched
 //! streams at 256 KB).
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_core::ServerConfig;
 use seqio_node::{Experiment, Frontend};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
@@ -22,33 +22,39 @@ fn main() {
         if quick_mode() { vec![8 * MIB, 256 * KIB] } else { vec![8 * MIB, MIB, 256 * KIB] };
     let stream_counts: Vec<usize> = vec![1, 10, 100];
 
+    let mut grid = Grid::new();
+    for &ra in &readaheads {
+        for &n in &stream_counts {
+            let label = format!("S={n} (RA={})", format_bytes(ra));
+            for &m in &memories {
+                if m < ra {
+                    // Cannot hold even one buffer.
+                    grid = grid.fixed(&label, format_bytes(m), 0.0);
+                    continue;
+                }
+                let cfg = ServerConfig::memory_limited(m, ra, 1);
+                grid = grid.point(
+                    &label,
+                    format_bytes(m),
+                    Experiment::builder()
+                        .streams_per_disk(n)
+                        .frontend(Frontend::StreamScheduler(cfg))
+                        .warmup(warmup)
+                        .duration(duration)
+                        .seed(1111)
+                        .build(),
+                );
+            }
+        }
+    }
+
     let mut fig = Figure::new(
         "Figure 11",
         "Effect of storage memory size (D = M/(R*N), N = 1)",
         "Memory Size",
         "Throughput (MBytes/s)",
     );
-    for &ra in &readaheads {
-        for &n in &stream_counts {
-            let mut s = Series::new(format!("S={n} (RA={})", format_bytes(ra)));
-            for &m in &memories {
-                if m < ra {
-                    s.push(format_bytes(m), 0.0); // cannot hold even one buffer
-                    continue;
-                }
-                let cfg = ServerConfig::memory_limited(m, ra, 1);
-                let r = Experiment::builder()
-                    .streams_per_disk(n)
-                    .frontend(Frontend::StreamScheduler(cfg))
-                    .warmup(warmup)
-                    .duration(duration)
-                    .seed(1111)
-                    .run();
-                s.push(format_bytes(m), r.total_throughput_mbs());
-            }
-            fig.add(s);
-        }
-    }
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig11_memory");
 
     // Shape checks. (1) A single stream is insensitive to memory.
@@ -59,16 +65,10 @@ fn main() {
     assert!(spread < 20.0, "single stream should be flat-ish: {single_big_ra:?}");
     // (2) Large R with little memory beats small R with all streams
     // dispatched: S=100/RA=8M at 16MB vs S=100/RA=256K at 256MB.
-    let s100_big = fig
-        .series
-        .iter()
-        .find(|s| s.label.starts_with("S=100 (RA=8M"))
-        .expect("series exists");
-    let s100_small = fig
-        .series
-        .iter()
-        .find(|s| s.label.starts_with("S=100 (RA=256K"))
-        .expect("series exists");
+    let s100_big =
+        fig.series.iter().find(|s| s.label.starts_with("S=100 (RA=8M")).expect("series exists");
+    let s100_small =
+        fig.series.iter().find(|s| s.label.starts_with("S=100 (RA=256K")).expect("series exists");
     let big_at_16m = s100_big.points.iter().find(|(x, _)| x == "16M").map(|p| p.1).unwrap();
     let small_at_max = s100_small.points.last().unwrap().1;
     assert!(

@@ -6,7 +6,7 @@
 //! controller must manage an enormous number of large resident request
 //! buffers (its per-request cost grows with residency).
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_node::{Experiment, Frontend, NodeShape};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
 
@@ -20,18 +20,12 @@ fn main() {
         vec![None, Some(512 * KIB), Some(MIB), Some(2 * MIB)]
     };
 
-    let mut fig = Figure::new(
-        "Figure 12",
-        "8-disk setup, all streams dispatched (D=S, N=1, M=D*R*N)",
-        "Streams per Disk",
-        "Throughput (MBytes/s)",
-    );
+    let mut grid = Grid::new();
     for &ra in &readaheads {
         let label = match ra {
             None => "No Readahead".to_string(),
             Some(r) => format!("R = {}", format_bytes(r)),
         };
-        let mut s = Series::new(label);
         for &n in &stream_counts {
             let mut b = Experiment::builder()
                 .shape(NodeShape::eight_disk())
@@ -42,11 +36,17 @@ fn main() {
             if let Some(r) = ra {
                 b = b.frontend(Frontend::stream_scheduler_with_readahead(r));
             }
-            let r = b.run();
-            s.push(n.to_string(), r.total_throughput_mbs());
+            grid = grid.point(&label, n.to_string(), b.build());
         }
-        fig.add(s);
     }
+
+    let mut fig = Figure::new(
+        "Figure 12",
+        "8-disk setup, all streams dispatched (D=S, N=1, M=D*R*N)",
+        "Streams per Disk",
+        "Throughput (MBytes/s)",
+    );
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig12_eight_disks");
 
     // Shape checks (paper: "throughput reduces significantly regardless of
@@ -58,7 +58,11 @@ fn main() {
     // EXPERIMENTS.md.)
     for s in fig.series.iter().skip(1).take(fig.series.len().saturating_sub(2)) {
         let max = s.ys().iter().cloned().fold(f64::MIN, f64::max);
-        assert!(max < 400.0, "{}: D=S must stay below the controller maximum, got {max:.0}", s.label);
+        assert!(
+            max < 400.0,
+            "{}: D=S must stay below the controller maximum, got {max:.0}",
+            s.label
+        );
     }
     let all: Vec<f64> = fig.series.iter().skip(1).flat_map(|s| s.ys()).collect();
     let mean = all.iter().sum::<f64>() / all.len() as f64;

@@ -4,7 +4,7 @@
 //! (`N = 128`, `R = 512K`) recovers ~80% of the controller's 450 MB/s,
 //! versus the collapsed `D = S` configuration of Figure 12.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_core::ServerConfig;
 use seqio_node::{Experiment, Frontend, NodeShape};
 use seqio_simcore::units::KIB;
@@ -14,38 +14,42 @@ fn main() {
     let stream_counts: Vec<usize> =
         if quick_mode() { vec![10, 30, 100] } else { vec![10, 30, 60, 100] };
 
+    let mut grid = Grid::new();
+    for &n in &stream_counts {
+        let cfg = ServerConfig::small_dispatch(8, 512 * KIB, 128);
+        grid = grid.point(
+            "D = #disks, N = 128",
+            n.to_string(),
+            Experiment::builder()
+                .shape(NodeShape::eight_disk())
+                .streams_per_disk(n)
+                .frontend(Frontend::StreamScheduler(cfg))
+                .warmup(warmup)
+                .duration(duration)
+                .seed(1313)
+                .build(),
+        );
+        grid = grid.point(
+            "D = S (from Fig. 12)",
+            n.to_string(),
+            Experiment::builder()
+                .shape(NodeShape::eight_disk())
+                .streams_per_disk(n)
+                .frontend(Frontend::stream_scheduler_with_readahead(512 * KIB))
+                .warmup(warmup)
+                .duration(duration)
+                .seed(1313)
+                .build(),
+        );
+    }
+
     let mut fig = Figure::new(
         "Figure 13",
         "Dispatching fewer streams than staged (8 disks, R=512K)",
         "Streams per Disk",
         "Throughput (MBytes/s)",
     );
-    let mut small = Series::new("D = #disks, N = 128");
-    let mut all = Series::new("D = S (from Fig. 12)");
-    for &n in &stream_counts {
-        let cfg = ServerConfig::small_dispatch(8, 512 * KIB, 128);
-        let r = Experiment::builder()
-            .shape(NodeShape::eight_disk())
-            .streams_per_disk(n)
-            .frontend(Frontend::StreamScheduler(cfg))
-            .warmup(warmup)
-            .duration(duration)
-            .seed(1313)
-            .run();
-        small.push(n.to_string(), r.total_throughput_mbs());
-
-        let r = Experiment::builder()
-            .shape(NodeShape::eight_disk())
-            .streams_per_disk(n)
-            .frontend(Frontend::stream_scheduler_with_readahead(512 * KIB))
-            .warmup(warmup)
-            .duration(duration)
-            .seed(1313)
-            .run();
-        all.push(n.to_string(), r.total_throughput_mbs());
-    }
-    fig.add(small);
-    fig.add(all);
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig13_dispatch_staged");
 
     // Shape checks: the small dispatch set reaches a large fraction of the

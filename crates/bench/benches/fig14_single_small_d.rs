@@ -5,7 +5,7 @@
 //! dispatch set slightly improves on them (lower buffer-management
 //! overhead) and is insensitive to the stream count.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_core::ServerConfig;
 use seqio_node::{Experiment, Frontend};
 use seqio_simcore::units::{KIB, MIB};
@@ -15,39 +15,42 @@ fn main() {
     let stream_counts: Vec<usize> =
         if quick_mode() { vec![10, 30, 100] } else { vec![10, 30, 60, 100] };
 
+    let mut grid = Grid::new();
+    for &n in &stream_counts {
+        let cfg = ServerConfig::small_dispatch(1, 512 * KIB, 128);
+        grid = grid.point(
+            "R=512K, D=1, N=128",
+            n.to_string(),
+            Experiment::builder()
+                .streams_per_disk(n)
+                .frontend(Frontend::StreamScheduler(cfg))
+                .warmup(warmup)
+                .duration(duration)
+                .seed(1414)
+                .build(),
+        );
+        for (label, ra) in [("R=2M, D=S (Fig. 10)", 2 * MIB), ("R=8M, D=S (Fig. 10)", 8 * MIB)] {
+            grid = grid.point(
+                label,
+                n.to_string(),
+                Experiment::builder()
+                    .streams_per_disk(n)
+                    .frontend(Frontend::stream_scheduler_with_readahead(ra))
+                    .warmup(warmup)
+                    .duration(duration)
+                    .seed(1414)
+                    .build(),
+            );
+        }
+    }
+
     let mut fig = Figure::new(
         "Figure 14",
         "Single-disk throughput with a small dispatch set",
         "Streams per Disk",
         "Throughput (MBytes/s)",
     );
-    let mut small = Series::new("R=512K, D=1, N=128");
-    let mut r2m = Series::new("R=2M, D=S (Fig. 10)");
-    let mut r8m = Series::new("R=8M, D=S (Fig. 10)");
-    for &n in &stream_counts {
-        let cfg = ServerConfig::small_dispatch(1, 512 * KIB, 128);
-        let r = Experiment::builder()
-            .streams_per_disk(n)
-            .frontend(Frontend::StreamScheduler(cfg))
-            .warmup(warmup)
-            .duration(duration)
-            .seed(1414)
-            .run();
-        small.push(n.to_string(), r.total_throughput_mbs());
-        for (series, ra) in [(&mut r2m, 2 * MIB), (&mut r8m, 8 * MIB)] {
-            let r = Experiment::builder()
-                .streams_per_disk(n)
-                .frontend(Frontend::stream_scheduler_with_readahead(ra))
-                .warmup(warmup)
-                .duration(duration)
-                .seed(1414)
-                .run();
-            series.push(n.to_string(), r.total_throughput_mbs());
-        }
-    }
-    fig.add(small);
-    fig.add(r2m);
-    fig.add(r8m);
+    grid.run().fill(&mut fig, |r| r.total_throughput_mbs());
     fig.report("fig14_single_small_d");
 
     // Shape checks: the D=1 configuration achieves high utilization at every

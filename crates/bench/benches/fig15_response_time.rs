@@ -6,7 +6,7 @@
 //! read-ahead *improves* the average because most requests are then served
 //! from memory.
 
-use seqio_bench::{quick_mode, window_secs, Figure, Series};
+use seqio_bench::{quick_mode, window_secs, Figure, Grid};
 use seqio_core::ServerConfig;
 use seqio_node::{Experiment, Frontend};
 use seqio_simcore::units::{format_bytes, KIB, MIB};
@@ -21,33 +21,38 @@ fn main() {
     let memories: Vec<u64> = vec![8 * MIB, 64 * MIB, 256 * MIB];
     let stream_counts: Vec<usize> = vec![1, 10, 100];
 
+    let mut grid = Grid::new();
+    for &m in &memories {
+        for &n in &stream_counts {
+            let label = format!("S={n} (M={})", format_bytes(m));
+            for &ra in &readaheads {
+                if m < ra {
+                    grid = grid.fixed(&label, format_bytes(ra), f64::NAN);
+                    continue;
+                }
+                let cfg = ServerConfig::memory_limited(m, ra, 1);
+                grid = grid.point(
+                    &label,
+                    format_bytes(ra),
+                    Experiment::builder()
+                        .streams_per_disk(n)
+                        .frontend(Frontend::StreamScheduler(cfg))
+                        .warmup(warmup)
+                        .duration(duration)
+                        .seed(1515)
+                        .build(),
+                );
+            }
+        }
+    }
+
     let mut fig = Figure::new(
         "Figure 15",
         "Average stream response time (64K requests, 1 outstanding)",
         "ReadAhead",
         "Average Latency (msec)",
     );
-    for &m in &memories {
-        for &n in &stream_counts {
-            let mut s = Series::new(format!("S={n} (M={})", format_bytes(m)));
-            for &ra in &readaheads {
-                if m < ra {
-                    s.push(format_bytes(ra), f64::NAN);
-                    continue;
-                }
-                let cfg = ServerConfig::memory_limited(m, ra, 1);
-                let r = Experiment::builder()
-                    .streams_per_disk(n)
-                    .frontend(Frontend::StreamScheduler(cfg))
-                    .warmup(warmup)
-                    .duration(duration)
-                    .seed(1515)
-                    .run();
-                s.push(format_bytes(ra), r.mean_response_ms());
-            }
-            fig.add(s);
-        }
-    }
+    grid.run().fill(&mut fig, |r| r.mean_response_ms());
     fig.report("fig15_response_time");
 
     // Shape checks: (1) response time grows strongly with stream count;

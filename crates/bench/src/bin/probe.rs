@@ -14,19 +14,19 @@ fn main() {
 
     println!("-- direct path, single disk, 64K requests (Fig 4/5 flavour) --");
     for s in [1usize, 10, 30, 100] {
-        let r = Experiment::builder()
-            .streams_per_disk(s)
-            .warmup(w)
-            .duration(d)
-            .build()
-            .run();
-        println!("  S={s:<4} {:>7.2} MB/s  mean resp {:.2} ms", r.total_throughput_mbs(), r.mean_response_ms());
+        let r = Experiment::builder().streams_per_disk(s).warmup(w).duration(d).build().run();
+        println!(
+            "  S={s:<4} {:>7.2} MB/s  mean resp {:.2} ms",
+            r.total_throughput_mbs(),
+            r.mean_response_ms()
+        );
     }
 
     println!("-- direct, segment == request (no disk prefetch, Fig 4) --");
     for s in [1usize, 10, 30, 100] {
         let mut shape = NodeShape::single_disk();
-        shape.disk.cache = CacheConfig { segment_count: 128, segment_bytes: 64 * KIB, read_ahead_bytes: 64 * KIB };
+        shape.disk.cache =
+            CacheConfig { segment_count: 128, segment_bytes: 64 * KIB, read_ahead_bytes: 64 * KIB };
         let r = Experiment::builder()
             .shape(shape)
             .streams_per_disk(s)
@@ -47,7 +47,12 @@ fn main() {
                 .duration(d)
                 .build()
                 .run();
-            println!("  S={s:<4} R={:<5} {:>7.2} MB/s resp {:.1} ms", ra / KIB, r.total_throughput_mbs(), r.mean_response_ms());
+            println!(
+                "  S={s:<4} R={:<5} {:>7.2} MB/s resp {:.1} ms",
+                ra / KIB,
+                r.total_throughput_mbs(),
+                r.mean_response_ms()
+            );
         }
     }
 
@@ -93,7 +98,10 @@ fn main() {
             let r = Experiment::builder()
                 .streams_per_disk(s)
                 .request_size(4 * KIB)
-                .frontend(Frontend::Linux { scheduler: kind, readahead: ReadaheadConfig::default() })
+                .frontend(Frontend::Linux {
+                    scheduler: kind,
+                    readahead: ReadaheadConfig::default(),
+                })
                 .costs(CostModel::local_xdd())
                 .warmup(w)
                 .duration(d)

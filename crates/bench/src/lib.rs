@@ -11,6 +11,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod grid;
+
+pub use grid::{Grid, GridRun};
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -171,7 +175,10 @@ pub fn quick_mode() -> bool {
 }
 
 /// Measurement windows: `(warmup, duration)` seconds, reduced in quick mode.
-pub fn window_secs(quick: (u64, u64), full: (u64, u64)) -> (seqio_simcore::SimDuration, seqio_simcore::SimDuration) {
+pub fn window_secs(
+    quick: (u64, u64),
+    full: (u64, u64),
+) -> (seqio_simcore::SimDuration, seqio_simcore::SimDuration) {
     let (w, d) = if quick_mode() { quick } else { full };
     (seqio_simcore::SimDuration::from_secs(w), seqio_simcore::SimDuration::from_secs(d))
 }

@@ -151,10 +151,8 @@ mod tests {
 
     #[test]
     fn parses_flags_switches_and_equals() {
-        let a = Args::parse(
-            ["--streams", "30", "--writes", "--request=64K"].map(String::from),
-        )
-        .unwrap();
+        let a = Args::parse(["--streams", "30", "--writes", "--request=64K"].map(String::from))
+            .unwrap();
         assert_eq!(a.get("streams"), Some("30"));
         assert_eq!(a.get("request"), Some("64K"));
         assert!(a.switch("writes"));

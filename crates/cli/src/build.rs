@@ -98,7 +98,9 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, String> {
     let placement = match args.get("placement") {
         None | Some("uniform") => Placement::Uniform,
         Some(v) => match v.strip_prefix("interval:") {
-            Some(sz) => Placement::Interval(parse_size(sz).map_err(|e| format!("--placement: {e}"))?),
+            Some(sz) => {
+                Placement::Interval(parse_size(sz).map_err(|e| format!("--placement: {e}"))?)
+            }
             None => return Err(format!("--placement: expected uniform|interval:SIZE, got {v:?}")),
         },
     };
@@ -148,7 +150,14 @@ mod tests {
     #[test]
     fn stream_frontend_with_explicit_drnm() {
         let e = experiment_from(&args(&[
-            "--frontend", "stream", "--d", "2", "--n", "4", "--readahead", "512K",
+            "--frontend",
+            "stream",
+            "--d",
+            "2",
+            "--n",
+            "4",
+            "--readahead",
+            "512K",
         ]))
         .unwrap();
         match e.frontend {
@@ -180,7 +189,12 @@ mod tests {
     #[test]
     fn interval_placement_and_pattern() {
         let e = experiment_from(&args(&[
-            "--placement", "interval:1G", "--pattern", "near", "--shape", "eight",
+            "--placement",
+            "interval:1G",
+            "--pattern",
+            "near",
+            "--shape",
+            "eight",
         ]))
         .unwrap();
         assert!(matches!(e.placement, Placement::Interval(b) if b == 1 << 30));

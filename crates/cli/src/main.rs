@@ -130,7 +130,7 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
 fn cmd_sweep(rest: Vec<String>) -> Result<(), String> {
     let args = Args::parse(rest)?;
     let mut known = EXPERIMENT_FLAGS.to_vec();
-    known.extend_from_slice(&["param", "values"]);
+    known.extend_from_slice(&["param", "values", "jobs", "progress"]);
     let unknown = args.unknown_flags(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown flag(s): {}", unknown.join(", ")));
@@ -150,11 +150,9 @@ fn cmd_sweep(rest: Vec<String>) -> Result<(), String> {
         return Err(format!("--param: expected streams|readahead|request, got {param:?}"));
     }
 
-    println!(
-        "{:>12} {:>12} {:>12} {:>10} {:>10}",
-        param, "MB/s", "MB/s/disk", "mean ms", "p99 ms"
-    );
-    for v in values {
+    // Build the whole grid up front, then run it on the worker pool.
+    let mut specs: Vec<seqio_node::Experiment> = Vec::new();
+    for v in &values {
         // Re-parse with the swept flag overridden.
         let mut items: Vec<String> = Vec::new();
         items.push(format!("--{param}={v}"));
@@ -170,9 +168,20 @@ fn cmd_sweep(rest: Vec<String>) -> Result<(), String> {
             }
         }
         let sub = Args::parse(items)?;
-        let spec = experiment_from(&sub)?;
-        let disks = spec.shape.total_disks();
-        let r = spec.run();
+        specs.push(experiment_from(&sub)?);
+    }
+
+    let mut sweep = seqio_node::Sweep::builder().points(specs).progress(args.switch("progress"));
+    if let Some(j) = args.get("jobs") {
+        let j: usize = j.parse().map_err(|_| format!("--jobs: bad integer {j:?}"))?;
+        sweep = sweep.jobs(j);
+    }
+    let report = sweep.run();
+
+    println!("{:>12} {:>12} {:>12} {:>10} {:>10}", param, "MB/s", "MB/s/disk", "mean ms", "p99 ms");
+    for (v, o) in values.iter().zip(report.outcomes()) {
+        let disks = o.spec.shape.total_disks();
+        let r = &o.result;
         println!(
             "{:>12} {:>12.2} {:>12.2} {:>10.2} {:>10.2}",
             v,
@@ -182,6 +191,12 @@ fn cmd_sweep(rest: Vec<String>) -> Result<(), String> {
             r.p99_response_ms()
         );
     }
+    eprintln!(
+        "sweep: {} point(s) on {} worker(s) in {:.2}s",
+        report.len(),
+        report.jobs,
+        report.wall.as_secs_f64()
+    );
     Ok(())
 }
 
@@ -193,7 +208,7 @@ seqio — storage-node simulator for large numbers of sequential streams
 
 USAGE:
   seqio run    [flags]
-  seqio sweep  --param streams|readahead|request --values a,b,c [flags]
+  seqio sweep  --param streams|readahead|request --values a,b,c [--jobs N] [flags]
   seqio replay --trace-in FILE [flags]     # open-loop trace replay
   seqio info
 
@@ -213,6 +228,10 @@ FLAGS (run & sweep):
   --seed N                       deterministic seed      [1]
   --local-costs                  local (xdd-style) client cost model
   --trace FILE                   write a per-request CSV trace
+
+FLAGS (sweep only):
+  --jobs N                       parallel worker threads   [SEQIO_JOBS, then #cpus]
+  --progress                     per-point progress lines on stderr
 
 EXAMPLES:
   seqio run --streams 100 --frontend stream --readahead 4M

@@ -97,9 +97,7 @@ impl ExtentCache {
 
     /// Non-mutating containment check for a single block.
     pub fn contains(&self, port: usize, lba: Lba) -> bool {
-        self.extents
-            .iter()
-            .any(|e| e.port == port && e.start <= lba && lba < e.start + e.blocks)
+        self.extents.iter().any(|e| e.port == port && e.start <= lba && lba < e.start + e.blocks)
     }
 
     /// Inserts a fetched extent, evicting least-recently-used extents until

@@ -14,7 +14,9 @@
 
 use std::collections::HashMap;
 
-use seqio_disk::{bytes_to_blocks, Direction, Disk, DiskOutput, DiskRequest, Lba, RequestId, BLOCK_SIZE};
+use seqio_disk::{
+    bytes_to_blocks, Direction, Disk, DiskOutput, DiskRequest, Lba, RequestId, BLOCK_SIZE,
+};
 use seqio_simcore::{SimDuration, SimTime};
 
 use crate::cache::{ExtentCache, ExtentHit};
@@ -223,7 +225,15 @@ impl Controller {
         match req.direction {
             Direction::Write => {
                 self.cache.invalidate(req.port, req.lba, req.blocks);
-                self.start_fetch(now, req.port, req.lba, req.blocks, req.direction, vec![req], &mut out);
+                self.start_fetch(
+                    now,
+                    req.port,
+                    req.lba,
+                    req.blocks,
+                    req.direction,
+                    vec![req],
+                    &mut out,
+                );
             }
             Direction::Read => {
                 if let Some(hit) = self.cache.lookup_extent(req.port, req.lba, req.blocks, now) {
@@ -232,11 +242,9 @@ impl Controller {
                     let port = req.port;
                     self.finish(req, at, &mut out);
                     self.maybe_async_prefetch(now, port, hit, &mut out);
-                } else if let Some(f) = self
-                    .inflight
-                    .values_mut()
-                    .find(|f| f.port == req.port && f.lba <= req.lba && req.end() <= f.lba + f.blocks)
-                {
+                } else if let Some(f) = self.inflight.values_mut().find(|f| {
+                    f.port == req.port && f.lba <= req.lba && req.end() <= f.lba + f.blocks
+                }) {
                     self.metrics.inflight_hits += 1;
                     f.waiters.push(req);
                 } else {
@@ -265,7 +273,13 @@ impl Controller {
     /// cached extent, fetch the next extent in the background so a steady
     /// reader never stalls (and so, under memory pressure, the wasted
     /// prefetches are what collapse throughput — the paper's Figure 8).
-    fn maybe_async_prefetch(&mut self, now: SimTime, port: usize, hit: ExtentHit, out: &mut Vec<CtrlOutput>) {
+    fn maybe_async_prefetch(
+        &mut self,
+        now: SimTime,
+        port: usize,
+        hit: ExtentHit,
+        out: &mut Vec<CtrlOutput>,
+    ) {
         // Trigger once a quarter of the extent is consumed, so the next
         // fetch overlaps the remaining consumption.
         if self.cfg.prefetch_bytes == 0 || hit.touched * 4 < hit.blocks {
@@ -276,12 +290,14 @@ impl Controller {
         if next >= disk_end || self.cache.contains(port, next) {
             return;
         }
-        if self.inflight.values().any(|f| f.port == port && f.lba <= next && next < f.lba + f.blocks) {
+        if self
+            .inflight
+            .values()
+            .any(|f| f.port == port && f.lba <= next && next < f.lba + f.blocks)
+        {
             return;
         }
-        let blocks = bytes_to_blocks(self.cfg.prefetch_bytes)
-            .max(1)
-            .min(disk_end - next);
+        let blocks = bytes_to_blocks(self.cfg.prefetch_bytes).max(1).min(disk_end - next);
         self.metrics.async_prefetches += 1;
         self.start_fetch(now, port, next, blocks, Direction::Read, Vec::new(), out);
     }
@@ -328,6 +344,7 @@ impl Controller {
         want.min(disk_end.saturating_sub(req.lba)).max(req.blocks)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start_fetch(
         &mut self,
         now: SimTime,
@@ -350,11 +367,19 @@ impl Controller {
         self.map_disk_outputs(port, disk_outs, out);
     }
 
-    fn map_disk_outputs(&mut self, port: usize, disk_outs: Vec<DiskOutput>, out: &mut Vec<CtrlOutput>) {
+    fn map_disk_outputs(
+        &mut self,
+        port: usize,
+        disk_outs: Vec<DiskOutput>,
+        out: &mut Vec<CtrlOutput>,
+    ) {
         for o in disk_outs {
             match o {
                 DiskOutput::Complete { id, at, .. } => {
-                    out.push(CtrlOutput::Event { at, event: CtrlEvent::DiskComplete { port, disk_req: id } });
+                    out.push(CtrlOutput::Event {
+                        at,
+                        event: CtrlEvent::DiskComplete { port, disk_req: id },
+                    });
                 }
                 DiskOutput::OpFinished { at } => {
                     out.push(CtrlOutput::Event { at, event: CtrlEvent::DiskOpFinished { port } });
@@ -369,13 +394,11 @@ impl Controller {
     fn charge_completion(&mut self, ready: SimTime, bytes: u64) -> SimTime {
         let cpu_time = self.cfg.cpu_fixed
             + self.cfg.cpu_per_mib.mul_f64(bytes as f64 / (1024.0 * 1024.0))
-            + self
-                .cfg
-                .cpu_per_resident_mib
-                .mul_f64(self.resident_bytes as f64 / (1024.0 * 1024.0));
+            + self.cfg.cpu_per_resident_mib.mul_f64(self.resident_bytes as f64 / (1024.0 * 1024.0));
         let cpu_end = self.cpu_free.max(ready) + cpu_time;
         self.cpu_free = cpu_end;
-        let bus_end = self.bus_free.max(cpu_end) + self.transfer_time(bytes, self.cfg.aggregate_rate);
+        let bus_end =
+            self.bus_free.max(cpu_end) + self.transfer_time(bytes, self.cfg.aggregate_rate);
         self.bus_free = bus_end;
         bus_end
     }
@@ -407,7 +430,10 @@ mod tests {
     /// Runs requests through a controller with a real event loop.
     /// `schedule` holds (submit time, request); returns completions
     /// (id -> completion time) in completion order.
-    fn run(ctrl: &mut Controller, schedule: Vec<(SimTime, HostRequest)>) -> Vec<(RequestId, SimTime)> {
+    fn run(
+        ctrl: &mut Controller,
+        schedule: Vec<(SimTime, HostRequest)>,
+    ) -> Vec<(RequestId, SimTime)> {
         #[derive(Debug)]
         enum Ev {
             Submit(HostRequest),
@@ -492,7 +518,10 @@ mod tests {
             &mut c,
             vec![
                 (SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128)),
-                (SimTime::ZERO + SimDuration::from_millis(100), HostRequest::read(RequestId(2), 0, 128, 128)),
+                (
+                    SimTime::ZERO + SimDuration::from_millis(100),
+                    HostRequest::read(RequestId(2), 0, 128, 128),
+                ),
             ],
         );
         assert_eq!(done.len(), 2);
@@ -514,7 +543,10 @@ mod tests {
             &mut c,
             vec![
                 (SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128)),
-                (SimTime::ZERO + SimDuration::from_micros(200), HostRequest::read(RequestId(2), 0, 128, 128)),
+                (
+                    SimTime::ZERO + SimDuration::from_micros(200),
+                    HostRequest::read(RequestId(2), 0, 128, 128),
+                ),
             ],
         );
         assert_eq!(done.len(), 2);
@@ -539,7 +571,12 @@ mod tests {
                 for s in 0..8u64 {
                     sched.push((
                         t,
-                        HostRequest::read(RequestId(round * 8 + s), 0, s * spacing + round * 128, 128),
+                        HostRequest::read(
+                            RequestId(round * 8 + s),
+                            0,
+                            s * spacing + round * 128,
+                            128,
+                        ),
                     ));
                     t += SimDuration::from_millis(40);
                 }
@@ -571,7 +608,10 @@ mod tests {
         let mut busy = make(ControllerConfig::single_port(), DiskConfig::wd800jd());
         let mut sched = vec![(SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128))];
         for i in 0..64u64 {
-            sched.push((SimTime::ZERO, HostRequest::read(RequestId(100 + i), 0, 10_000_000 + i * 2_000_000, 128)));
+            sched.push((
+                SimTime::ZERO,
+                HostRequest::read(RequestId(100 + i), 0, 10_000_000 + i * 2_000_000, 128),
+            ));
         }
         let d2 = run(&mut busy, sched);
         let quiet_first = d1[0].1;
@@ -587,8 +627,14 @@ mod tests {
             &mut c,
             vec![
                 (SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128)),
-                (SimTime::ZERO + SimDuration::from_millis(100), HostRequest::write(RequestId(2), 0, 0, 128)),
-                (SimTime::ZERO + SimDuration::from_millis(200), HostRequest::read(RequestId(3), 0, 128, 128)),
+                (
+                    SimTime::ZERO + SimDuration::from_millis(100),
+                    HostRequest::write(RequestId(2), 0, 0, 128),
+                ),
+                (
+                    SimTime::ZERO + SimDuration::from_millis(200),
+                    HostRequest::read(RequestId(3), 0, 128, 128),
+                ),
             ],
         );
         assert_eq!(done.len(), 3);

@@ -117,11 +117,8 @@ impl Classifier {
     pub fn gc(&mut self, cutoff: SimTime) -> usize {
         let mut reclaimed = 0;
         for regions in self.regions.values_mut() {
-            let stale: Vec<Lba> = regions
-                .iter()
-                .filter(|(_, r)| r.last_set < cutoff)
-                .map(|(&b, _)| b)
-                .collect();
+            let stale: Vec<Lba> =
+                regions.iter().filter(|(_, r)| r.last_set < cutoff).map(|(&b, _)| b).collect();
             for b in stale {
                 let r = regions.remove(&b).expect("stale region present");
                 self.memory_bytes -= r.bitmap.memory_bytes();

@@ -2,7 +2,7 @@
 //! plus classifier and garbage-collection knobs.
 
 use seqio_simcore::units::{format_bytes, GIB, KIB, MIB};
-use seqio_simcore::SimDuration;
+use seqio_simcore::{SeqioError, SimDuration};
 
 /// How the scheduler picks the next stream to admit into the dispatch set
 /// (paper §4.2: "involved policies are possible ... we currently use a
@@ -182,32 +182,34 @@ impl ServerConfig {
     ///
     /// # Errors
     ///
-    /// Returns the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a
+    /// [`SeqioError::Server`].
+    pub fn validate(&self) -> Result<(), SeqioError> {
+        let fail = |reason: String| Err(SeqioError::Server(reason));
         if self.dispatch_streams == 0 {
-            return Err("dispatch set must hold at least one stream (D >= 1)".into());
+            return fail("dispatch set must hold at least one stream (D >= 1)".into());
         }
         if self.read_ahead_bytes == 0 {
-            return Err("read-ahead must be positive (R > 0)".into());
+            return fail("read-ahead must be positive (R > 0)".into());
         }
         if self.requests_per_residency == 0 {
-            return Err("residency must allow at least one request (N >= 1)".into());
+            return fail("residency must allow at least one request (N >= 1)".into());
         }
         if self.memory_bytes < self.working_set_bytes() {
-            return Err(format!(
+            return fail(format!(
                 "memory invariant violated: M = {} but D*R*N = {}",
                 format_bytes(self.memory_bytes),
                 format_bytes(self.working_set_bytes())
             ));
         }
         if self.memory_bytes > 64 * GIB {
-            return Err("memory above 64 GiB is surely a misconfiguration".into());
+            return fail("memory above 64 GiB is surely a misconfiguration".into());
         }
         if self.detect_offset_blocks == 0 || self.detect_threshold_blocks == 0 {
-            return Err("classifier window and threshold must be positive".into());
+            return fail("classifier window and threshold must be positive".into());
         }
         if self.detect_threshold_blocks > 2 * self.detect_offset_blocks {
-            return Err("detection threshold exceeds the bitmap window".into());
+            return fail("detection threshold exceeds the bitmap window".into());
         }
         Ok(())
     }
@@ -227,7 +229,8 @@ mod tests {
         let mut c = ServerConfig::default_tuning();
         c.memory_bytes = c.working_set_bytes() - 1;
         let err = c.validate().unwrap_err();
-        assert!(err.contains("memory invariant"), "{err}");
+        assert!(matches!(err, SeqioError::Server(_)), "{err}");
+        assert!(err.to_string().contains("memory invariant"), "{err}");
     }
 
     #[test]

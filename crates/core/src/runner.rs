@@ -108,7 +108,12 @@ impl RealNode {
                             let t0 = Instant::now();
                             let result = read_exact_at(&files[job.disk], job.offset, job.len);
                             if trace && t0.elapsed().as_millis() > 50 {
-                                eprintln!("SLOW pread {}ms id={} len={}", t0.elapsed().as_millis(), job.backend_id, job.len);
+                                eprintln!(
+                                    "SLOW pread {}ms id={} len={}",
+                                    t0.elapsed().as_millis(),
+                                    job.backend_id,
+                                    job.len
+                                );
                             }
                             if result.is_ok() {
                                 counter.fetch_add(job.len as u64, Ordering::Relaxed);
@@ -170,9 +175,7 @@ impl RealNode {
         self.control
             .send(Control::Client { req, reply: reply_tx })
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
-        reply_rx
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?
+        reply_rx.recv().map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?
     }
 
     /// Stops the server and returns its final metrics.
@@ -224,28 +227,29 @@ fn server_loop(
     // map 1:1; fills just log).
     let mut failed: Option<io::Error> = None;
 
-    let handle_outputs = |outs: Vec<ServerOutput>,
-                              jobs: &Sender<Job>,
-                              waiting: &Mutex<std::collections::HashMap<u64, Sender<io::Result<()>>>>| {
-        for o in outs {
-            match o {
-                ServerOutput::SubmitDisk(b) => {
-                    let job = Job {
-                        backend_id: b.id,
-                        disk: b.disk,
-                        offset: b.lba * BLOCK,
-                        len: (b.blocks * BLOCK) as usize,
-                    };
-                    let _ = jobs.send(job);
-                }
-                ServerOutput::CompleteClient { client, .. } => {
-                    if let Some(tx) = waiting.lock().remove(&client) {
-                        let _ = tx.send(Ok(()));
+    let handle_outputs =
+        |outs: Vec<ServerOutput>,
+         jobs: &Sender<Job>,
+         waiting: &Mutex<std::collections::HashMap<u64, Sender<io::Result<()>>>>| {
+            for o in outs {
+                match o {
+                    ServerOutput::SubmitDisk(b) => {
+                        let job = Job {
+                            backend_id: b.id,
+                            disk: b.disk,
+                            offset: b.lba * BLOCK,
+                            len: (b.blocks * BLOCK) as usize,
+                        };
+                        let _ = jobs.send(job);
+                    }
+                    ServerOutput::CompleteClient { client, .. } => {
+                        if let Some(tx) = waiting.lock().remove(&client) {
+                            let _ = tx.send(Ok(()));
+                        }
                     }
                 }
             }
-        }
-    };
+        };
 
     let trace = std::env::var_os("SEQIO_TRACE_RUNNER").is_some();
     let mut last_event = Instant::now();
@@ -269,8 +273,11 @@ fn server_loop(
                 if trace && last_event.elapsed().as_millis() > 50 {
                     eprintln!(
                         "STALL {}ms before backend done id={} (mem={} live={} dispatched={})\n{}",
-                        last_event.elapsed().as_millis(), backend_id,
-                        server.memory_used(), server.live_streams(), server.dispatched_streams(),
+                        last_event.elapsed().as_millis(),
+                        backend_id,
+                        server.memory_used(),
+                        server.live_streams(),
+                        server.dispatched_streams(),
                         server.debug_dump()
                     );
                 }
@@ -308,8 +315,7 @@ fn open_file(path: &Path, direct_io: bool) -> io::Result<File> {
         // direct reads (e.g. tmpfs, some overlayfs).
         #[cfg(target_os = "linux")]
         {
-            let attempt =
-                std::fs::OpenOptions::new().read(true).custom_flags(0x4000).open(path);
+            let attempt = std::fs::OpenOptions::new().read(true).custom_flags(0x4000).open(path);
             if let Ok(f) = attempt {
                 if read_exact_at(&f, 0, 4096).is_ok() {
                     return Ok(f);
@@ -336,8 +342,8 @@ impl AlignedBuf {
 
     fn new(len: usize) -> AlignedBuf {
         let size = len.next_multiple_of(Self::ALIGN).max(Self::ALIGN);
-        let layout = std::alloc::Layout::from_size_align(size, Self::ALIGN)
-            .expect("valid aligned layout");
+        let layout =
+            std::alloc::Layout::from_size_align(size, Self::ALIGN).expect("valid aligned layout");
         // SAFETY: layout has non-zero size.
         let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
         assert!(!ptr.is_null(), "aligned allocation failed");
@@ -398,10 +404,7 @@ mod tests {
         p.push(format!(
             "seqio-runner-test-{}-{}.dat",
             std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
         ));
         let mut f = File::create(&p).unwrap();
         let chunk = vec![7u8; 1 << 20];

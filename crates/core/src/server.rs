@@ -260,7 +260,8 @@ impl StorageServer {
             return out;
         }
 
-        if let Some(sid) = self.streams.match_request(req.disk, req.lba, self.cfg.stream_match_slack_blocks)
+        if let Some(sid) =
+            self.streams.match_request(req.disk, req.lba, self.cfg.stream_match_slack_blocks)
         {
             self.streams.advance_client_next(sid, req.end());
             if let Some(s) = self.streams.get_mut(sid) {
@@ -282,12 +283,20 @@ impl StorageServer {
                 Coverage::InFlight => {
                     self.metrics.queued_requests += 1;
                     let s = self.streams.get_mut(sid).expect("stream exists");
-                    s.pending.push_back(PendingRequest { client: req.id, lba: req.lba, blocks: req.blocks });
+                    s.pending.push_back(PendingRequest {
+                        client: req.id,
+                        lba: req.lba,
+                        blocks: req.blocks,
+                    });
                 }
                 Coverage::Missing => {
                     self.metrics.queued_requests += 1;
                     let s = self.streams.get_mut(sid).expect("stream exists");
-                    s.pending.push_back(PendingRequest { client: req.id, lba: req.lba, blocks: req.blocks });
+                    s.pending.push_back(PendingRequest {
+                        client: req.id,
+                        lba: req.lba,
+                        blocks: req.blocks,
+                    });
                     if !s.dispatched && !s.waiting {
                         s.waiting = true;
                         self.rr.push_back(sid);
@@ -322,10 +331,8 @@ impl StorageServer {
     ///
     /// Panics if the id is unknown (double completion).
     pub fn on_disk_complete(&mut self, now: SimTime, backend_id: u64) -> Vec<ServerOutput> {
-        let pending = self
-            .pending_disk
-            .remove(&backend_id)
-            .expect("completion for unknown backend request");
+        let pending =
+            self.pending_disk.remove(&backend_id).expect("completion for unknown backend request");
         let mut out = Vec::new();
         match pending {
             PendingDisk::Direct { client } => {
@@ -538,16 +545,14 @@ impl StorageServer {
         if blocks * 512 > self.pool.capacity_bytes() {
             // The waiting request(s) can never be staged within `M`: pass
             // them straight to the disk instead of livelocking on refetches.
-            loop {
-                let Some(s) = self.streams.get_mut(stream) else { break };
-                let Some(&front) = s.pending.front() else { break };
-                let needed =
-                    (front.lba + front.blocks).saturating_sub(self.pool.covered_until(
-                        stream,
-                        front.lba,
-                        front.lba + front.blocks,
-                    ));
-                if needed == 0 || needed.max(self.read_ahead_blocks) * 512 <= self.pool.capacity_bytes()
+            while let Some(&front) = self.streams.get(stream).and_then(|s| s.pending.front()) {
+                let needed = (front.lba + front.blocks).saturating_sub(self.pool.covered_until(
+                    stream,
+                    front.lba,
+                    front.lba + front.blocks,
+                ));
+                if needed == 0
+                    || needed.max(self.read_ahead_blocks) * 512 <= self.pool.capacity_bytes()
                 {
                     break;
                 }
@@ -618,7 +623,10 @@ impl StorageServer {
                     s.last_active = now;
                     self.metrics.memory_hits += 1;
                     self.metrics.completions += 1;
-                    out.push(ServerOutput::CompleteClient { client: front.client, from_memory: true });
+                    out.push(ServerOutput::CompleteClient {
+                        client: front.client,
+                        from_memory: true,
+                    });
                 }
                 Coverage::InFlight | Coverage::Missing => return,
             }
@@ -809,10 +817,8 @@ mod tests {
         let o2 = srv.on_client_request(t(1), ClientRequest::read(1, 0, 128, 128));
         // Second request triggers detection: direct submit + read-ahead fill.
         assert_eq!(srv.live_streams(), 1);
-        let fills: Vec<_> = o2
-            .iter()
-            .filter(|o| matches!(o, ServerOutput::SubmitDisk(b) if b.admitted))
-            .collect();
+        let fills: Vec<_> =
+            o2.iter().filter(|o| matches!(o, ServerOutput::SubmitDisk(b) if b.admitted)).collect();
         assert_eq!(fills.len(), 1, "read-ahead starts on detection");
         assert_eq!(srv.metrics().streams_detected, 1);
     }
@@ -943,8 +949,10 @@ mod tests {
         assert_eq!(srv.memory_used(), 0);
         // The client finally asks for the dropped range: the server must
         // fetch it again rather than stall.
-        let outs =
-            srv.on_client_request(SimTime::ZERO + SimDuration::from_secs(11), ClientRequest::read(2, 0, 256, 128));
+        let outs = srv.on_client_request(
+            SimTime::ZERO + SimDuration::from_secs(11),
+            ClientRequest::read(2, 0, 256, 128),
+        );
         let refetch: Vec<_> =
             outs.iter().filter(|o| matches!(o, ServerOutput::SubmitDisk(_))).collect();
         assert_eq!(refetch.len(), 1, "expected a refetch, got {outs:?}");
@@ -981,7 +989,6 @@ mod tests {
     }
 }
 
-
 #[cfg(test)]
 mod dispatch_policy_tests {
     use super::*;
@@ -994,7 +1001,10 @@ mod dispatch_policy_tests {
     fn detect_stream(srv: &mut StorageServer, base: u64, first_id: u64) -> Vec<BackendRequest> {
         let mut subs = Vec::new();
         for (k, lba) in [(0u64, base), (1, base + 128)] {
-            for o in srv.on_client_request(t(first_id * 100 + k), ClientRequest::read(first_id * 10 + k, 0, lba, 128)) {
+            for o in srv.on_client_request(
+                t(first_id * 100 + k),
+                ClientRequest::read(first_id * 10 + k, 0, lba, 128),
+            ) {
                 if let ServerOutput::SubmitDisk(b) = o {
                     subs.push(b);
                 }

@@ -70,7 +70,13 @@ impl StreamTable {
 
     /// Registers a new stream whose client is expected to continue at
     /// `client_next` and whose read-ahead starts at `frontier`.
-    pub fn create(&mut self, disk: usize, client_next: Lba, frontier: Lba, now: SimTime) -> StreamId {
+    pub fn create(
+        &mut self,
+        disk: usize,
+        client_next: Lba,
+        frontier: Lba,
+        now: SimTime,
+    ) -> StreamId {
         let id = StreamId(self.next_id);
         self.next_id += 1;
         self.streams.insert(
@@ -147,7 +153,9 @@ impl StreamTable {
     pub fn idle_streams(&self, cutoff: SimTime) -> Vec<StreamId> {
         self.streams
             .values()
-            .filter(|s| s.last_active < cutoff && s.pending.is_empty() && !s.inflight && !s.dispatched)
+            .filter(|s| {
+                s.last_active < cutoff && s.pending.is_empty() && !s.inflight && !s.dispatched
+            })
             .map(|s| s.id)
             .collect()
     }

@@ -219,7 +219,8 @@ impl SegmentedCache {
             self.metrics.evictions += 1;
             i
         };
-        self.segments[idx] = Segment { start: lba, filled: 0, touched: 0, last_touch: now, used: true };
+        self.segments[idx] =
+            Segment { start: lba, filled: 0, touched: 0, last_touch: now, used: true };
         Some(FillTicket { index: idx })
     }
 
@@ -346,7 +347,7 @@ mod tests {
         let ti = c.begin_fill(0, 512, t(1)).unwrap();
         c.commit_fill(ti, 0, 512, t(1));
         assert!(c.lookup(0, 512, t(2))); // consume everything
-        // Next contiguous fill no longer fits -> slide, no waste (all touched).
+                                         // Next contiguous fill no longer fits -> slide, no waste (all touched).
         let ti2 = c.begin_fill(512, 512, t(3)).unwrap();
         c.commit_fill(ti2, 512, 512, t(3));
         assert!(c.lookup(512, 512, t(4)));

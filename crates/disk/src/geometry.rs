@@ -112,7 +112,8 @@ impl Geometry {
         for z in 0..cfg.zones {
             // Linear interpolation outer -> inner.
             let frac = if cfg.zones == 1 { 0.0 } else { z as f64 / (cfg.zones - 1) as f64 };
-            let rate = cfg.outer_rate as f64 + frac * (cfg.inner_rate as f64 - cfg.outer_rate as f64);
+            let rate =
+                cfg.outer_rate as f64 + frac * (cfg.inner_rate as f64 - cfg.outer_rate as f64);
             let spt = ((rate * rot_s) / BLOCK_SIZE as f64).round().max(1.0) as u64;
             let cyl_blocks = spt * heads;
             let cylinders = (zone_bytes / BLOCK_SIZE).div_ceil(cyl_blocks).max(1);
@@ -169,9 +170,7 @@ impl Geometry {
     /// Panics if `lba` is past the end of the disk.
     pub fn zone_of(&self, lba: Lba) -> &Zone {
         assert!(lba < self.total_blocks, "lba {lba} beyond disk end {}", self.total_blocks);
-        let idx = self
-            .zones
-            .partition_point(|z| z.end_block() <= lba);
+        let idx = self.zones.partition_point(|z| z.end_block() <= lba);
         &self.zones[idx]
     }
 

@@ -213,7 +213,12 @@ impl Disk {
                             self.geom.covered_at(op.transfer_start, op.lba, op.blocks, req.end());
                         let at = avail.max(now) + self.cfg.command_overhead;
                         self.metrics.inflight_hits += 1;
-                        out.push(DiskOutput::Complete { id: req.id, bytes: req.bytes(), at, hit: true });
+                        out.push(DiskOutput::Complete {
+                            id: req.id,
+                            bytes: req.bytes(),
+                            at,
+                            hit: true,
+                        });
                         return out;
                     }
                 }
@@ -286,7 +291,11 @@ impl Disk {
             let needed = req.end() - op_lba;
 
             // Plan read-ahead beyond the request.
-            let ra = if req.direction == Direction::Read { self.cache.plan_read_ahead(needed) } else { 0 };
+            let ra = if req.direction == Direction::Read {
+                self.cache.plan_read_ahead(needed)
+            } else {
+                0
+            };
             let total = (needed + ra).min(self.geom.total_blocks() - op_lba);
 
             // Positioning: a contiguous continuation within the
@@ -467,7 +476,8 @@ pub(crate) mod tests {
     #[test]
     fn cold_read_takes_mechanical_time() {
         let mut d = disk();
-        let (at, hit) = run_one(&mut d, SimTime::ZERO, DiskRequest::read(RequestId(1), 1_000_000, 128));
+        let (at, hit) =
+            run_one(&mut d, SimTime::ZERO, DiskRequest::read(RequestId(1), 1_000_000, 128));
         assert!(!hit);
         // Seek + rotation + transfer: somewhere between 0.5ms and 35ms.
         let ms = at.as_millis_f64();
@@ -479,8 +489,7 @@ pub(crate) mod tests {
     #[test]
     fn sequential_reads_hit_readahead() {
         let mut d = disk_with_cache(32, 256 * KIB, 256 * KIB);
-        let (_, _, hits) =
-            run_streams(&mut d, &[0], 128, 16, SimDuration::from_micros(50));
+        let (_, _, hits) = run_streams(&mut d, &[0], 128, 16, SimDuration::from_micros(50));
         // 256K segments over 64K requests: 3 of every 4 requests hit.
         assert!(hits >= 10, "only {hits}/16 hits");
     }
@@ -490,8 +499,7 @@ pub(crate) mod tests {
         // Synchronous sequential 64K reads with read-ahead should land in the
         // 35-60 MB/s range the paper measures for one stream.
         let mut d = disk_with_cache(32, 2 * MIB, 2 * MIB);
-        let (bytes, end, _) =
-            run_streams(&mut d, &[0], 128, 400, SimDuration::from_micros(100));
+        let (bytes, end, _) = run_streams(&mut d, &[0], 128, 400, SimDuration::from_micros(100));
         let mbs = bytes as f64 / (1024.0 * 1024.0) / end.as_secs_f64();
         assert!(mbs > 30.0 && mbs < 65.0, "single-stream throughput {mbs} MB/s");
     }
@@ -502,8 +510,7 @@ pub(crate) mod tests {
         let mut d = disk_with_cache(32, 64 * KIB, 64 * KIB); // segment == request
         let spacing = d.geometry().total_blocks() / 30;
         let starts: Vec<Lba> = (0..30).map(|s| s * spacing).collect();
-        let (bytes, end, _) =
-            run_streams(&mut d, &starts, 128, 20, SimDuration::from_micros(100));
+        let (bytes, end, _) = run_streams(&mut d, &starts, 128, 20, SimDuration::from_micros(100));
         let mbs = bytes as f64 / (1024.0 * 1024.0) / end.as_secs_f64();
         assert!(mbs < 15.0, "interleaved no-RA throughput should collapse, got {mbs} MB/s");
         assert!(d.metrics().seeks > 500);
@@ -517,7 +524,8 @@ pub(crate) mod tests {
         let mut ra = disk_with_cache(32, 2 * MIB, 2 * MIB);
         let spacing = collapse.geometry().total_blocks() / 30;
         let starts: Vec<Lba> = (0..30).map(|s| s * spacing).collect();
-        let (b1, e1, _) = run_streams(&mut collapse, &starts, 128, 20, SimDuration::from_micros(100));
+        let (b1, e1, _) =
+            run_streams(&mut collapse, &starts, 128, 20, SimDuration::from_micros(100));
         let (b2, e2, _) = run_streams(&mut ra, &starts, 128, 60, SimDuration::from_micros(100));
         let slow = b1 as f64 / e1.as_secs_f64();
         let fast = b2 as f64 / e2.as_secs_f64();
@@ -570,7 +578,11 @@ pub(crate) mod tests {
             DiskRequest::write(RequestId(2), 0, 128),
         );
         assert!(!hit);
-        let (_, hit3) = run_one(&mut d, at + SimDuration::from_millis(1), DiskRequest::read(RequestId(3), 0, 128));
+        let (_, hit3) = run_one(
+            &mut d,
+            at + SimDuration::from_millis(1),
+            DiskRequest::read(RequestId(3), 0, 128),
+        );
         assert!(!hit3, "read after write must go to media");
     }
 
@@ -579,7 +591,9 @@ pub(crate) mod tests {
         let mut d = disk_with_cache(0, 0, 0); // no cache
         let mut outs = Vec::new();
         for i in 0..5u64 {
-            outs.extend(d.submit(SimTime::ZERO, DiskRequest::read(RequestId(i), i * 1_000_000, 128)));
+            outs.extend(
+                d.submit(SimTime::ZERO, DiskRequest::read(RequestId(i), i * 1_000_000, 128)),
+            );
         }
         // Exactly one op active; drain the chain.
         let mut completed = Vec::new();
@@ -634,7 +648,11 @@ pub(crate) mod tests {
         let (at1, _) = run_one(&mut d, SimTime::ZERO, DiskRequest::read(RequestId(1), 0, 256));
         let seeks_before = d.metrics().seeks;
         // Come back far later: the platter has rotated away.
-        let (_, _) = run_one(&mut d, at1 + SimDuration::from_millis(50), DiskRequest::read(RequestId(2), 256, 256));
+        let (_, _) = run_one(
+            &mut d,
+            at1 + SimDuration::from_millis(50),
+            DiskRequest::read(RequestId(2), 256, 256),
+        );
         assert_eq!(d.metrics().seeks, seeks_before + 1);
     }
 }
@@ -678,14 +696,17 @@ mod device_queue_tests {
         let mut events = Vec::new();
         let t = finish + SimDuration::from_millis(1);
         for i in 0..(depth as u64 + 4) {
-            events.extend(d.submit(t, DiskRequest::read(RequestId(10 + i), 40_000_000 + i * 1_000_000, 128)));
+            events.extend(
+                d.submit(t, DiskRequest::read(RequestId(10 + i), 40_000_000 + i * 1_000_000, 128)),
+            );
         }
         // Now re-read the cached range: with a deep backlog this must not
         // complete instantly as a submit-time hit.
         let before_hits = d.metrics().cache_hits;
         let outs = d.submit(t, DiskRequest::read(RequestId(99), 0, 128));
         assert!(
-            outs.iter().all(|o| !matches!(o, DiskOutput::Complete { id, .. } if *id == RequestId(99))),
+            outs.iter()
+                .all(|o| !matches!(o, DiskOutput::Complete { id, .. } if *id == RequestId(99))),
             "deep backlog must defer the hit: {outs:?}"
         );
         assert_eq!(d.metrics().cache_hits, before_hits);

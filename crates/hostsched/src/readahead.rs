@@ -79,7 +79,13 @@ impl StreamRa {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: ReadaheadConfig) -> Self {
         cfg.validate().expect("invalid read-ahead config");
-        StreamRa { cfg, cached: None, inflight: None, window: cfg.initial_bytes / 512, triggered: false }
+        StreamRa {
+            cfg,
+            cached: None,
+            inflight: None,
+            window: cfg.initial_bytes / 512,
+            triggered: false,
+        }
     }
 
     /// Current window in blocks.
@@ -188,7 +194,7 @@ mod tests {
         let mut r = ra();
         let _ = r.on_read(0, 8);
         r.on_fetch_complete(); // cached [0, 32)
-        // Read into the second half.
+                               // Read into the second half.
         match r.on_read(16, 8) {
             RaOutcome::Hit { prefetch: Some((lba, blocks)) } => {
                 assert_eq!(lba, 32);

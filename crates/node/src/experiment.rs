@@ -4,7 +4,7 @@ use seqio_controller::ControllerConfig;
 use seqio_core::{ServerConfig, ServerMetrics};
 use seqio_disk::{bytes_to_blocks, DiskConfig};
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
-use seqio_simcore::{LatencyHistogram, SimDuration};
+use seqio_simcore::{LatencyHistogram, SeqioError, SimDuration};
 use seqio_workload::Pattern;
 
 use crate::calibration::CostModel;
@@ -65,15 +65,15 @@ impl NodeShape {
     ///
     /// # Errors
     ///
-    /// Returns the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a [`SeqioError`].
+    pub fn validate(&self) -> Result<(), SeqioError> {
         if self.controllers == 0 || self.disks_per_controller == 0 {
-            return Err("need at least one controller and one disk".into());
+            return Err(SeqioError::Shape("need at least one controller and one disk".into()));
         }
         let mut c = self.controller.clone();
         c.ports = self.disks_per_controller;
-        c.validate()?;
-        self.disk.validate()
+        c.validate().map_err(SeqioError::component("controller"))?;
+        self.disk.validate().map_err(SeqioError::component("disk"))
     }
 }
 
@@ -193,31 +193,33 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Returns the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a [`SeqioError`].
+    pub fn validate(&self) -> Result<(), SeqioError> {
         self.shape.validate()?;
-        self.costs.validate()?;
+        self.costs.validate().map_err(SeqioError::component("cost model"))?;
         if self.streams_per_disk == 0 {
-            return Err("need at least one stream per disk".into());
+            return Err(SeqioError::Experiment("need at least one stream per disk".into()));
         }
         if self.request_bytes == 0 {
-            return Err("request size must be positive".into());
+            return Err(SeqioError::Experiment("request size must be positive".into()));
         }
         if self.duration == SimDuration::ZERO {
-            return Err("measurement window must be positive".into());
+            return Err(SeqioError::Experiment("measurement window must be positive".into()));
         }
         if let Frontend::StreamScheduler(cfg) = &self.frontend {
             cfg.validate()?;
         }
         if let Frontend::Linux { readahead, .. } = &self.frontend {
-            readahead.validate()?;
+            readahead.validate().map_err(SeqioError::component("read-ahead"))?;
             if self.writes {
-                return Err("the Linux front end models a read path only".into());
+                return Err(SeqioError::Experiment(
+                    "the Linux front end models a read path only".into(),
+                ));
             }
         }
         if let Some(t) = &self.replay {
             if t.is_empty() {
-                return Err("replay trace is empty".into());
+                return Err(SeqioError::Experiment("replay trace is empty".into()));
             }
         }
         Ok(())
@@ -229,7 +231,9 @@ impl Experiment {
     ///
     /// Panics if the specification is invalid.
     pub fn run(&self) -> RunResult {
-        self.validate().expect("invalid experiment");
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
         StorageNode::new(self.clone()).run()
     }
 }
@@ -428,7 +432,9 @@ mod tests {
             .seed(42)
             .build();
         assert_eq!(e.total_streams(), 240);
-        assert!(matches!(e.frontend, Frontend::AllDispatched { read_ahead_bytes } if read_ahead_bytes == 1 << 20));
+        assert!(
+            matches!(e.frontend, Frontend::AllDispatched { read_ahead_bytes } if read_ahead_bytes == 1 << 20)
+        );
         assert!(e.validate().is_ok());
     }
 

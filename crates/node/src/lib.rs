@@ -33,9 +33,12 @@
 
 mod calibration;
 mod experiment;
+pub mod sweep;
 mod system;
 pub mod trace;
 
 pub use calibration::CostModel;
 pub use experiment::{Experiment, ExperimentBuilder, Frontend, NodeShape, Placement, RunResult};
+pub use seqio_simcore::SeqioError;
+pub use sweep::{PointOutcome, Sweep, SweepBuilder, SweepReport};
 pub use trace::TraceRecord;

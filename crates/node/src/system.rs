@@ -26,7 +26,7 @@ enum Ev {
     /// Send a request to controller `ctrl`.
     SubmitCtrl { ctrl: usize, req: HostRequest },
     /// A controller-internal event is due.
-    CtrlEv { ctrl: usize, ev: CtrlEvent },
+    CtrlInternal { ctrl: usize, ev: CtrlEvent },
     /// Controller `ctrl` finished its request `id`.
     CtrlDone { ctrl: usize, id: u64 },
     /// Response for client request `id` reaches the client.
@@ -115,7 +115,9 @@ impl StorageNode {
         for c in 0..spec.shape.controllers {
             let cfg = ControllerConfig { ports: dpc, ..spec.shape.controller.clone() };
             let disks = (0..dpc)
-                .map(|p| Disk::new(spec.shape.disk.clone(), spec.seed ^ ((c * dpc + p) as u64) << 8 | 1))
+                .map(|p| {
+                    Disk::new(spec.shape.disk.clone(), spec.seed ^ ((c * dpc + p) as u64) << 8 | 1)
+                })
                 .collect();
             controllers.push(Controller::new(cfg, disks));
         }
@@ -302,7 +304,7 @@ impl StorageNode {
                 let outs = self.controllers[ctrl].submit(now, req);
                 self.map_ctrl_outputs(ctrl, outs);
             }
-            Ev::CtrlEv { ctrl, ev } => {
+            Ev::CtrlInternal { ctrl, ev } => {
                 let outs = self.controllers[ctrl].on_event(now, ev);
                 self.map_ctrl_outputs(ctrl, outs);
             }
@@ -322,7 +324,14 @@ impl StorageNode {
 
     // ----- client side ------------------------------------------------
 
-    fn alloc_client_id(&mut self, stream: usize, disk: usize, lba: u64, blocks: u64, sent: SimTime) -> u64 {
+    fn alloc_client_id(
+        &mut self,
+        stream: usize,
+        disk: usize,
+        lba: u64,
+        blocks: u64,
+        sent: SimTime,
+    ) -> u64 {
         let id = self.next_client_id;
         self.next_client_id += 1;
         self.meta.insert(id, ClientMeta { stream, disk, lba, blocks, sent });
@@ -357,8 +366,8 @@ impl StorageNode {
             let think = if from_memory {
                 self.spec.costs.hit_turnaround
             } else {
-                let mean = self.spec.costs.wake_per_stream.as_secs_f64()
-                    * self.stream_bytes.len() as f64;
+                let mean =
+                    self.spec.costs.wake_per_stream.as_secs_f64() * self.stream_bytes.len() as f64;
                 let jitter = if mean > 0.0 {
                     SimDuration::from_secs_f64(self.rng.exponential(mean))
                 } else {
@@ -417,10 +426,7 @@ impl StorageNode {
                     }
                     RaOutcome::Miss { lba, blocks } => {
                         d.waiters.entry(meta.stream).or_default().push(id);
-                        d.sched.add(
-                            BlockRequest { id: 0, process: meta.stream, lba, blocks },
-                            now,
-                        );
+                        d.sched.add(BlockRequest { id: 0, process: meta.stream, lba, blocks }, now);
                         self.linux_kick(now, meta.disk);
                     }
                 }
@@ -494,7 +500,7 @@ impl StorageNode {
                     self.q.push(at, Ev::CtrlDone { ctrl, id: id.0 });
                 }
                 CtrlOutput::Event { at, event } => {
-                    self.q.push(at, Ev::CtrlEv { ctrl, ev: event });
+                    self.q.push(at, Ev::CtrlInternal { ctrl, ev: event });
                 }
             }
         }
@@ -609,10 +615,7 @@ mod tests {
         );
         let t1 = one.total_throughput_mbs();
         let t100 = hundred.total_throughput_mbs();
-        assert!(
-            t100 < t1 / 2.0,
-            "throughput must collapse: 1 stream {t1} vs 100 streams {t100}"
-        );
+        assert!(t100 < t1 / 2.0, "throughput must collapse: 1 stream {t1} vs 100 streams {t100}");
     }
 
     #[test]
@@ -642,7 +645,12 @@ mod tests {
         );
         let m = sched.server_metrics.expect("stream fe reports metrics");
         assert!(m.streams_detected >= 90, "detected {}", m.streams_detected);
-        assert!(m.memory_hits > m.direct_requests, "hits {} direct {}", m.memory_hits, m.direct_requests);
+        assert!(
+            m.memory_hits > m.direct_requests,
+            "hits {} direct {}",
+            m.memory_hits,
+            m.direct_requests
+        );
     }
 
     #[test]

@@ -37,7 +37,8 @@ impl TraceRecord {
 
 /// Renders records as CSV (with header).
 pub fn to_csv(records: &[TraceRecord]) -> String {
-    let mut out = String::from("stream,disk,lba,blocks,sent_ns,completed_ns,latency_us,from_memory\n");
+    let mut out =
+        String::from("stream,disk,lba,blocks,sent_ns,completed_ns,latency_us,from_memory\n");
     for r in records {
         let _ = writeln!(
             out,

@@ -1,0 +1,120 @@
+//! Typed validation errors shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a configuration or experiment specification was rejected.
+///
+/// Each variant identifies which layer rejected the input; the payload is
+/// the human-readable constraint that failed. The enum is `#[non_exhaustive]`
+/// so new layers can gain variants without breaking downstream matches.
+///
+/// # Examples
+///
+/// ```
+/// use seqio_simcore::SeqioError;
+///
+/// let e = SeqioError::Server("memory invariant violated".into());
+/// assert_eq!(e.to_string(), "invalid server config: memory invariant violated");
+/// // Incremental migration: stringly-typed callers still work.
+/// let s: String = e.into();
+/// assert!(s.contains("memory invariant"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SeqioError {
+    /// The node layout ([`NodeShape`](https://docs.rs/seqio-node)) is
+    /// degenerate: no controllers, no disks.
+    Shape(String),
+    /// The stream-scheduler `ServerConfig` violates a constraint such as
+    /// the paper's memory invariant `M >= D * R * N`.
+    Server(String),
+    /// The experiment specification as a whole is inconsistent.
+    Experiment(String),
+    /// A component model (disk, controller, read-ahead, cost model, ...)
+    /// rejected its configuration.
+    Component {
+        /// Which component rejected the input (e.g. `"disk"`).
+        component: &'static str,
+        /// The violated constraint.
+        reason: String,
+    },
+}
+
+impl SeqioError {
+    /// Wraps a component-level `Result<_, String>` validator, tagging its
+    /// message with the component name. Designed for `map_err`:
+    ///
+    /// ```ignore
+    /// self.disk.validate().map_err(SeqioError::component("disk"))?;
+    /// ```
+    pub fn component(name: &'static str) -> impl FnOnce(String) -> SeqioError {
+        move |reason| SeqioError::Component { component: name, reason }
+    }
+
+    /// The constraint message without the layer prefix.
+    pub fn reason(&self) -> &str {
+        match self {
+            SeqioError::Shape(r)
+            | SeqioError::Server(r)
+            | SeqioError::Experiment(r)
+            | SeqioError::Component { reason: r, .. } => r,
+        }
+    }
+}
+
+impl fmt::Display for SeqioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqioError::Shape(r) => write!(f, "invalid node shape: {r}"),
+            SeqioError::Server(r) => write!(f, "invalid server config: {r}"),
+            SeqioError::Experiment(r) => write!(f, "invalid experiment: {r}"),
+            SeqioError::Component { component, reason } => {
+                write!(f, "invalid {component} config: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SeqioError {}
+
+impl From<SeqioError> for String {
+    fn from(e: SeqioError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_by_layer() {
+        assert_eq!(SeqioError::Shape("x".into()).to_string(), "invalid node shape: x");
+        assert_eq!(SeqioError::Experiment("y".into()).to_string(), "invalid experiment: y");
+        assert_eq!(
+            SeqioError::Component { component: "disk", reason: "z".into() }.to_string(),
+            "invalid disk config: z"
+        );
+    }
+
+    #[test]
+    fn converts_to_string_for_legacy_callers() {
+        let s: String = SeqioError::Server("M too small".into()).into();
+        assert_eq!(s, "invalid server config: M too small");
+    }
+
+    #[test]
+    fn component_adapter_tags_map_err() {
+        let r: Result<(), String> = Err("bad geometry".into());
+        let e = r.map_err(SeqioError::component("disk")).unwrap_err();
+        assert_eq!(e, SeqioError::Component { component: "disk", reason: "bad geometry".into() });
+        assert_eq!(e.reason(), "bad geometry");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SeqioError::Shape("no disks".into()));
+    }
+}

@@ -93,11 +93,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current time — scheduling into the
     /// past is always a model bug and would silently corrupt causality.
     pub fn push(&mut self, at: SimTime, payload: E) {
-        assert!(
-            at >= self.now,
-            "scheduling into the past: event at {at} but now is {}",
-            self.now
-        );
+        assert!(at >= self.now, "scheduling into the past: event at {at} but now is {}", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, payload });

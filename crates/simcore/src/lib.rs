@@ -11,7 +11,8 @@
 //! * [`EventQueue`] — a priority queue with stable FIFO tie-breaking, so
 //!   simulations are bit-for-bit reproducible;
 //! * [`SimRng`] — explicitly seeded randomness with per-component forking;
-//! * measurement: [`OnlineStats`], [`LatencyHistogram`], [`ThroughputMeter`].
+//! * measurement: [`OnlineStats`], [`LatencyHistogram`], [`ThroughputMeter`];
+//! * [`SeqioError`] — typed validation errors shared by the higher layers.
 //!
 //! # Examples
 //!
@@ -40,12 +41,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod error;
 mod event;
 mod rng;
 mod stats;
 mod time;
 pub mod units;
 
+pub use error::SeqioError;
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use stats::{LatencyHistogram, OnlineStats, ThroughputMeter};

@@ -178,10 +178,9 @@ impl LatencyHistogram {
 
     /// Exact mean of all recorded samples.
     pub fn mean(&self) -> SimDuration {
-        if self.count == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(self.sum.as_nanos() / self.count)
+        match self.sum.as_nanos().checked_div(self.count) {
+            Some(ns) => SimDuration::from_nanos(ns),
+            None => SimDuration::ZERO,
         }
     }
 

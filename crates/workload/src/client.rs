@@ -47,8 +47,11 @@ impl ClientSet {
     pub fn new(specs: Vec<StreamSpec>, max_outstanding: u32, rng: &mut SimRng) -> Self {
         assert!(max_outstanding > 0, "need at least one outstanding request");
         assert!(!specs.is_empty(), "need at least one stream");
-        let streams: Vec<StreamState> =
-            specs.into_iter().enumerate().map(|(i, s)| StreamState::new(s, rng.fork(i as u64))).collect();
+        let streams: Vec<StreamState> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| StreamState::new(s, rng.fork(i as u64)))
+            .collect();
         let n = streams.len();
         ClientSet { streams, outstanding: vec![0; n], max_outstanding, completed: vec![0; n] }
     }

@@ -67,9 +67,7 @@ impl XddRun {
         assert!(request_blocks > 0, "request size must be positive");
         let run_blocks = request_blocks * self.requests_per_stream;
         let offsets = match self.interval_bytes {
-            Some(b) => {
-                interval_offsets(total_blocks, self.streams, bytes_to_blocks(b), run_blocks)
-            }
+            Some(b) => interval_offsets(total_blocks, self.streams, bytes_to_blocks(b), run_blocks),
             None => {
                 let offs = uniform_offsets(total_blocks, self.streams);
                 // Ensure each stream's run fits before the next offset/disk end.
@@ -120,11 +118,8 @@ mod tests {
     #[test]
     fn gigabyte_interval_placement() {
         let total = 200_000_000; // ~95 GiB of blocks
-        let specs = XddRun::new(0)
-            .streams(4)
-            .interval_bytes(GIB)
-            .requests_per_stream(16)
-            .build(total);
+        let specs =
+            XddRun::new(0).streams(4).interval_bytes(GIB).requests_per_stream(16).build(total);
         assert_eq!(specs[1].start, GIB / 512);
         assert_eq!(specs[3].start, 3 * (GIB / 512));
     }

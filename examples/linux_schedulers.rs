@@ -7,14 +7,13 @@
 //! ```
 
 use seqio::hostsched::{ReadaheadConfig, SchedKind};
-use seqio::node::{CostModel, Experiment, Frontend};
+use seqio::node::CostModel;
+use seqio::prelude::*;
 use seqio::simcore::units::KIB;
-use seqio::simcore::SimDuration;
 
 fn main() {
     let stream_counts = [1usize, 8, 32, 128];
-    let kinds =
-        [SchedKind::Noop, SchedKind::Deadline, SchedKind::Cfq, SchedKind::Anticipatory];
+    let kinds = [SchedKind::Noop, SchedKind::Deadline, SchedKind::Cfq, SchedKind::Anticipatory];
 
     println!("4 KiB sequential reads through a Linux-like page cache + block layer\n");
     print!("{:>14}", "streams");

@@ -11,10 +11,8 @@
 //! cargo run --release --example media_server
 //! ```
 
-use seqio::core::ServerConfig;
-use seqio::node::{Experiment, Frontend, NodeShape};
+use seqio::prelude::*;
 use seqio::simcore::units::GIB;
-use seqio::simcore::SimDuration;
 
 fn main() {
     let node_memory = GIB; // the testbed's 1 GB storage node

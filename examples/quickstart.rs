@@ -8,9 +8,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use seqio::node::{Experiment, Frontend};
+use seqio::prelude::*;
 use seqio::simcore::units::MIB;
-use seqio::simcore::SimDuration;
 
 fn main() {
     let streams = 100;

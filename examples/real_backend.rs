@@ -16,7 +16,8 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
-use seqio::core::{RealNode, ServerConfig};
+use seqio::core::RealNode;
+use seqio::prelude::*;
 use seqio::simcore::units::{KIB, MIB};
 
 fn make_scratch(name: &str, mib: usize) -> std::path::PathBuf {
@@ -48,8 +49,8 @@ fn main() {
         requests_per_residency: 4,
         memory_bytes: 4 * MIB * 4,
         prefetch_lead_bytes: MIB,
-        gc_period: seqio::simcore::SimDuration::from_millis(25),
-        buffer_timeout: seqio::simcore::SimDuration::from_millis(200),
+        gc_period: SimDuration::from_millis(25),
+        buffer_timeout: SimDuration::from_millis(200),
         ..ServerConfig::default_tuning()
     };
     println!(
@@ -83,8 +84,7 @@ fn main() {
         h.join().expect("reader thread");
     }
     let elapsed = started.elapsed();
-    let delivered =
-        files.len() as u64 * readers_per_file * requests_per_reader * 64 * KIB;
+    let delivered = files.len() as u64 * readers_per_file * requests_per_reader * 64 * KIB;
     println!(
         "delivered {} MiB in {:.2}s  ->  {:.0} MB/s at the clients",
         delivered / MIB,

@@ -18,7 +18,7 @@
 //! # Quick start
 //!
 //! ```
-//! use seqio::node::{Experiment, Frontend, NodeShape};
+//! use seqio::prelude::*;
 //!
 //! // 30 sequential streams on one disk, serviced through the paper's
 //! // stream scheduler with 1 MiB read-ahead.
@@ -31,6 +31,37 @@
 //!     .run();
 //! assert!(result.total_throughput_mbs() > 10.0);
 //! ```
+//!
+//! Grids of experiments run on a worker pool via [`node::Sweep`], with
+//! results returned in grid order regardless of worker count:
+//!
+//! ```
+//! use seqio::prelude::*;
+//!
+//! let report = Sweep::builder()
+//!     .points((1..=3).map(|n| {
+//!         Experiment::builder().streams_per_disk(10 * n).seed(7).build()
+//!     }))
+//!     .jobs(2)
+//!     .run();
+//! assert_eq!(report.len(), 3);
+//! ```
+
+pub use seqio_simcore::SeqioError;
+
+/// One-line import for the common experiment-building vocabulary.
+///
+/// ```
+/// use seqio::prelude::*;
+/// ```
+pub mod prelude {
+    pub use seqio_core::ServerConfig;
+    pub use seqio_node::{
+        Experiment, ExperimentBuilder, Frontend, NodeShape, RunResult, Sweep, SweepBuilder,
+        SweepReport,
+    };
+    pub use seqio_simcore::{SeqioError, SimDuration};
+}
 
 pub use seqio_controller as controller;
 pub use seqio_core as core;

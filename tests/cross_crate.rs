@@ -52,7 +52,14 @@ fn determinism_and_seed_sensitivity() {
     assert_eq!(a.bytes_delivered, b.bytes_delivered);
     assert_eq!(a.requests_completed, b.requests_completed);
     assert_eq!(a.disk_seeks, b.disk_seeks);
-    assert_ne!(a.bytes_delivered, c.bytes_delivered, "different seed, different run");
+    // A different seed must change observable behavior somewhere; which
+    // aggregate moves depends on the RNG stream, so accept any of them.
+    assert!(
+        a.bytes_delivered != c.bytes_delivered
+            || a.per_stream_mbs != c.per_stream_mbs
+            || a.disk_seeks != c.disk_seeks,
+        "different seed, different run"
+    );
 }
 
 /// Multi-controller topologies route requests to the right disks.

@@ -15,12 +15,8 @@ fn windows() -> (SimDuration, SimDuration) {
 #[test]
 fn headline_multi_x_improvement_at_100_streams() {
     let (warmup, duration) = windows();
-    let direct = Experiment::builder()
-        .streams_per_disk(100)
-        .warmup(warmup)
-        .duration(duration)
-        .seed(1)
-        .run();
+    let direct =
+        Experiment::builder().streams_per_disk(100).warmup(warmup).duration(duration).seed(1).run();
     let sched = Experiment::builder()
         .streams_per_disk(100)
         .frontend(Frontend::stream_scheduler_with_readahead(4 * MIB))
@@ -90,10 +86,7 @@ fn small_memory_is_effective() {
     };
     let small = run(16 * MIB);
     let big = run(256 * MIB);
-    assert!(
-        small > 0.7 * big,
-        "16MB ({small:.1}) should reach >70% of 256MB ({big:.1})"
-    );
+    assert!(small > 0.7 * big, "16MB ({small:.1}) should reach >70% of 256MB ({big:.1})");
 }
 
 /// "Response time is affected mostly by the number of streams, with

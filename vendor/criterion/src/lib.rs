@@ -1,0 +1,184 @@
+//! Offline stub of `criterion`.
+//!
+//! Exposes the macro/entry-point surface used by `seqio-bench`'s micro
+//! benchmarks (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `bench_function`, `benchmark_group`, `iter`, `iter_batched`,
+//! `BatchSize`). Instead of statistical sampling it times a fixed wall
+//! budget per benchmark and reports mean ns/iter — enough to spot an
+//! order-of-magnitude regression in CI without crates.io access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark (after a short warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(120);
+const WARMUP_BUDGET: Duration = Duration::from_millis(30);
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(name, &mut f);
+        self
+    }
+
+    /// Starts a named group; the stub only namespaces the output.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_named(&full, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup; the stub treats all sizes alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine output; setup per small batch.
+    SmallInput,
+    /// Large routine output.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measuring budget is consumed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + WARMUP_BUDGET;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let stop = start + MEASURE_BUDGET;
+        let mut iters = 0u64;
+        while Instant::now() < stop {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// cost from the per-iteration estimate only approximately (the stub
+    /// subtracts nothing; setup here is cheap relative to routines).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + WARMUP_BUDGET;
+        while Instant::now() < warm_until {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < MEASURE_BUDGET {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.elapsed = measured;
+        self.iters = iters;
+    }
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no iterations recorded)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("{name:<40} {ns:>14.0} ns/iter ({} iters)", b.iters);
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running every listed group (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_progress() {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= MEASURE_BUDGET);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+}
