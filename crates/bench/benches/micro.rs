@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use seqio_core::Classifier;
 use seqio_disk::{CacheConfig, SegmentedCache};
 use seqio_node::Experiment;
-use seqio_simcore::{EventQueue, SimDuration, SimTime};
+use seqio_simcore::{EventQueue, HeapEventQueue, SimDuration, SimTime};
 
 fn bench_classifier(c: &mut Criterion) {
     c.bench_function("classifier_observe_sequential", |b| {
@@ -78,6 +78,59 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// Event time for slot `i` of `n`, either spread evenly over one second
+/// (uniform) or piled into a handful of tight bursts (clustered) — the
+/// shape a DES produces when many streams complete at nearly the same
+/// instant.
+fn event_time(i: u64, clustered: bool) -> u64 {
+    if clustered {
+        (i % 8) * 100_000_000 + (i * 2_654_435_761) % 20_000
+    } else {
+        (i * 2_654_435_761) % 1_000_000_000
+    }
+}
+
+/// Steady-state churn: prefill `n` events, then for each of `n` steps pop
+/// the earliest event and push a replacement shortly after it — the access
+/// pattern of a running simulation with a stable pending-event population.
+macro_rules! queue_churn {
+    ($queue:ty, $n:expr, $clustered:expr) => {{
+        let n: u64 = $n;
+        let mut q = <$queue>::new();
+        for i in 0..n {
+            q.push(SimTime::from_nanos(event_time(i, $clustered)), i);
+        }
+        let mut acc = 0u64;
+        for i in 0..n {
+            let (t, v) = q.pop().expect("queue prefilled");
+            acc = acc.wrapping_add(v);
+            q.push(t + SimDuration::from_nanos(1 + (i * 48_271) % 1_000_000), i);
+        }
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        std::hint::black_box(acc)
+    }};
+}
+
+fn bench_queue_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_compare");
+    for &(n, label) in &[(1_000u64, "1k"), (100_000u64, "100k")] {
+        if n >= 100_000 {
+            g.sample_size(10);
+        }
+        for &(clustered, dist) in &[(false, "uniform"), (true, "clustered")] {
+            g.bench_function(&format!("calendar_{label}_{dist}"), |b| {
+                b.iter(|| queue_churn!(EventQueue<u64>, n, clustered))
+            });
+            g.bench_function(&format!("heap_{label}_{dist}"), |b| {
+                b.iter(|| queue_churn!(HeapEventQueue<u64>, n, clustered))
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_experiment(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
@@ -94,5 +147,12 @@ fn bench_experiment(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_classifier, bench_cache, bench_event_queue, bench_experiment);
+criterion_group!(
+    benches,
+    bench_classifier,
+    bench_cache,
+    bench_event_queue,
+    bench_queue_comparison,
+    bench_experiment
+);
 criterion_main!(benches);

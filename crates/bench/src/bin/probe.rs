@@ -1,5 +1,13 @@
 //! Calibration probe: prints the key operating points the figures depend
 //! on, so model constants can be sanity-checked quickly.
+//!
+//! `probe perf` instead runs the kernel performance harness: a few
+//! representative macro points timed wall-clock, reporting events
+//! simulated and events/sec, with machine-readable JSON written to
+//! `bench_results/perf_probe.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
 
 use seqio_core::ServerConfig;
 use seqio_disk::CacheConfig;
@@ -8,7 +16,109 @@ use seqio_node::{CostModel, Experiment, Frontend, NodeShape};
 use seqio_simcore::units::{KIB, MIB};
 use seqio_simcore::SimDuration;
 
+/// One timed macro point of the perf harness.
+struct PerfPoint {
+    name: &'static str,
+    wall_secs: f64,
+    events: u64,
+    repeats: u32,
+}
+
+impl PerfPoint {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times `spec` `repeats` times and keeps the best (minimum) wall time —
+/// the usual way to suppress scheduler noise in a throughput harness.
+fn time_point(name: &'static str, spec: Experiment, repeats: u32) -> PerfPoint {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let r = spec.run();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        events = r.events_simulated;
+    }
+    PerfPoint { name, wall_secs: best, events, repeats }
+}
+
+/// Runs the representative macro points and writes the JSON report.
+fn perf_mode() {
+    let secs: u64 =
+        std::env::var("SEQIO_PERF_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(58);
+    let repeats: u32 =
+        std::env::var("SEQIO_PERF_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let w = SimDuration::from_secs(2);
+    let d = SimDuration::from_secs(secs);
+    let base = || Experiment::builder().warmup(w).duration(d).seed(7);
+
+    let points = [
+        time_point("direct-1disk-100streams", base().streams_per_disk(100).build(), repeats),
+        time_point(
+            "stream-sched-100streams",
+            base()
+                .streams_per_disk(100)
+                .frontend(Frontend::stream_scheduler_with_readahead(4 * MIB))
+                .build(),
+            repeats,
+        ),
+        time_point(
+            "direct-8disk-10streams",
+            base().shape(NodeShape::eight_disk()).streams_per_disk(10).build(),
+            repeats,
+        ),
+        time_point(
+            "direct-60disk-30streams",
+            base().shape(NodeShape::sixty_disk()).streams_per_disk(30).build(),
+            repeats,
+        ),
+    ];
+
+    println!("-- kernel perf: {secs}s simulated window, min of {repeats} runs --");
+    let mut json = String::from("{\n  \"window_secs\": ");
+    let _ = write!(json, "{secs},\n  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "  {:<26} {:>8.3}s wall  {:>10} events  {:>12.0} events/sec",
+            p.name,
+            p.wall_secs,
+            p.events,
+            p.events_per_sec()
+        );
+        let _ = write!(
+            json,
+            "{}\n    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \
+             \"events_per_sec\": {:.1}, \"repeats\": {}}}",
+            if i == 0 { "" } else { "," },
+            p.name,
+            p.wall_secs,
+            p.events,
+            p.events_per_sec(),
+            p.repeats
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    let dir = seqio_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("perf_probe.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("   -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("perf") {
+        perf_mode();
+        return;
+    }
     let w = SimDuration::from_secs(6);
     let d = SimDuration::from_secs(6);
 

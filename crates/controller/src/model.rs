@@ -12,8 +12,6 @@
 //! Optionally the controller prefetches ahead of sequential reads into its
 //! own extent cache (Figure 8).
 
-use std::collections::HashMap;
-
 use seqio_disk::{
     bytes_to_blocks, Direction, Disk, DiskOutput, DiskRequest, Lba, RequestId, BLOCK_SIZE,
 };
@@ -143,8 +141,17 @@ pub struct Controller {
     /// Bytes of host-request buffers currently resident (drives the
     /// buffer-management pressure term).
     resident_bytes: u64,
-    next_disk_req: u64,
-    inflight: HashMap<(usize, RequestId), InflightFetch>,
+    /// Slab of in-flight disk fetches, indexed by the disk-level
+    /// `RequestId` (slot indices are reused via `inflight_free`, which is
+    /// safe because a disk id is only ever visible while its fetch is in
+    /// flight). A `Vec` keeps the in-flight attach scan in deterministic
+    /// slot order and off the hash path entirely.
+    inflight: Vec<Option<InflightFetch>>,
+    inflight_free: Vec<usize>,
+    /// Recycled waiter vectors, so steady-state fetches allocate nothing.
+    waiter_pool: Vec<Vec<HostRequest>>,
+    /// Scratch for collecting disk outputs inside one call.
+    disk_scratch: Vec<DiskOutput>,
     metrics: ControllerMetrics,
 }
 
@@ -169,8 +176,10 @@ impl Controller {
             cpu_free: SimTime::ZERO,
             outstanding: 0,
             resident_bytes: 0,
-            next_disk_req: 0,
-            inflight: HashMap::new(),
+            inflight: Vec::new(),
+            inflight_free: Vec::new(),
+            waiter_pool: Vec::new(),
+            disk_scratch: Vec::new(),
             metrics: ControllerMetrics::default(),
         }
     }
@@ -211,38 +220,46 @@ impl Controller {
 
     /// Submits a host request.
     ///
+    /// Convenience wrapper over [`submit_into`](Controller::submit_into)
+    /// that allocates a fresh output vector per call; the simulation hot
+    /// paths use the `_into` variant with a reusable scratch buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `port` is out of range or the request is invalid for the
     /// target disk.
     pub fn submit(&mut self, now: SimTime, req: HostRequest) -> Vec<CtrlOutput> {
+        let mut out = Vec::new();
+        self.submit_into(now, req, &mut out);
+        out
+    }
+
+    /// Submits a host request, appending outputs to `out` instead of
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range or the request is invalid for the
+    /// target disk.
+    pub fn submit_into(&mut self, now: SimTime, req: HostRequest, out: &mut Vec<CtrlOutput>) {
         assert!(req.port < self.cfg.ports, "port {} out of range", req.port);
         self.metrics.host_requests += 1;
         self.outstanding += 1;
         self.resident_bytes += req.bytes();
         self.metrics.peak_outstanding = self.metrics.peak_outstanding.max(self.outstanding);
-        let mut out = Vec::new();
         match req.direction {
             Direction::Write => {
                 self.cache.invalidate(req.port, req.lba, req.blocks);
-                self.start_fetch(
-                    now,
-                    req.port,
-                    req.lba,
-                    req.blocks,
-                    req.direction,
-                    vec![req],
-                    &mut out,
-                );
+                self.start_fetch(now, req.port, req.lba, req.blocks, req.direction, Some(req), out);
             }
             Direction::Read => {
                 if let Some(hit) = self.cache.lookup_extent(req.port, req.lba, req.blocks, now) {
                     self.metrics.cache_hits += 1;
                     let at = self.charge_completion(now, req.bytes());
                     let port = req.port;
-                    self.finish(req, at, &mut out);
-                    self.maybe_async_prefetch(now, port, hit, &mut out);
-                } else if let Some(f) = self.inflight.values_mut().find(|f| {
+                    self.finish(req, at, out);
+                    self.maybe_async_prefetch(now, port, hit, out);
+                } else if let Some(f) = self.inflight.iter_mut().flatten().find(|f| {
                     f.port == req.port && f.lba <= req.lba && req.end() <= f.lba + f.blocks
                 }) {
                     self.metrics.inflight_hits += 1;
@@ -251,7 +268,7 @@ impl Controller {
                     let extent = self.plan_extent(&req);
                     let port = req.port;
                     let lba = req.lba;
-                    self.start_fetch(now, port, lba, extent, req.direction, vec![req], &mut out);
+                    self.start_fetch(now, port, lba, extent, req.direction, Some(req), out);
                     // Prefetch the extent after the missed one as well: a
                     // sequential reader is about to want it. Under memory
                     // pressure these speculative fetches are exactly the
@@ -261,12 +278,11 @@ impl Controller {
                         now,
                         port,
                         ExtentHit { start: lba, blocks: extent, touched: extent },
-                        &mut out,
+                        out,
                     );
                 }
             }
         }
-        out
     }
 
     /// Speculative read-ahead: once a stream has consumed half of its
@@ -292,29 +308,42 @@ impl Controller {
         }
         if self
             .inflight
-            .values()
+            .iter()
+            .flatten()
             .any(|f| f.port == port && f.lba <= next && next < f.lba + f.blocks)
         {
             return;
         }
         let blocks = bytes_to_blocks(self.cfg.prefetch_bytes).max(1).min(disk_end - next);
         self.metrics.async_prefetches += 1;
-        self.start_fetch(now, port, next, blocks, Direction::Read, Vec::new(), out);
+        self.start_fetch(now, port, next, blocks, Direction::Read, None, out);
     }
 
     /// Delivers a previously scheduled [`CtrlEvent`].
+    ///
+    /// Convenience wrapper over [`on_event_into`](Controller::on_event_into).
     pub fn on_event(&mut self, now: SimTime, ev: CtrlEvent) -> Vec<CtrlOutput> {
         let mut out = Vec::new();
+        self.on_event_into(now, ev, &mut out);
+        out
+    }
+
+    /// Delivers a previously scheduled [`CtrlEvent`], appending outputs to
+    /// `out` instead of allocating.
+    pub fn on_event_into(&mut self, now: SimTime, ev: CtrlEvent, out: &mut Vec<CtrlOutput>) {
         match ev {
             CtrlEvent::DiskOpFinished { port } => {
-                let disk_outs = self.disks[port].on_op_finished(now);
-                self.map_disk_outputs(port, disk_outs, &mut out);
+                let mut scratch = std::mem::take(&mut self.disk_scratch);
+                self.disks[port].on_op_finished_into(now, &mut scratch);
+                self.map_disk_outputs(port, &mut scratch, out);
+                self.disk_scratch = scratch;
             }
             CtrlEvent::DiskComplete { port, disk_req } => {
-                let fetch = self
-                    .inflight
-                    .remove(&(port, disk_req))
-                    .expect("completion for unknown disk request");
+                let slot = disk_req.0 as usize;
+                let mut fetch =
+                    self.inflight[slot].take().expect("completion for unknown disk request");
+                self.inflight_free.push(slot);
+                assert_eq!(fetch.port, port, "completion port mismatch");
                 self.metrics.bytes_from_disks += fetch.blocks * BLOCK_SIZE;
                 // Move the extent over the port link before anything is
                 // visible to the host.
@@ -325,13 +354,13 @@ impl Controller {
                 if fetch.direction == Direction::Read && self.cfg.cache_bytes > 0 {
                     self.cache.insert(port, fetch.lba, fetch.blocks, now);
                 }
-                for w in fetch.waiters {
+                for w in fetch.waiters.drain(..) {
                     let at = self.charge_completion(link_end, w.bytes());
-                    self.finish(w, at, &mut out);
+                    self.finish(w, at, out);
                 }
+                self.waiter_pool.push(fetch.waiters);
             }
         }
-        out
     }
 
     /// Extent size (blocks) to fetch for a read miss: the request itself,
@@ -352,28 +381,36 @@ impl Controller {
         lba: Lba,
         extent_blocks: u64,
         direction: Direction,
-        waiters: Vec<HostRequest>,
+        waiter: Option<HostRequest>,
         out: &mut Vec<CtrlOutput>,
     ) {
-        let disk_id = RequestId(self.next_disk_req);
-        self.next_disk_req += 1;
+        let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+        waiters.extend(waiter);
+        let slot = match self.inflight_free.pop() {
+            Some(s) => s,
+            None => {
+                self.inflight.push(None);
+                self.inflight.len() - 1
+            }
+        };
+        let disk_id = RequestId(slot as u64);
         self.metrics.disk_fetches += 1;
         let disk_req = DiskRequest { id: disk_id, lba, blocks: extent_blocks, direction };
-        self.inflight.insert(
-            (port, disk_id),
-            InflightFetch { port, lba, blocks: extent_blocks, direction, waiters },
-        );
-        let disk_outs = self.disks[port].submit(now, disk_req);
-        self.map_disk_outputs(port, disk_outs, out);
+        self.inflight[slot] =
+            Some(InflightFetch { port, lba, blocks: extent_blocks, direction, waiters });
+        let mut scratch = std::mem::take(&mut self.disk_scratch);
+        self.disks[port].submit_into(now, disk_req, &mut scratch);
+        self.map_disk_outputs(port, &mut scratch, out);
+        self.disk_scratch = scratch;
     }
 
     fn map_disk_outputs(
         &mut self,
         port: usize,
-        disk_outs: Vec<DiskOutput>,
+        disk_outs: &mut Vec<DiskOutput>,
         out: &mut Vec<CtrlOutput>,
     ) {
-        for o in disk_outs {
+        for o in disk_outs.drain(..) {
             match o {
                 DiskOutput::Complete { id, at, .. } => {
                     out.push(CtrlOutput::Event {

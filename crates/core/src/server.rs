@@ -11,7 +11,7 @@
 //! both by the simulated storage node (`seqio-node`) and by the real-file
 //! backend runner ([`crate::runner`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use seqio_simcore::{SimDuration, SimTime};
 
@@ -145,8 +145,15 @@ pub struct StorageServer {
     disk_quota: usize,
     /// Last admitted frontier per disk (for the offset-ordered policy).
     last_admit_frontier: Vec<Lba>,
-    pending_disk: HashMap<u64, PendingDisk>,
-    next_backend_id: u64,
+    /// In-flight backend operations, slot-indexed by backend id. Ids are
+    /// reused from `pending_free`, so the table stays as small as the
+    /// in-flight window and lookups skip hashing entirely.
+    pending_disk: Vec<Option<PendingDisk>>,
+    pending_free: Vec<u64>,
+    pending_count: usize,
+    /// Reusable issue-/completion-path buffers for `on_disk_complete_into`.
+    scratch_issue: Vec<ServerOutput>,
+    scratch_complete: Vec<ServerOutput>,
     metrics: ServerMetrics,
 }
 
@@ -177,8 +184,11 @@ impl StorageServer {
             disk_dispatched: vec![0; n_disks],
             disk_quota,
             last_admit_frontier: vec![0; n_disks],
-            pending_disk: HashMap::new(),
-            next_backend_id: 0,
+            pending_disk: Vec::new(),
+            pending_free: Vec::new(),
+            pending_count: 0,
+            scratch_issue: Vec::new(),
+            scratch_complete: Vec::new(),
             metrics: ServerMetrics::default(),
         }
     }
@@ -229,7 +239,7 @@ impl StorageServer {
             self.cfg.memory_bytes,
             self.dispatched_count,
             self.rr.len(),
-            self.pending_disk.len()
+            self.pending_count
         );
         for s in self.streams.iter() {
             let _ = writeln!(
@@ -249,15 +259,32 @@ impl StorageServer {
     /// Panics if the request is empty, overruns its disk, or names an
     /// unknown disk.
     pub fn on_client_request(&mut self, now: SimTime, req: ClientRequest) -> Vec<ServerOutput> {
+        let mut out = Vec::new();
+        self.on_client_request_into(now, req, &mut out);
+        out
+    }
+
+    /// Handles an arriving client request, appending outputs to `out`
+    /// instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is empty, overruns its disk, or names an
+    /// unknown disk.
+    pub fn on_client_request_into(
+        &mut self,
+        now: SimTime,
+        req: ClientRequest,
+        out: &mut Vec<ServerOutput>,
+    ) {
         assert!(req.disk < self.disk_capacity.len(), "unknown disk {}", req.disk);
         assert!(req.blocks > 0, "empty request");
         assert!(req.end() <= self.disk_capacity[req.disk], "request past disk end");
         self.metrics.client_requests += 1;
-        let mut out = Vec::new();
 
         if req.write {
-            self.submit_direct(req, &mut out);
-            return out;
+            self.submit_direct(req, out);
+            return;
         }
 
         if let Some(sid) =
@@ -277,7 +304,7 @@ impl StorageServer {
                     // prefetch pipeline primed by re-queueing it.
                     self.requeue_if_demand(sid);
                     if freed > 0 || !self.rr.is_empty() {
-                        self.try_admit(now, &mut out);
+                        self.try_admit(now, out);
                     }
                 }
                 Coverage::InFlight => {
@@ -301,7 +328,7 @@ impl StorageServer {
                         s.waiting = true;
                         self.rr.push_back(sid);
                     }
-                    self.try_admit(now, &mut out);
+                    self.try_admit(now, out);
                 }
             }
         } else {
@@ -314,15 +341,14 @@ impl StorageServer {
                     self.rr.push_back(sid);
                     // The triggering request itself still goes directly to
                     // the disk; read-ahead starts behind it.
-                    self.submit_direct(req, &mut out);
-                    self.try_admit(now, &mut out);
+                    self.submit_direct(req, out);
+                    self.try_admit(now, out);
                 }
                 Classification::Pending => {
-                    self.submit_direct(req, &mut out);
+                    self.submit_direct(req, out);
                 }
             }
         }
-        out
     }
 
     /// Handles a backend completion for request `backend_id`.
@@ -331,9 +357,28 @@ impl StorageServer {
     ///
     /// Panics if the id is unknown (double completion).
     pub fn on_disk_complete(&mut self, now: SimTime, backend_id: u64) -> Vec<ServerOutput> {
-        let pending =
-            self.pending_disk.remove(&backend_id).expect("completion for unknown backend request");
         let mut out = Vec::new();
+        self.on_disk_complete_into(now, backend_id, &mut out);
+        out
+    }
+
+    /// Handles a backend completion, appending outputs to `out` instead of
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown (double completion).
+    pub fn on_disk_complete_into(
+        &mut self,
+        now: SimTime,
+        backend_id: u64,
+        out: &mut Vec<ServerOutput>,
+    ) {
+        let pending = self.pending_disk[backend_id as usize]
+            .take()
+            .expect("completion for unknown backend request");
+        self.pending_free.push(backend_id);
+        self.pending_count -= 1;
         match pending {
             PendingDisk::Direct { client } => {
                 self.metrics.completions += 1;
@@ -346,8 +391,11 @@ impl StorageServer {
                     s.last_active = now;
                     (s.dispatched, s.issued_in_residency)
                 });
-                let mut issue = Vec::new();
-                let mut complete = Vec::new();
+                // Reusable scratch: issue- and completion-path outputs are
+                // collected separately so their relative order can follow
+                // `issue_path_priority`, without allocating per completion.
+                let mut issue = std::mem::take(&mut self.scratch_issue);
+                let mut complete = std::mem::take(&mut self.scratch_complete);
                 if let Some((dispatched, issued)) = state {
                     // Issue path (paper §4.2: runs before completing clients).
                     if dispatched {
@@ -364,23 +412,32 @@ impl StorageServer {
                     self.requeue_if_demand(stream);
                 }
                 if self.cfg.issue_path_priority {
-                    out.extend(issue);
-                    out.extend(complete);
+                    out.append(&mut issue);
+                    out.append(&mut complete);
                 } else {
-                    out.extend(complete);
-                    out.extend(issue);
+                    out.append(&mut complete);
+                    out.append(&mut issue);
                 }
+                self.scratch_issue = issue;
+                self.scratch_complete = complete;
                 // Serving may have freed memory: admissions may now succeed.
-                self.try_admit(now, &mut out);
+                self.try_admit(now, out);
             }
         }
-        out
     }
 
     /// Periodic garbage collection (paper §4.3): reclaims buffers idle past
     /// the timeout, streams with nothing left to do, and stale classifier
     /// regions. Call every [`gc_period`](Self::gc_period).
     pub fn on_gc(&mut self, now: SimTime) -> Vec<ServerOutput> {
+        let mut out = Vec::new();
+        self.on_gc_into(now, &mut out);
+        out
+    }
+
+    /// Periodic garbage collection, appending outputs to `out` instead of
+    /// allocating.
+    pub fn on_gc_into(&mut self, now: SimTime, out: &mut Vec<ServerOutput>) {
         let cutoff =
             SimTime::from_nanos(now.as_nanos().saturating_sub(self.cfg.buffer_timeout.as_nanos()));
         let (_streams, _freed) = self.pool.gc(cutoff);
@@ -392,16 +449,13 @@ impl StorageServer {
             // lazily when it finds the id no longer resolves.
         }
         self.classifier.gc(cutoff);
-        let mut out = Vec::new();
-        self.try_admit(now, &mut out);
-        out
+        self.try_admit(now, out);
     }
 
     /// Sends a request straight to the disk, bypassing staging.
     fn submit_direct(&mut self, req: ClientRequest, out: &mut Vec<ServerOutput>) {
-        let id = self.alloc_backend_id();
+        let id = self.alloc_backend(PendingDisk::Direct { client: req.id });
         self.metrics.direct_requests += 1;
-        self.pending_disk.insert(id, PendingDisk::Direct { client: req.id });
         out.push(ServerOutput::SubmitDisk(BackendRequest {
             id,
             disk: req.disk,
@@ -574,9 +628,8 @@ impl StorageServer {
             self.metrics.issue_no_memory += 1;
             return IssueOutcome::NoMemory;
         };
-        let id = self.alloc_backend_id();
+        let id = self.alloc_backend(PendingDisk::Fill { stream, buffer });
         let lba = frontier;
-        self.pending_disk.insert(id, PendingDisk::Fill { stream, buffer });
         let s = self.streams.get_mut(stream).expect("stream exists");
         s.frontier = frontier + blocks;
         s.inflight = true;
@@ -633,10 +686,18 @@ impl StorageServer {
         }
     }
 
-    fn alloc_backend_id(&mut self) -> u64 {
-        let id = self.next_backend_id;
-        self.next_backend_id += 1;
-        id
+    fn alloc_backend(&mut self, op: PendingDisk) -> u64 {
+        self.pending_count += 1;
+        match self.pending_free.pop() {
+            Some(id) => {
+                self.pending_disk[id as usize] = Some(op);
+                id
+            }
+            None => {
+                self.pending_disk.push(Some(op));
+                self.pending_disk.len() as u64 - 1
+            }
+        }
     }
 }
 

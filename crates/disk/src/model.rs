@@ -183,14 +183,28 @@ impl Disk {
 
     /// Submits a request.
     ///
+    /// Convenience wrapper over [`submit_into`](Disk::submit_into) that
+    /// allocates a fresh output vector per call; the simulation hot paths use
+    /// the `_into` variant with a reusable scratch buffer instead.
+    ///
     /// # Panics
     ///
     /// Panics if the request fails [`validate_request`](Disk::validate_request).
     pub fn submit(&mut self, now: SimTime, req: DiskRequest) -> Vec<DiskOutput> {
+        let mut out = Vec::new();
+        self.submit_into(now, req, &mut out);
+        out
+    }
+
+    /// Submits a request, appending outputs to `out` instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request fails [`validate_request`](Disk::validate_request).
+    pub fn submit_into(&mut self, now: SimTime, req: DiskRequest, out: &mut Vec<DiskOutput>) {
         self.validate_request(&req).expect("invalid disk request");
         self.metrics.requests += 1;
         self.metrics.bytes_requested += req.bytes();
-        let mut out = Vec::new();
         match req.direction {
             Direction::Write => {
                 self.cache.invalidate(req.lba, req.blocks);
@@ -219,7 +233,7 @@ impl Disk {
                             at,
                             hit: true,
                         });
-                        return out;
+                        return;
                     }
                 }
                 // Fully in cache?
@@ -231,21 +245,34 @@ impl Disk {
                         at: now + self.cfg.command_overhead,
                         hit: true,
                     });
-                    return out;
+                    return;
                 }
                 self.queue.push(req);
             }
         }
-        self.try_start(now, &mut out);
-        out
+        self.try_start(now, out);
     }
 
     /// Must be called when an [`DiskOutput::OpFinished`] instant arrives.
+    ///
+    /// Convenience wrapper over [`on_op_finished_into`](Disk::on_op_finished_into).
     ///
     /// # Panics
     ///
     /// Panics if no operation is active or `now` is not its finish instant.
     pub fn on_op_finished(&mut self, now: SimTime) -> Vec<DiskOutput> {
+        let mut out = Vec::new();
+        self.on_op_finished_into(now, &mut out);
+        out
+    }
+
+    /// [`on_op_finished`](Disk::on_op_finished), appending outputs to `out`
+    /// instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operation is active or `now` is not its finish instant.
+    pub fn on_op_finished_into(&mut self, now: SimTime, out: &mut Vec<DiskOutput>) {
         let op = self.active.take().expect("on_op_finished with no active op");
         assert_eq!(op.finish, now, "on_op_finished at the wrong instant");
         if let Some(ticket) = op.ticket {
@@ -255,9 +282,7 @@ impl Disk {
         self.last_media_end = Some(end);
         self.head_cylinder = self.geom.cylinder_of(end.min(self.geom.total_blocks() - 1));
         self.media_free_at = now;
-        let mut out = Vec::new();
-        self.try_start(now, &mut out);
-        out
+        self.try_start(now, out);
     }
 
     /// Starts the next queued command if the mechanism is free.

@@ -366,6 +366,9 @@ pub struct RunResult {
     pub ctrl_bytes_from_disks: u64,
     /// Total client requests completed inside the window.
     pub requests_completed: u64,
+    /// Discrete events scheduled on the simulation kernel over the whole
+    /// run (warm-up included) — the numerator for events/sec.
+    pub events_simulated: u64,
     /// Per-request records, when tracing was enabled.
     pub trace: Option<Vec<crate::TraceRecord>>,
 }

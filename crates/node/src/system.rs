@@ -8,8 +8,6 @@
 //! the sum of per-stream throughputs over the measured window, response
 //! time taken at the client.
 
-use std::collections::HashMap;
-
 use seqio_controller::{Controller, ControllerConfig, CtrlEvent, CtrlOutput, HostRequest};
 use seqio_core::{ServerConfig, ServerOutput, StorageServer};
 use seqio_disk::{Direction, Disk, RequestId};
@@ -60,9 +58,11 @@ enum Tag {
 #[derive(Debug)]
 struct LinuxDisk {
     sched: Box<dyn IoScheduler>,
-    ra: HashMap<usize, StreamRa>,
-    /// Client requests blocked on each stream's in-flight fetch.
-    waiters: HashMap<usize, Vec<u64>>,
+    /// Per-stream read-ahead state, indexed by the dense global stream id.
+    ra: Vec<Option<StreamRa>>,
+    /// Client requests blocked on each stream's in-flight fetch, indexed by
+    /// the dense global stream id (vectors are reused across fetches).
+    waiters: Vec<Vec<u64>>,
     busy: bool,
 }
 
@@ -92,10 +92,19 @@ pub(crate) struct StorageNode {
     dpc: usize,
     fe: Fe,
     drive: Drive,
-    meta: HashMap<u64, ClientMeta>,
-    next_client_id: u64,
-    tags: HashMap<(usize, u64), Tag>,
-    next_ctrl_id: u64,
+    /// In-flight client requests, slab-indexed by client id. Slot indices
+    /// are reused via `meta_free` — safe because a client id is only ever
+    /// visible between allocation and delivery, and never recorded in
+    /// results or traces.
+    meta: Vec<Option<ClientMeta>>,
+    meta_free: Vec<u64>,
+    /// In-flight controller requests, slab-indexed by the controller-level
+    /// request id (ids are node-global, so one slab covers all controllers).
+    tags: Vec<Option<Tag>>,
+    tags_free: Vec<u64>,
+    /// Scratch buffers so the per-event dispatch loops never allocate.
+    server_scratch: Vec<ServerOutput>,
+    ctrl_scratch: Vec<CtrlOutput>,
     cpu_free: SimTime,
     warmup_at: SimTime,
     stop_at: SimTime,
@@ -155,6 +164,11 @@ impl StorageNode {
             Some(_) => Drive::Replay,
         };
 
+        let n_streams = match (&drive, &spec.replay) {
+            (Drive::Closed(c), _) => c.len(),
+            (Drive::Replay, Some(t)) => t.iter().map(|r| r.stream + 1).max().unwrap_or(1),
+            (Drive::Replay, None) => unreachable!("replay drive implies a trace"),
+        };
         let fe = match &spec.frontend {
             Frontend::Direct => Fe::Direct,
             Frontend::StreamScheduler(cfg) => Fe::Stream(Box::new(StorageServer::new(
@@ -172,8 +186,8 @@ impl StorageNode {
                 (0..total_disks)
                     .map(|_| LinuxDisk {
                         sched: scheduler.build(),
-                        ra: HashMap::new(),
-                        waiters: HashMap::new(),
+                        ra: std::iter::repeat_with(|| None).take(n_streams).collect(),
+                        waiters: vec![Vec::new(); n_streams],
                         busy: false,
                     })
                     .collect(),
@@ -181,11 +195,6 @@ impl StorageNode {
         };
         let warmup_at = SimTime::ZERO + spec.warmup;
         let stop_at = warmup_at + spec.duration;
-        let n_streams = match (&drive, &spec.replay) {
-            (Drive::Closed(c), _) => c.len(),
-            (Drive::Replay, Some(t)) => t.iter().map(|r| r.stream + 1).max().unwrap_or(1),
-            (Drive::Replay, None) => unreachable!("replay drive implies a trace"),
-        };
         let trace = if spec.record_trace { Some(Vec::new()) } else { None };
         StorageNode {
             spec,
@@ -195,10 +204,12 @@ impl StorageNode {
             dpc,
             fe,
             drive,
-            meta: HashMap::new(),
-            next_client_id: 0,
-            tags: HashMap::new(),
-            next_ctrl_id: 0,
+            meta: Vec::new(),
+            meta_free: Vec::new(),
+            tags: Vec::new(),
+            tags_free: Vec::new(),
+            server_scratch: Vec::new(),
+            ctrl_scratch: Vec::new(),
             cpu_free: SimTime::ZERO,
             warmup_at,
             stop_at,
@@ -293,6 +304,7 @@ impl StorageNode {
             ctrl_wasted_bytes,
             ctrl_bytes_from_disks,
             requests_completed: self.requests_completed,
+            events_simulated: self.q.scheduled_count(),
             trace: self.trace,
         }
     }
@@ -301,20 +313,26 @@ impl StorageNode {
         match ev {
             Ev::Arrive(id) => self.on_arrive(now, id),
             Ev::SubmitCtrl { ctrl, req } => {
-                let outs = self.controllers[ctrl].submit(now, req);
-                self.map_ctrl_outputs(ctrl, outs);
+                let mut outs = std::mem::take(&mut self.ctrl_scratch);
+                self.controllers[ctrl].submit_into(now, req, &mut outs);
+                self.map_ctrl_outputs(ctrl, &mut outs);
+                self.ctrl_scratch = outs;
             }
             Ev::CtrlInternal { ctrl, ev } => {
-                let outs = self.controllers[ctrl].on_event(now, ev);
-                self.map_ctrl_outputs(ctrl, outs);
+                let mut outs = std::mem::take(&mut self.ctrl_scratch);
+                self.controllers[ctrl].on_event_into(now, ev, &mut outs);
+                self.map_ctrl_outputs(ctrl, &mut outs);
+                self.ctrl_scratch = outs;
             }
             Ev::CtrlDone { ctrl, id } => self.on_ctrl_done(now, ctrl, id),
             Ev::Deliver { id, from_memory } => self.on_deliver(now, id, from_memory),
             Ev::Gc => {
                 if let Fe::Stream(server) = &mut self.fe {
-                    let outs = server.on_gc(now);
+                    let mut outs = std::mem::take(&mut self.server_scratch);
+                    server.on_gc_into(now, &mut outs);
                     let period = server.gc_period();
-                    self.apply_server_outputs(now, outs);
+                    self.apply_server_outputs(now, &mut outs);
+                    self.server_scratch = outs;
                     self.q.push(now + period, Ev::Gc);
                 }
             }
@@ -332,10 +350,17 @@ impl StorageNode {
         blocks: u64,
         sent: SimTime,
     ) -> u64 {
-        let id = self.next_client_id;
-        self.next_client_id += 1;
-        self.meta.insert(id, ClientMeta { stream, disk, lba, blocks, sent });
-        id
+        let meta = ClientMeta { stream, disk, lba, blocks, sent };
+        match self.meta_free.pop() {
+            Some(id) => {
+                self.meta[id as usize] = Some(meta);
+                id
+            }
+            None => {
+                self.meta.push(Some(meta));
+                self.meta.len() as u64 - 1
+            }
+        }
     }
 
     fn net(&self) -> SimDuration {
@@ -343,7 +368,8 @@ impl StorageNode {
     }
 
     fn on_deliver(&mut self, now: SimTime, id: u64, from_memory: bool) {
-        let meta = self.meta.remove(&id).expect("delivery for unknown request");
+        let meta = self.meta[id as usize].take().expect("delivery for unknown request");
+        self.meta_free.push(id);
         if now >= self.warmup_at && now <= self.stop_at {
             self.stream_bytes[meta.stream] += meta.blocks * 512;
             self.response.record(now.duration_since(meta.sent));
@@ -384,7 +410,7 @@ impl StorageNode {
     // ----- node front ends ----------------------------------------------
 
     fn on_arrive(&mut self, now: SimTime, id: u64) {
-        let meta = self.meta[&id];
+        let meta = self.meta[id as usize].expect("arrival for unknown request");
         match &mut self.fe {
             Fe::Direct => {
                 let at = self.charge(now, self.spec.costs.cpu_request);
@@ -399,8 +425,10 @@ impl StorageNode {
                     blocks: meta.blocks,
                     write: self.spec.writes,
                 };
-                let outs = server.on_client_request(now, req);
-                self.apply_server_outputs(now, outs);
+                let mut outs = std::mem::take(&mut self.server_scratch);
+                server.on_client_request_into(now, req, &mut outs);
+                self.apply_server_outputs(now, &mut outs);
+                self.server_scratch = outs;
             }
             Fe::Linux(disks) => {
                 let d = &mut disks[meta.disk];
@@ -408,7 +436,7 @@ impl StorageNode {
                     Frontend::Linux { readahead, .. } => *readahead,
                     _ => unreachable!("Linux fe implies Linux frontend"),
                 };
-                let ra = d.ra.entry(meta.stream).or_insert_with(|| StreamRa::new(ra_cfg));
+                let ra = d.ra[meta.stream].get_or_insert_with(|| StreamRa::new(ra_cfg));
                 match ra.on_read(meta.lba, meta.blocks) {
                     RaOutcome::Hit { prefetch } => {
                         let at = now + self.spec.costs.cpu_request;
@@ -422,10 +450,10 @@ impl StorageNode {
                         self.linux_kick(now, meta.disk);
                     }
                     RaOutcome::Blocked => {
-                        d.waiters.entry(meta.stream).or_default().push(id);
+                        d.waiters[meta.stream].push(id);
                     }
                     RaOutcome::Miss { lba, blocks } => {
-                        d.waiters.entry(meta.stream).or_default().push(id);
+                        d.waiters[meta.stream].push(id);
                         d.sched.add(BlockRequest { id: 0, process: meta.stream, lba, blocks }, now);
                         self.linux_kick(now, meta.disk);
                     }
@@ -435,8 +463,9 @@ impl StorageNode {
     }
 
     /// Applies stream-scheduler outputs, charging server CPU per action.
-    fn apply_server_outputs(&mut self, now: SimTime, outs: Vec<ServerOutput>) {
-        for o in outs {
+    /// Drains `outs` so the caller can reuse the buffer.
+    fn apply_server_outputs(&mut self, now: SimTime, outs: &mut Vec<ServerOutput>) {
+        for o in outs.drain(..) {
             match o {
                 ServerOutput::SubmitDisk(b) => {
                     let mut cost = self.spec.costs.cpu_request;
@@ -480,9 +509,16 @@ impl StorageNode {
     ) {
         let ctrl = disk / self.dpc;
         let port = disk % self.dpc;
-        let id = self.next_ctrl_id;
-        self.next_ctrl_id += 1;
-        self.tags.insert((ctrl, id), tag);
+        let id = match self.tags_free.pop() {
+            Some(id) => {
+                self.tags[id as usize] = Some(tag);
+                id
+            }
+            None => {
+                self.tags.push(Some(tag));
+                self.tags.len() as u64 - 1
+            }
+        };
         let req = HostRequest {
             id: RequestId(id),
             port,
@@ -493,8 +529,9 @@ impl StorageNode {
         self.q.push(at, Ev::SubmitCtrl { ctrl, req });
     }
 
-    fn map_ctrl_outputs(&mut self, ctrl: usize, outs: Vec<CtrlOutput>) {
-        for o in outs {
+    /// Drains `outs` so the caller can reuse the buffer.
+    fn map_ctrl_outputs(&mut self, ctrl: usize, outs: &mut Vec<CtrlOutput>) {
+        for o in outs.drain(..) {
             match o {
                 CtrlOutput::Complete { id, at, .. } => {
                     self.q.push(at, Ev::CtrlDone { ctrl, id: id.0 });
@@ -506,8 +543,9 @@ impl StorageNode {
         }
     }
 
-    fn on_ctrl_done(&mut self, now: SimTime, ctrl: usize, id: u64) {
-        let tag = self.tags.remove(&(ctrl, id)).expect("completion for unknown tag");
+    fn on_ctrl_done(&mut self, now: SimTime, _ctrl: usize, id: u64) {
+        let tag = self.tags[id as usize].take().expect("completion for unknown tag");
+        self.tags_free.push(id);
         match tag {
             Tag::Client(req) => {
                 let at = self.charge(now, self.spec.costs.cpu_completion);
@@ -515,8 +553,10 @@ impl StorageNode {
             }
             Tag::Backend(bid) => {
                 if let Fe::Stream(server) = &mut self.fe {
-                    let outs = server.on_disk_complete(now, bid);
-                    self.apply_server_outputs(now, outs);
+                    let mut outs = std::mem::take(&mut self.server_scratch);
+                    server.on_disk_complete_into(now, bid, &mut outs);
+                    self.apply_server_outputs(now, &mut outs);
+                    self.server_scratch = outs;
                 }
             }
             Tag::Fetch { disk, stream } => {
@@ -524,14 +564,18 @@ impl StorageNode {
                     let d = &mut disks[disk];
                     d.busy = false;
                     d.sched.on_complete(stream, now);
-                    if let Some(ra) = d.ra.get_mut(&stream) {
+                    if let Some(ra) = &mut d.ra[stream] {
                         ra.on_fetch_complete();
                     }
-                    let waiters = d.waiters.remove(&stream).unwrap_or_default();
-                    for w in waiters {
+                    // Take the waiter list out so its capacity is reused by
+                    // the next fetch on this stream.
+                    let mut waiters = std::mem::take(&mut d.waiters[stream]);
+                    for w in waiters.drain(..) {
                         let at = now + self.spec.costs.cpu_completion;
                         self.q.push(at, Ev::Deliver { id: w, from_memory: false });
                     }
+                    let Fe::Linux(disks) = &mut self.fe else { unreachable!() };
+                    disks[disk].waiters[stream] = waiters;
                 }
                 self.linux_kick(now, disk);
             }

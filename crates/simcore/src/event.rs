@@ -1,9 +1,12 @@
-//! Deterministic discrete-event queue.
+//! Binary-heap reference event queue.
 //!
-//! [`EventQueue`] is the heart of the simulation: a priority queue of
-//! `(SimTime, payload)` pairs. Ties on time are broken by insertion order
-//! (FIFO), which makes every simulation run bit-for-bit reproducible for a
-//! given seed and event-generation order.
+//! [`HeapEventQueue`] is the original `BinaryHeap`-backed queue: a priority
+//! queue of `(SimTime, payload)` pairs with ties on time broken by insertion
+//! order (FIFO), which makes every simulation run bit-for-bit reproducible
+//! for a given seed and event-generation order. The default kernel queue is
+//! now the calendar queue ([`EventQueue`](crate::EventQueue)); this
+//! implementation is kept as the semantic reference that the differential
+//! property tests compare against.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -34,14 +37,16 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A time-ordered event queue with stable FIFO tie-breaking.
+/// A time-ordered event queue with stable FIFO tie-breaking, backed by a
+/// binary heap. Reference implementation for the default
+/// [`EventQueue`](crate::EventQueue).
 ///
 /// # Examples
 ///
 /// ```
-/// use seqio_simcore::{EventQueue, SimTime};
+/// use seqio_simcore::{HeapEventQueue, SimTime};
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = HeapEventQueue::new();
 /// q.push(SimTime::from_nanos(20), "late");
 /// q.push(SimTime::from_nanos(10), "early");
 /// q.push(SimTime::from_nanos(10), "early-second");
@@ -52,13 +57,13 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -74,10 +79,10 @@ impl<E: std::fmt::Debug> std::fmt::Debug for Entry<E> {
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Creates an empty queue positioned at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        HeapEventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
     }
 
     /// The current simulation time: the timestamp of the most recently
@@ -136,7 +141,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         for &t in &[5u64, 3, 9, 1, 7] {
             q.push(SimTime::from_nanos(t), t);
         }
@@ -149,7 +154,7 @@ mod tests {
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         let t = SimTime::from_nanos(42);
         for i in 0..100 {
             q.push(t, i);
@@ -161,7 +166,7 @@ mod tests {
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(SimTime::from_nanos(10), ());
         q.push(SimTime::from_nanos(30), ());
         assert_eq!(q.now(), SimTime::ZERO);
@@ -174,7 +179,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "scheduling into the past")]
     fn rejects_past_events() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(SimTime::from_nanos(10), ());
         q.pop();
         q.push(SimTime::from_nanos(5), ());
@@ -182,7 +187,7 @@ mod tests {
 
     #[test]
     fn same_time_as_now_is_allowed() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.push(SimTime::from_nanos(10), 1);
         q.pop();
         q.push(SimTime::from_nanos(10), 2); // zero-delay follow-up event
@@ -191,7 +196,7 @@ mod tests {
 
     #[test]
     fn len_and_counters() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         assert!(q.is_empty());
         q.push(SimTime::ZERO + SimDuration::from_micros(1), ());
         q.push(SimTime::ZERO + SimDuration::from_micros(2), ());
@@ -208,7 +213,7 @@ mod tests {
         /// one timestamp, insertion order.
         #[test]
         fn prop_pop_order(times in proptest::collection::vec(0u64..1_000, 0..200)) {
-            let mut q = EventQueue::new();
+            let mut q = HeapEventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(SimTime::from_nanos(t), i);
             }
@@ -227,7 +232,7 @@ mod tests {
         /// The queue drains exactly the number of events pushed.
         #[test]
         fn prop_conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
-            let mut q = EventQueue::new();
+            let mut q = HeapEventQueue::new();
             for &t in &times {
                 q.push(SimTime::from_nanos(t), ());
             }

@@ -8,8 +8,10 @@
 //! The crate provides four small, dependency-light building blocks:
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time;
-//! * [`EventQueue`] — a priority queue with stable FIFO tie-breaking, so
-//!   simulations are bit-for-bit reproducible;
+//! * [`EventQueue`] — a calendar (bucket-ring) queue with stable FIFO
+//!   tie-breaking, so simulations are bit-for-bit reproducible; amortized
+//!   O(1) push/pop. [`HeapEventQueue`] is the `BinaryHeap` reference
+//!   implementation with identical semantics, kept for differential testing;
 //! * [`SimRng`] — explicitly seeded randomness with per-component forking;
 //! * measurement: [`OnlineStats`], [`LatencyHistogram`], [`ThroughputMeter`];
 //! * [`SeqioError`] — typed validation errors shared by the higher layers.
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod calendar;
 mod error;
 mod event;
 mod rng;
@@ -48,8 +51,9 @@ mod stats;
 mod time;
 pub mod units;
 
+pub use calendar::EventQueue;
 pub use error::SeqioError;
-pub use event::EventQueue;
+pub use event::HeapEventQueue;
 pub use rng::SimRng;
 pub use stats::{LatencyHistogram, OnlineStats, ThroughputMeter};
 pub use time::{SimDuration, SimTime};
