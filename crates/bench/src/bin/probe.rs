@@ -5,6 +5,11 @@
 //! representative macro points timed wall-clock, reporting events
 //! simulated and events/sec, with machine-readable JSON written to
 //! `bench_results/perf_probe.json`.
+//!
+//! `probe faults` exercises the fault-injection layer: straggler
+//! severities and transient-error rates on the direct and scheduler
+//! paths, with throughput and error/retry/timeout counters written to
+//! `bench_results/fault_probe.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -114,10 +119,88 @@ fn perf_mode() {
     }
 }
 
+/// Sweeps straggler severity and error rate through both request paths
+/// and writes `bench_results/fault_probe.json`.
+fn faults_mode() {
+    use seqio_simcore::FaultPlan;
+
+    let secs: u64 =
+        std::env::var("SEQIO_FAULT_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let w = SimDuration::from_secs(secs);
+    let d = SimDuration::from_secs(secs);
+    let run = |plan: FaultPlan, sched: bool| {
+        let mut b =
+            Experiment::builder().streams_per_disk(100).faults(plan).warmup(w).duration(d).seed(11);
+        if sched {
+            b = b.frontend(Frontend::stream_scheduler_with_readahead(4 * MIB));
+        }
+        b.run()
+    };
+
+    println!("-- fault probe: {secs}s warmup + {secs}s window, 100 streams, 1 disk --");
+    let mut json = String::from("{\n  \"window_secs\": ");
+    let _ = write!(json, "{secs},\n  \"points\": [");
+    let mut first = true;
+    let mut emit = |name: String, direct: &seqio_node::RunResult, sched: &seqio_node::RunResult| {
+        println!(
+            "  {:<22} direct {:>7.2} MB/s  scheduler {:>7.2} MB/s  \
+             errors {} retries {} timeouts {}",
+            name,
+            direct.total_throughput_mbs(),
+            sched.total_throughput_mbs(),
+            direct.disk_read_errors[0] + sched.disk_read_errors[0],
+            direct.disk_retries[0] + sched.disk_retries[0],
+            direct.disk_timeouts[0] + sched.disk_timeouts[0],
+        );
+        let _ = write!(
+            json,
+            "{}\n    {{\"name\": \"{}\", \"direct_mbs\": {:.4}, \"scheduler_mbs\": {:.4}, \
+             \"read_errors\": {}, \"retries\": {}, \"timeouts\": {}}}",
+            if first { "" } else { "," },
+            name,
+            direct.total_throughput_mbs(),
+            sched.total_throughput_mbs(),
+            direct.disk_read_errors[0] + sched.disk_read_errors[0],
+            direct.disk_retries[0] + sched.disk_retries[0],
+            direct.disk_timeouts[0] + sched.disk_timeouts[0],
+        );
+        first = false;
+    };
+
+    for factor in [1.0, 2.0, 4.0, 8.0] {
+        let plan = || FaultPlan::new().straggler(0, factor, w, None);
+        let direct = run(plan(), false);
+        let sched = run(plan(), true);
+        emit(format!("straggler-{factor:.0}x"), &direct, &sched);
+    }
+    for rate in [0.001, 0.01] {
+        let plan = || FaultPlan::new().read_errors(0, rate);
+        let direct = run(plan(), false);
+        let sched = run(plan(), true);
+        emit(format!("errors-{rate}"), &direct, &sched);
+    }
+
+    json.push_str("\n  ]\n}\n");
+    let dir = seqio_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("fault_probe.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("   -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("perf") {
-        perf_mode();
-        return;
+    match std::env::args().nth(1).as_deref() {
+        Some("perf") => {
+            perf_mode();
+            return;
+        }
+        Some("faults") => {
+            faults_mode();
+            return;
+        }
+        _ => {}
     }
     let w = SimDuration::from_secs(6);
     let d = SimDuration::from_secs(6);

@@ -1,0 +1,64 @@
+//! Regression guard for the committed figure data: recomputes a small
+//! subset of `bench_results/fig01_collapse.csv` from the current build and
+//! fails if the committed full-mode numbers drift from what the code now
+//! produces. Cheap on purpose — two cells of the figure, chosen from the
+//! low-throughput corner so the simulated event count stays small.
+
+use seqio_node::{Experiment, NodeShape};
+use seqio_simcore::units::KIB;
+use seqio_simcore::SimDuration;
+
+/// Loads a cell of the committed CSV by row label and column header.
+fn committed_cell(row: &str, column: &str) -> String {
+    let path = seqio_bench::results_dir().join("fig01_collapse.csv");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next().expect("csv header").split(',').collect();
+    let col = header.iter().position(|h| *h == column).unwrap_or_else(|| {
+        panic!(
+            "no column {column:?} in {header:?} — if a quick-mode `cargo bench` \
+             overwrote {}, restore it with git or regenerate with \
+             `SEQIO_BENCH_FULL=1 cargo bench`",
+            path.display()
+        )
+    });
+    for line in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.first() == Some(&row) {
+            return cells[col].to_string();
+        }
+    }
+    panic!("no row {row:?} in {}", path.display());
+}
+
+/// Recomputes one full-figure cell with the exact spec the bench uses in
+/// full mode (`SEQIO_BENCH_FULL=1`): 60 disks, seed 11, 4 s warmup, 8 s
+/// measured window. `Figure::report` writes y values with `{:.4}`.
+fn recomputed_cell(streams_per_disk: usize, request_size: u64) -> String {
+    let r = Experiment::builder()
+        .shape(NodeShape::sixty_disk())
+        .streams_per_disk(streams_per_disk)
+        .request_size(request_size)
+        .warmup(SimDuration::from_secs(4))
+        .duration(SimDuration::from_secs(8))
+        .seed(11)
+        .run();
+    format!("{:.4}", r.total_throughput_mbs())
+}
+
+#[test]
+fn fig01_committed_csv_matches_current_build() {
+    // 256K row: the collapsed stream counts deliver under 1 GB/s, so these
+    // are the cheapest cells of the figure to re-simulate.
+    for (column, per_disk) in [("120 Streams", 2), ("300 Streams", 5)] {
+        let committed = committed_cell("256K", column);
+        let current = recomputed_cell(per_disk, 256 * KIB);
+        assert_eq!(
+            current, committed,
+            "bench_results/fig01_collapse.csv cell (256K, {column}) drifted from the \
+             current build; regenerate the figure CSVs with \
+             `SEQIO_BENCH_FULL=1 cargo bench` and commit the result"
+        );
+    }
+}

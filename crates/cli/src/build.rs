@@ -3,7 +3,7 @@
 use seqio_core::ServerConfig;
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
 use seqio_node::{CostModel, Experiment, Frontend, NodeShape, Placement};
-use seqio_simcore::SimDuration;
+use seqio_simcore::{FaultPlan, SimDuration};
 use seqio_workload::Pattern;
 
 use crate::args::{parse_size, Args};
@@ -28,6 +28,7 @@ pub const EXPERIMENT_FLAGS: &[&str] = &[
     "seed",
     "local-costs",
     "trace",
+    "faults",
 ];
 
 /// Builds the experiment, reporting the first flag problem.
@@ -126,6 +127,10 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, String> {
     if args.get("trace").is_some() {
         b = b.record_trace(true);
     }
+    if let Some(spec) = args.get("faults") {
+        let plan = FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+        b = b.faults(plan);
+    }
     let e = b.build();
     e.validate()?;
     Ok(e)
@@ -215,5 +220,24 @@ mod tests {
     fn writes_switch_applies() {
         let e = experiment_from(&args(&["--writes"])).unwrap();
         assert!(e.writes);
+    }
+
+    #[test]
+    fn faults_spec_builds_a_plan() {
+        let e = experiment_from(&args(&[
+            "--faults",
+            "straggler:disk=0,factor=4,from=1s,for=10s;errors:disk=0,rate=0.01",
+        ]))
+        .unwrap();
+        let plan = e.faults.expect("--faults installs a plan");
+        assert_eq!(
+            plan.straggler_factor(0, seqio_simcore::SimTime::ZERO + SimDuration::from_secs(2)),
+            4.0
+        );
+        // Default: healthy.
+        assert!(experiment_from(&args(&[])).unwrap().faults.is_none());
+        // Malformed specs and plans naming absent disks are usage errors.
+        assert!(experiment_from(&args(&["--faults", "wobble:disk=0"])).is_err());
+        assert!(experiment_from(&args(&["--faults", "errors:disk=9,rate=0.1"])).is_err());
     }
 }

@@ -98,6 +98,12 @@ fn print_report(r: &RunResult, disks: usize) {
     }
     let total_seeks: u64 = r.disk_seeks.iter().sum();
     println!("disks:           {total_seeks} seeks across {disks} disk(s)");
+    let errors: u64 = r.disk_read_errors.iter().sum();
+    let retries: u64 = r.disk_retries.iter().sum();
+    let timeouts: u64 = r.disk_timeouts.iter().sum();
+    if errors + retries + timeouts > 0 {
+        println!("faults:          {errors} read errors, {retries} retries, {timeouts} timeouts");
+    }
 }
 
 fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
@@ -228,6 +234,11 @@ FLAGS (run & sweep):
   --seed N                       deterministic seed      [1]
   --local-costs                  local (xdd-style) client cost model
   --trace FILE                   write a per-request CSV trace
+  --faults SPEC                  deterministic fault plan; `;`-separated:
+                                   straggler:disk=D,factor=F[,from=DUR][,for=DUR]
+                                   errors:disk=D,rate=P
+                                   badregion:disk=D,start=LBA,blocks=N[,penalty=DUR]
+                                   retry:[max=N][,backoff=DUR][,timeout=DUR]
 
 FLAGS (sweep only):
   --jobs N                       parallel worker threads   [SEQIO_JOBS, then #cpus]
@@ -237,6 +248,7 @@ EXAMPLES:
   seqio run --streams 100 --frontend stream --readahead 4M
   seqio run --shape eight --frontend stream --d 8 --n 128 --readahead 512K
   seqio sweep --param streams --values 1,10,30,100 --frontend direct
-  seqio run --frontend linux --scheduler anticipatory --request 4K --local-costs"
+  seqio run --frontend linux --scheduler anticipatory --request 4K --local-costs
+  seqio run --streams 100 --frontend stream --faults straggler:disk=0,factor=4"
     );
 }

@@ -36,4 +36,6 @@ mod model;
 
 pub use cache::ExtentCache;
 pub use config::ControllerConfig;
-pub use model::{Controller, ControllerMetrics, CtrlEvent, CtrlOutput, HostRequest};
+pub use model::{
+    Controller, ControllerMetrics, CtrlEvent, CtrlOutput, HostRequest, PortFaultCounters,
+};

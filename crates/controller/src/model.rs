@@ -72,6 +72,16 @@ pub enum CtrlEvent {
         port: usize,
         /// The internal disk-request id.
         disk_req: RequestId,
+        /// Whether the drive reported a transient read error (fault
+        /// injection); the controller retries with backoff.
+        error: bool,
+    },
+    /// A previously scheduled retry of an errored fetch is due.
+    RetryFetch {
+        /// Port whose fetch is retried.
+        port: usize,
+        /// The internal disk-request id (its in-flight slot is still held).
+        disk_req: RequestId,
     },
 }
 
@@ -117,12 +127,27 @@ pub struct ControllerMetrics {
     pub async_prefetches: u64,
 }
 
+/// Per-port fault-handling counters (all zero without fault injection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortFaultCounters {
+    /// Errored disk completions observed on this port.
+    pub errors: u64,
+    /// Retries issued for errored fetches.
+    pub retries: u64,
+    /// Fetches whose total service time exceeded the per-request deadline.
+    pub timeouts: u64,
+}
+
 #[derive(Debug)]
 struct InflightFetch {
     port: usize,
     lba: Lba,
     blocks: u64,
     direction: Direction,
+    /// When the fetch was first issued (drives the per-request deadline).
+    started: SimTime,
+    /// Error retries performed so far.
+    attempts: u32,
     /// Host requests served by this fetch (empty for speculative
     /// controller prefetches).
     waiters: Vec<HostRequest>,
@@ -152,6 +177,8 @@ pub struct Controller {
     waiter_pool: Vec<Vec<HostRequest>>,
     /// Scratch for collecting disk outputs inside one call.
     disk_scratch: Vec<DiskOutput>,
+    /// Per-port error/retry/timeout counters (fault injection).
+    port_faults: Vec<PortFaultCounters>,
     metrics: ControllerMetrics,
 }
 
@@ -180,6 +207,7 @@ impl Controller {
             inflight_free: Vec::new(),
             waiter_pool: Vec::new(),
             disk_scratch: Vec::new(),
+            port_faults: vec![PortFaultCounters::default(); ports],
             metrics: ControllerMetrics::default(),
         }
     }
@@ -201,6 +229,22 @@ impl Controller {
     /// Behaviour counters.
     pub fn metrics(&self) -> ControllerMetrics {
         self.metrics
+    }
+
+    /// Mutable access to an attached disk — used by the node layer to
+    /// install per-disk fault schedules before the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn disk_mut(&mut self, port: usize) -> &mut Disk {
+        &mut self.disks[port]
+    }
+
+    /// Per-port error/retry/timeout counters (all zero without fault
+    /// injection).
+    pub fn fault_counters(&self) -> &[PortFaultCounters] {
+        &self.port_faults
     }
 
     /// Prefetch-cache counters (evictions, wasted bytes).
@@ -338,12 +382,43 @@ impl Controller {
                 self.map_disk_outputs(port, &mut scratch, out);
                 self.disk_scratch = scratch;
             }
-            CtrlEvent::DiskComplete { port, disk_req } => {
+            CtrlEvent::DiskComplete { port, disk_req, error } => {
                 let slot = disk_req.0 as usize;
+                if error {
+                    // Transient read error: retry with exponential backoff
+                    // while attempts and the per-request deadline allow;
+                    // otherwise fall through and let the drive's internal
+                    // recovery complete the request (its data is staged).
+                    let fetch = self.inflight[slot]
+                        .as_mut()
+                        .expect("errored completion for unknown disk request");
+                    assert_eq!(fetch.port, port, "completion port mismatch");
+                    self.port_faults[port].errors += 1;
+                    let within_deadline = self.cfg.request_timeout == SimDuration::ZERO
+                        || now.duration_since(fetch.started) < self.cfg.request_timeout;
+                    if fetch.attempts < self.cfg.max_retries && within_deadline {
+                        fetch.attempts += 1;
+                        self.port_faults[port].retries += 1;
+                        let shift = (fetch.attempts - 1).min(20);
+                        let backoff = SimDuration::from_nanos(
+                            self.cfg.retry_backoff.as_nanos().saturating_mul(1 << shift),
+                        );
+                        out.push(CtrlOutput::Event {
+                            at: now + backoff,
+                            event: CtrlEvent::RetryFetch { port, disk_req },
+                        });
+                        return;
+                    }
+                }
                 let mut fetch =
                     self.inflight[slot].take().expect("completion for unknown disk request");
                 self.inflight_free.push(slot);
                 assert_eq!(fetch.port, port, "completion port mismatch");
+                if self.cfg.request_timeout > SimDuration::ZERO
+                    && now.duration_since(fetch.started) > self.cfg.request_timeout
+                {
+                    self.port_faults[port].timeouts += 1;
+                }
                 self.metrics.bytes_from_disks += fetch.blocks * BLOCK_SIZE;
                 // Move the extent over the port link before anything is
                 // visible to the host.
@@ -359,6 +434,21 @@ impl Controller {
                     self.finish(w, at, out);
                 }
                 self.waiter_pool.push(fetch.waiters);
+            }
+            CtrlEvent::RetryFetch { port, disk_req } => {
+                let slot = disk_req.0 as usize;
+                let f = self.inflight[slot].as_ref().expect("retry for unknown disk request");
+                assert_eq!(f.port, port, "retry port mismatch");
+                let retry = DiskRequest {
+                    id: disk_req,
+                    lba: f.lba,
+                    blocks: f.blocks,
+                    direction: f.direction,
+                };
+                let mut scratch = std::mem::take(&mut self.disk_scratch);
+                self.disks[port].submit_into(now, retry, &mut scratch);
+                self.map_disk_outputs(port, &mut scratch, out);
+                self.disk_scratch = scratch;
             }
         }
     }
@@ -396,8 +486,15 @@ impl Controller {
         let disk_id = RequestId(slot as u64);
         self.metrics.disk_fetches += 1;
         let disk_req = DiskRequest { id: disk_id, lba, blocks: extent_blocks, direction };
-        self.inflight[slot] =
-            Some(InflightFetch { port, lba, blocks: extent_blocks, direction, waiters });
+        self.inflight[slot] = Some(InflightFetch {
+            port,
+            lba,
+            blocks: extent_blocks,
+            direction,
+            started: now,
+            attempts: 0,
+            waiters,
+        });
         let mut scratch = std::mem::take(&mut self.disk_scratch);
         self.disks[port].submit_into(now, disk_req, &mut scratch);
         self.map_disk_outputs(port, &mut scratch, out);
@@ -412,10 +509,10 @@ impl Controller {
     ) {
         for o in disk_outs.drain(..) {
             match o {
-                DiskOutput::Complete { id, at, .. } => {
+                DiskOutput::Complete { id, at, error, .. } => {
                     out.push(CtrlOutput::Event {
                         at,
-                        event: CtrlEvent::DiskComplete { port, disk_req: id },
+                        event: CtrlEvent::DiskComplete { port, disk_req: id, error },
                     });
                 }
                 DiskOutput::OpFinished { at } => {
@@ -678,6 +775,44 @@ mod tests {
         // The post-write read must not be served from the (invalidated)
         // cache region the write touched.
         assert!(c.metrics().disk_fetches >= 3);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_exhausted() {
+        use seqio_simcore::FaultPlan;
+        let disk_cfg = DiskConfig::wd800jd().with_cache(CacheConfig::disabled());
+        let mut c = make(ControllerConfig::single_port(), disk_cfg);
+        // Every media read errors; with no deadline the controller burns
+        // all `max_retries` before completing via drive-internal recovery.
+        let plan = FaultPlan::new().read_errors(0, 1.0);
+        c.disk_mut(0).install_faults(plan.disk(0).unwrap().clone(), 5);
+        let done = run(&mut c, vec![(SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128))]);
+        assert_eq!(done.len(), 1, "request must still complete");
+        let f = c.fault_counters()[0];
+        let max = c.config().max_retries as u64;
+        assert_eq!(f.retries, max);
+        assert_eq!(f.errors, max + 1, "initial attempt plus every retry errors");
+        assert_eq!(f.timeouts, 0, "deadline disabled");
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn deadline_stops_retries_and_counts_timeout() {
+        use seqio_simcore::FaultPlan;
+        let disk_cfg = DiskConfig::wd800jd().with_cache(CacheConfig::disabled());
+        let mut cfg = ControllerConfig::single_port();
+        cfg.request_timeout = SimDuration::from_millis(1);
+        let mut c = make(cfg, disk_cfg);
+        let plan = FaultPlan::new().read_errors(0, 1.0);
+        c.disk_mut(0).install_faults(plan.disk(0).unwrap().clone(), 5);
+        let done = run(&mut c, vec![(SimTime::ZERO, HostRequest::read(RequestId(1), 0, 0, 128))]);
+        assert_eq!(done.len(), 1);
+        let f = c.fault_counters()[0];
+        // A cold read takes several ms, so the first errored completion is
+        // already past the 1ms deadline: no retries, one timeout.
+        assert_eq!(f.errors, 1);
+        assert_eq!(f.retries, 0);
+        assert_eq!(f.timeouts, 1);
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub struct ServerConfig {
     pub issue_path_priority: bool,
     /// Dispatch-set admission order.
     pub dispatch_policy: DispatchPolicy,
+    /// Graceful degradation (fault injection): a stream whose disk is
+    /// reported degraded by at least this service-time factor is rotated
+    /// out of the dispatch set after each fill instead of holding its slot
+    /// for a full residency. Must be `> 1.0`; only takes effect when the
+    /// embedding layer reports disk health via
+    /// [`StorageServer::set_disk_degraded`](crate::StorageServer::set_disk_degraded).
+    pub degraded_rotate_threshold: f64,
 }
 
 impl ServerConfig {
@@ -83,6 +90,7 @@ impl ServerConfig {
             gc_period: SimDuration::from_secs(1),
             issue_path_priority: true,
             dispatch_policy: DispatchPolicy::RoundRobin,
+            degraded_rotate_threshold: 2.0,
         }
     }
 
@@ -194,6 +202,9 @@ impl ServerConfig {
         }
         if self.requests_per_residency == 0 {
             return fail("residency must allow at least one request (N >= 1)".into());
+        }
+        if !self.degraded_rotate_threshold.is_finite() || self.degraded_rotate_threshold <= 1.0 {
+            return fail("degraded-rotate threshold must be a finite factor > 1.0".into());
         }
         if self.memory_bytes < self.working_set_bytes() {
             return fail(format!(

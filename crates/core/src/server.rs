@@ -106,6 +106,9 @@ pub struct ServerMetrics {
     pub issue_no_memory: u64,
     /// Fill attempts skipped because the stream had no demand.
     pub issue_no_demand: u64,
+    /// Dispatched streams rotated out early because their disk was
+    /// reported degraded (fault injection).
+    pub degraded_rotations: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -154,6 +157,9 @@ pub struct StorageServer {
     /// Reusable issue-/completion-path buffers for `on_disk_complete_into`.
     scratch_issue: Vec<ServerOutput>,
     scratch_complete: Vec<ServerOutput>,
+    /// Per-disk degradation flags reported by the embedding layer (fault
+    /// injection); degraded disks rotate their streams out early.
+    degraded: Vec<bool>,
     metrics: ServerMetrics,
 }
 
@@ -189,8 +195,23 @@ impl StorageServer {
             pending_count: 0,
             scratch_issue: Vec::new(),
             scratch_complete: Vec::new(),
+            degraded: vec![false; n_disks],
             metrics: ServerMetrics::default(),
         }
+    }
+
+    /// Reports disk health (fault injection): while `degraded` is set, any
+    /// dispatched stream on `disk` is rotated out of the dispatch set
+    /// after each completed fill instead of holding its slot for a full
+    /// residency. The embedding layer decides when a disk counts as
+    /// degraded — typically when its straggler factor reaches
+    /// [`degraded_rotate_threshold`](ServerConfig::degraded_rotate_threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` is out of range.
+    pub fn set_disk_degraded(&mut self, disk: usize, degraded: bool) {
+        self.degraded[disk] = degraded;
     }
 
     /// The configuration in effect.
@@ -399,10 +420,20 @@ impl StorageServer {
                 if let Some((dispatched, issued)) = state {
                     // Issue path (paper §4.2: runs before completing clients).
                     if dispatched {
-                        let keep = issued < self.cfg.requests_per_residency
+                        // Graceful degradation: a stream on a disk reported
+                        // degraded is rotated out after every fill rather
+                        // than holding its slot for a full residency while
+                        // the slow spindle crawls through N requests.
+                        let degraded =
+                            self.streams.get(stream).is_some_and(|s| self.degraded[s.disk]);
+                        let keep = !degraded
+                            && issued < self.cfg.requests_per_residency
                             && self.issue_fill(now, stream, false, &mut issue)
                                 == IssueOutcome::Issued;
                         if !keep {
+                            if degraded && issued < self.cfg.requests_per_residency {
+                                self.metrics.degraded_rotations += 1;
+                            }
                             self.retire(stream);
                         }
                     }
@@ -1047,6 +1078,26 @@ mod tests {
         let ServerOutput::SubmitDisk(b) = outs[0] else { panic!() };
         let _ = srv.on_disk_complete(t(1), b.id);
         let _ = srv.on_disk_complete(t(2), b.id);
+    }
+
+    #[test]
+    fn degraded_disk_rotates_streams_after_each_fill() {
+        // Healthy control: full residencies, no rotation counted.
+        let (done, srv) = run_closed_loop(server(cfg(2, 64, 8)), 2, 40);
+        assert_eq!(done, 80);
+        assert_eq!(srv.metrics().degraded_rotations, 0);
+
+        // Same workload on a degraded disk: every fill completion rotates
+        // the stream out instead of finishing its N-request residency, and
+        // all work still completes.
+        let mut srv = server(cfg(2, 64, 8));
+        srv.set_disk_degraded(0, true);
+        let (done, srv) = run_closed_loop(srv, 2, 40);
+        assert_eq!(done, 80, "degraded disk must not lose requests");
+        assert!(
+            srv.metrics().degraded_rotations > 0,
+            "degraded disk must rotate dispatched streams early"
+        );
     }
 }
 

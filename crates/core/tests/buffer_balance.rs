@@ -1,0 +1,122 @@
+//! Buffered-set invariants: the paper's memory rule `M >= D * R * N` is a
+//! hard configuration error, and every byte staged into the buffered set
+//! is eventually consumed or garbage-collected — the pool balances back to
+//! zero once a finite workload drains, even when disks are reported
+//! degraded mid-run (fault injection's graceful-degradation path).
+
+use seqio_core::{ClientRequest, ServerConfig, ServerOutput, StorageServer};
+use seqio_simcore::units::KIB;
+use seqio_simcore::SimTime;
+
+#[test]
+fn memory_invariant_is_enforced_at_validation() {
+    let r = 128 * KIB;
+    let ok = ServerConfig {
+        dispatch_streams: 4,
+        read_ahead_bytes: r,
+        requests_per_residency: 8,
+        memory_bytes: 4 * r * 8,
+        ..ServerConfig::default_tuning()
+    };
+    assert!(ok.validate().is_ok(), "M == D*R*N is the boundary case and must pass");
+
+    let short = ServerConfig { memory_bytes: 4 * r * 8 - 1, ..ok };
+    let err = short.validate().expect_err("M < D*R*N must be rejected");
+    assert!(err.to_string().contains("memory invariant violated"), "unexpected error: {err}");
+}
+
+/// Drives the server closed-loop with `streams` sequential readers and a
+/// disk backend whose completions arrive out of order (a crude stand-in
+/// for degraded, retrying disks), optionally flipping disk 0's degraded
+/// flag over the middle third of the run. Returns the server after the
+/// workload fully drains.
+fn drive(streams: u64, reqs_per_stream: u64, degrade_mid_run: bool) -> StorageServer {
+    let r = 128 * KIB;
+    let cfg = ServerConfig {
+        dispatch_streams: 2,
+        read_ahead_bytes: r,
+        requests_per_residency: 4,
+        memory_bytes: 2 * r * 4,
+        ..ServerConfig::default_tuning()
+    };
+    let m = cfg.memory_bytes;
+    let mut srv = StorageServer::new(cfg, vec![10_000_000; 2]);
+
+    let total = streams * reqs_per_stream;
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut cursors = vec![0u64; streams as usize];
+    let mut disk_q: Vec<u64> = Vec::new();
+    let mut clock = 0u64;
+    let mut next_id = 0u64;
+
+    let drain = |outs: Vec<ServerOutput>, disk_q: &mut Vec<u64>, completed: &mut u64| {
+        for o in outs {
+            match o {
+                ServerOutput::SubmitDisk(b) => disk_q.push(b.id),
+                ServerOutput::CompleteClient { .. } => *completed += 1,
+            }
+        }
+    };
+
+    while completed < total {
+        clock += 97;
+        if degrade_mid_run {
+            let progress = issued * 3 / total.max(1);
+            srv.set_disk_degraded(0, progress == 1);
+        }
+        if issued < total {
+            let s = issued % streams;
+            let disk = (s % 2) as usize;
+            let lba = s * 1_000_000 + cursors[s as usize];
+            cursors[s as usize] += 128;
+            let req = ClientRequest::read(next_id, disk, lba, 128);
+            next_id += 1;
+            issued += 1;
+            let outs = srv.on_client_request(SimTime::from_nanos(clock * 1_000), req);
+            drain(outs, &mut disk_q, &mut completed);
+        }
+        assert!(srv.memory_used() <= m, "staging exceeded M");
+        // Complete a pending fill/direct request, deliberately out of order.
+        if !disk_q.is_empty() {
+            let idx = (clock as usize * 31) % disk_q.len();
+            let id = disk_q.swap_remove(idx);
+            clock += 13;
+            let outs = srv.on_disk_complete(SimTime::from_nanos(clock * 1_000), id);
+            drain(outs, &mut disk_q, &mut completed);
+        } else if issued == total {
+            // Stragglers parked behind reclaimed buffers: gc re-issues.
+            clock += 60_000_000;
+            let outs = srv.on_gc(SimTime::from_nanos(clock * 1_000));
+            drain(outs, &mut disk_q, &mut completed);
+        }
+    }
+    assert_eq!(completed, total, "closed loop drains every request exactly once");
+
+    // End of run: everything the streams staged but never consumed must be
+    // reclaimable, balancing the pool back to zero.
+    clock += 120_000_000;
+    let outs = srv.on_gc(SimTime::from_nanos(clock * 1_000));
+    assert!(
+        !outs.iter().any(|o| matches!(o, ServerOutput::CompleteClient { .. })),
+        "no client work may remain after the workload drained"
+    );
+    srv
+}
+
+#[test]
+fn staged_bytes_balance_to_zero_after_drain() {
+    let srv = drive(6, 40, false);
+    assert_eq!(srv.memory_used(), 0, "staged minus consumed/gc'd must balance to zero");
+    assert!(srv.metrics().fills_issued > 0, "the run must actually have staged data");
+}
+
+#[test]
+fn balance_holds_under_degraded_rotation() {
+    let srv = drive(6, 40, true);
+    assert_eq!(srv.memory_used(), 0, "degraded-rotation churn must not leak staged buffers");
+    assert!(
+        srv.metrics().degraded_rotations > 0,
+        "the degraded window must have rotated at least one stream"
+    );
+}

@@ -1,0 +1,151 @@
+//! Property tests for the detection layer (paper §4.1): region bitmaps,
+//! the distinct-block counter, threshold-crossing detection, and the
+//! classifier's gc accounting under arbitrary interleavings.
+
+use proptest::prelude::*;
+use seqio_core::{Classification, Classifier, RegionBitmap};
+use seqio_simcore::SimTime;
+
+fn t(n: u64) -> SimTime {
+    SimTime::from_nanos(n * 1_000_000)
+}
+
+proptest! {
+    /// Bits live only inside `[base, base + len)`: ranges entirely outside
+    /// the region set nothing, and the distinct-block count can never
+    /// exceed the region length however ranges overlap or straddle.
+    #[test]
+    fn prop_bitmap_bits_confined_to_region(
+        base in 0u64..10_000,
+        len in 1u64..2_000,
+        ranges in proptest::collection::vec((0u64..14_000, 1u64..300), 0..40),
+    ) {
+        let mut b = RegionBitmap::new(base, len);
+        for (lba, blocks) in ranges {
+            let newly = b.set_range(lba, blocks);
+            if lba + blocks <= base || lba >= base + len {
+                prop_assert_eq!(newly, 0, "range outside [{}, {}) set bits", base, base + len);
+            }
+            prop_assert!(b.set_count() <= len, "more bits than blocks in the region");
+        }
+    }
+
+    /// The distinct-block count is monotone non-decreasing, and each call
+    /// grows it by exactly the number of newly set bits.
+    #[test]
+    fn prop_bitmap_set_count_monotone(
+        ranges in proptest::collection::vec((0u64..600, 1u64..100), 1..40),
+    ) {
+        let mut b = RegionBitmap::new(50, 512);
+        let mut prev = 0;
+        for (lba, blocks) in ranges {
+            let newly = b.set_range(lba, blocks);
+            prop_assert_eq!(b.set_count(), prev + newly);
+            prop_assert!(b.set_count() >= prev, "set_count went backwards");
+            prev = b.set_count();
+        }
+    }
+
+    /// Detection regions span exactly `[B - offset, B + blocks + offset)`
+    /// around their founding request: a second request inside that window
+    /// joins the region, one outside it allocates a fresh region.
+    #[test]
+    fn prop_classifier_window_bounds(
+        offset in 64u64..4096,
+        first in 10_000u64..1_000_000,
+        blocks in 1u64..128,
+    ) {
+        let threshold = offset * 3; // high enough that nothing detects here
+        let mut inside = Classifier::new(offset, threshold);
+        prop_assert_eq!(inside.observe(0, first, blocks, t(0)), Classification::Pending);
+        prop_assert_eq!(inside.region_count(), 1);
+        // Last block still inside the window on each side.
+        inside.observe(0, first + blocks + offset - 1, 1, t(1));
+        inside.observe(0, first - offset, 1, t(2));
+        prop_assert_eq!(inside.region_count(), 1, "in-window requests must not allocate");
+
+        let mut outside = Classifier::new(offset, threshold);
+        let _ = outside.observe(0, first, blocks, t(0));
+        // First block past the window on each side.
+        outside.observe(0, first + blocks + offset, 1, t(1));
+        outside.observe(0, first.saturating_sub(offset + 1), 1, t(2));
+        prop_assert_eq!(outside.region_count(), 3, "out-of-window requests must allocate");
+    }
+
+    /// A sequential walk is promoted exactly when the distinct-block count
+    /// crosses the threshold — never earlier, never later. (`threshold <=
+    /// offset` keeps the walk inside the founding window until that point.)
+    #[test]
+    fn prop_detection_fires_iff_threshold_crossed(
+        offset in 128u64..4096,
+        req_blocks in 1u64..128,
+        thresh_frac in 1u64..100,
+        start in 0u64..1_000_000,
+    ) {
+        let threshold = (offset * thresh_frac / 100).max(1);
+        let mut c = Classifier::new(offset, threshold);
+        let mut distinct = 0u64;
+        let mut i = 0u64;
+        loop {
+            let verdict = c.observe(0, start + i * req_blocks, req_blocks, t(i));
+            distinct += req_blocks;
+            if distinct >= threshold {
+                prop_assert_eq!(verdict, Classification::Detected,
+                    "request {} reached {} distinct blocks (threshold {})",
+                    i, distinct, threshold);
+                break;
+            }
+            prop_assert_eq!(verdict, Classification::Pending,
+                "request {} detected early at {} distinct blocks (threshold {})",
+                i, distinct, threshold);
+            i += 1;
+        }
+        prop_assert_eq!(c.detections(), 1);
+        prop_assert_eq!(c.region_count(), 0, "promoted region is consumed");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary interleavings of observations and gc passes the
+    /// classifier's accounting stays balanced: gc's return value matches
+    /// the region-count delta, memory hits zero exactly when no regions
+    /// remain, and a final full gc drains everything.
+    #[test]
+    fn prop_gc_accounting_balanced_under_interleaving(
+        ops in proptest::collection::vec((0usize..3, 0u64..50, 1u64..64), 1..200),
+    ) {
+        let mut c = Classifier::new(256, 512);
+        let mut clock = 0u64;
+        let mut detections = 0u64;
+        for (kind, slot, blocks) in ops {
+            clock += 1;
+            match kind {
+                // Scattered observes across two disks; far-apart slots so
+                // regions come and go independently.
+                0 | 1 => {
+                    let lba = slot * 1_000_000;
+                    if c.observe(kind, lba, blocks, t(clock)) == Classification::Detected {
+                        detections += 1;
+                    }
+                }
+                _ => {
+                    // Reclaim everything older than a random-ish cutoff.
+                    let before = c.region_count();
+                    let cutoff = t(clock.saturating_sub(slot));
+                    let reclaimed = c.gc(cutoff);
+                    prop_assert_eq!(before - reclaimed, c.region_count(),
+                        "gc return value out of step with region count");
+                }
+            }
+            prop_assert_eq!(c.memory_bytes() == 0, c.region_count() == 0,
+                "memory accounting out of step with live regions");
+            prop_assert_eq!(c.detections(), detections);
+        }
+        let live = c.region_count();
+        prop_assert_eq!(c.gc(t(clock + 1)), live, "full gc reclaims every region");
+        prop_assert_eq!(c.region_count(), 0);
+        prop_assert_eq!(c.memory_bytes(), 0);
+    }
+}

@@ -16,7 +16,7 @@
 //! [`submit`]: Disk::submit
 //! [`on_op_finished`]: Disk::on_op_finished
 
-use seqio_simcore::{SimDuration, SimRng, SimTime};
+use seqio_simcore::{DiskFaults, SimDuration, SimRng, SimTime};
 
 use crate::cache::{CacheMetrics, FillTicket, SegmentedCache};
 use crate::config::DiskConfig;
@@ -40,6 +40,10 @@ pub enum DiskOutput {
         at: SimTime,
         /// Whether the read was served from the cache / in-flight operation.
         hit: bool,
+        /// Whether the media read failed transiently (fault injection); the
+        /// caller is expected to retry. Always `false` without an installed
+        /// fault plan.
+        error: bool,
     },
     /// The caller must invoke [`Disk::on_op_finished`] at instant `at`.
     OpFinished {
@@ -71,6 +75,14 @@ pub struct DiskMetrics {
     pub bytes_requested: u64,
     /// Bytes streamed off the media (requests + read-ahead).
     pub bytes_from_media: u64,
+    /// Injected transient read errors (fault injection only).
+    pub read_errors: u64,
+    /// Media operations that paid a bad-region remap penalty (fault
+    /// injection only).
+    pub remapped_ops: u64,
+    /// Media operations started inside a straggler window (fault injection
+    /// only).
+    pub degraded_ops: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +93,18 @@ struct ActiveOp {
     finish: SimTime,
     ticket: Option<FillTicket>,
     is_write: bool,
+    /// Straggler service-time multiplier in effect when the op started
+    /// (`1.0` when healthy); scales in-flight coverage estimates.
+    slow: f64,
+}
+
+/// Installed fault schedule plus the dedicated RNG for error draws. Kept
+/// separate from the rotational-phase RNG so enabling faults never
+/// perturbs the healthy timing sequence.
+#[derive(Debug)]
+struct FaultState {
+    plan: DiskFaults,
+    rng: SimRng,
 }
 
 /// A single simulated disk drive.
@@ -99,6 +123,7 @@ pub struct Disk {
     /// When the mechanism last went idle.
     media_free_at: SimTime,
     rng: SimRng,
+    faults: Option<FaultState>,
     metrics: DiskMetrics,
 }
 
@@ -126,8 +151,16 @@ impl Disk {
             head_cylinder: 0,
             media_free_at: SimTime::ZERO,
             rng: SimRng::seed_from(seed),
+            faults: None,
             metrics: DiskMetrics::default(),
         }
+    }
+
+    /// Installs a fault schedule for this disk. `seed` feeds the dedicated
+    /// fault RNG (error draws), kept separate from the rotational-phase
+    /// RNG so a disabled plan leaves the healthy run bit-identical.
+    pub fn install_faults(&mut self, plan: DiskFaults, seed: u64) {
+        self.faults = Some(FaultState { plan, rng: SimRng::seed_from(seed) });
     }
 
     /// The disk's geometry (for placement and capacity queries).
@@ -223,8 +256,12 @@ impl Disk {
                         && op.lba <= req.lba
                         && req.end() <= op.lba + op.blocks
                     {
-                        let avail =
+                        let mut avail =
                             self.geom.covered_at(op.transfer_start, op.lba, op.blocks, req.end());
+                        if op.slow > 1.0 {
+                            avail = op.transfer_start
+                                + avail.duration_since(op.transfer_start).mul_f64(op.slow);
+                        }
                         let at = avail.max(now) + self.cfg.command_overhead;
                         self.metrics.inflight_hits += 1;
                         out.push(DiskOutput::Complete {
@@ -232,6 +269,7 @@ impl Disk {
                             bytes: req.bytes(),
                             at,
                             hit: true,
+                            error: false,
                         });
                         return;
                     }
@@ -244,6 +282,7 @@ impl Disk {
                         bytes: req.bytes(),
                         at: now + self.cfg.command_overhead,
                         hit: true,
+                        error: false,
                     });
                     return;
                 }
@@ -299,6 +338,7 @@ impl Disk {
                     bytes: req.bytes(),
                     at: now + self.cfg.command_overhead,
                     hit: true,
+                    error: false,
                 });
                 continue;
             }
@@ -323,6 +363,15 @@ impl Disk {
             };
             let total = (needed + ra).min(self.geom.total_blocks() - op_lba);
 
+            // Fault injection: the straggler multiplier in effect right now
+            // and the remap penalty for the blocks this op covers. Both stay
+            // at their identity values (and cost nothing) when no plan is
+            // installed, keeping healthy runs bit-identical.
+            let (slow, remap) = match &self.faults {
+                Some(f) => (f.plan.straggler_factor(now), f.plan.remap_penalty(op_lba, total)),
+                None => (1.0, SimDuration::ZERO),
+            };
+
             // Positioning: a contiguous continuation within the
             // speed-matching window pays nothing — and is *credited* for the
             // idle gap, because the firmware kept streaming the track into
@@ -332,8 +381,12 @@ impl Disk {
             let gap = now.saturating_duration_since(self.media_free_at);
             let contiguous =
                 self.last_media_end == Some(op_lba) && gap <= self.cfg.sequential_gap_tolerance;
-            let ttime = self.geom.transfer_time(op_lba, total);
-            let transfer_start = if contiguous {
+            let mut ttime = self.geom.transfer_time(op_lba, total);
+            if slow > 1.0 {
+                ttime = ttime.mul_f64(slow);
+                self.metrics.degraded_ops += 1;
+            }
+            let mut transfer_start = if contiguous {
                 // Backdate the transfer by the buffered head start (the
                 // drive read up to `gap` worth of this data already).
                 let credit = gap.min(ttime);
@@ -341,13 +394,21 @@ impl Disk {
             } else {
                 let target = self.geom.cylinder_of(op_lba);
                 let dist = target.abs_diff(self.head_cylinder);
-                let seek = self.seek.time(dist);
-                let rot = self.geom.rotation().mul_f64(self.rng.unit());
+                let mut seek = self.seek.time(dist);
+                let mut rot = self.geom.rotation().mul_f64(self.rng.unit());
+                if slow > 1.0 {
+                    seek = seek.mul_f64(slow);
+                    rot = rot.mul_f64(slow);
+                }
                 self.metrics.seeks += 1;
                 self.metrics.seek_time += seek;
                 self.metrics.rot_time += rot;
                 now + self.cfg.command_overhead + seek + rot
             };
+            if remap > SimDuration::ZERO {
+                transfer_start += remap;
+                self.metrics.remapped_ops += 1;
+            }
             let finish = transfer_start + ttime;
             let ticket = if req.direction == Direction::Read {
                 self.cache.begin_fill(op_lba, total, now)
@@ -362,19 +423,32 @@ impl Disk {
             // The submitting request completes once its own blocks are read
             // (or, for writes, when the whole operation lands).
             let complete_at = if req.direction == Direction::Read {
+                let mut covered = self.geom.covered_at(transfer_start, op_lba, total, req.end());
+                if slow > 1.0 {
+                    covered = transfer_start + covered.duration_since(transfer_start).mul_f64(slow);
+                }
                 // `.max(now)`: a backdated (gap-credited) transfer may have
                 // "already covered" the requested blocks.
-                (self.geom.covered_at(transfer_start, op_lba, total, req.end())
-                    + self.cfg.command_overhead)
-                    .max(now + self.cfg.command_overhead)
+                (covered + self.cfg.command_overhead).max(now + self.cfg.command_overhead)
             } else {
                 finish
+            };
+            let error = match self.faults.as_mut() {
+                Some(f) if req.direction == Direction::Read && f.plan.read_error_rate > 0.0 => {
+                    let e = f.rng.chance(f.plan.read_error_rate);
+                    if e {
+                        self.metrics.read_errors += 1;
+                    }
+                    e
+                }
+                _ => false,
             };
             out.push(DiskOutput::Complete {
                 id: req.id,
                 bytes: req.bytes(),
                 at: complete_at,
                 hit: false,
+                error,
             });
 
             self.active = Some(ActiveOp {
@@ -384,6 +458,7 @@ impl Disk {
                 finish,
                 ticket,
                 is_write: req.direction == Direction::Write,
+                slow,
             });
             out.push(DiskOutput::OpFinished { at: finish });
         }
@@ -800,6 +875,103 @@ mod device_queue_tests {
             "gap credit must shorten service: {credited} vs {uncredited}"
         );
         assert!(random > credited, "random read pays seek + rotation: {random}");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use seqio_simcore::FaultPlan;
+
+    fn disk_no_cache() -> Disk {
+        let cfg = DiskConfig::wd800jd().with_cache(CacheConfig {
+            segment_count: 0,
+            segment_bytes: 0,
+            read_ahead_bytes: 0,
+        });
+        Disk::new(cfg, 42)
+    }
+
+    /// Runs one cold read and returns its completion time.
+    fn cold_read(d: &mut Disk) -> SimTime {
+        let outs = d.submit(SimTime::ZERO, DiskRequest::read(RequestId(1), 1_000_000, 128));
+        let mut done = None;
+        let mut finish = None;
+        for o in outs {
+            match o {
+                DiskOutput::Complete { at, .. } => done = Some(at),
+                DiskOutput::OpFinished { at } => finish = Some(at),
+            }
+        }
+        d.on_op_finished(finish.expect("media op"));
+        done.expect("completion")
+    }
+
+    #[test]
+    fn straggler_inflates_service_time() {
+        let healthy = cold_read(&mut disk_no_cache());
+        let mut slow = disk_no_cache();
+        let plan = FaultPlan::new().straggler(0, 4.0, SimDuration::ZERO, None);
+        slow.install_faults(plan.disk(0).unwrap().clone(), 9);
+        let degraded = cold_read(&mut slow);
+        let ratio = degraded.as_nanos() as f64 / healthy.as_nanos() as f64;
+        assert!(ratio > 2.5, "4x straggler should inflate service: ratio {ratio:.2}");
+        assert_eq!(slow.metrics().degraded_ops, 1);
+        assert_eq!(slow.metrics().read_errors, 0);
+    }
+
+    #[test]
+    fn inactive_window_leaves_timing_identical() {
+        let healthy = cold_read(&mut disk_no_cache());
+        let mut d = disk_no_cache();
+        // Window far in the future: the op at t=0 must be untouched.
+        let plan = FaultPlan::new().straggler(0, 8.0, SimDuration::from_secs(100), None);
+        d.install_faults(plan.disk(0).unwrap().clone(), 9);
+        assert_eq!(cold_read(&mut d), healthy);
+        assert_eq!(d.metrics().degraded_ops, 0);
+    }
+
+    #[test]
+    fn bad_region_charges_remap_penalty() {
+        let healthy = cold_read(&mut disk_no_cache());
+        let mut d = disk_no_cache();
+        let penalty = SimDuration::from_millis(20);
+        let plan = FaultPlan::new().bad_region(0, 1_000_000, 256, penalty);
+        d.install_faults(plan.disk(0).unwrap().clone(), 9);
+        let remapped = cold_read(&mut d);
+        assert_eq!(remapped, healthy + penalty);
+        assert_eq!(d.metrics().remapped_ops, 1);
+    }
+
+    #[test]
+    fn read_errors_are_flagged_and_deterministic() {
+        let errors_of = |seed: u64| {
+            let mut d = disk_no_cache();
+            let plan = FaultPlan::new().read_errors(0, 0.5);
+            d.install_faults(plan.disk(0).unwrap().clone(), seed);
+            let mut flagged = Vec::new();
+            for i in 0..20u64 {
+                let outs = d.submit(SimTime::ZERO, DiskRequest::read(RequestId(i), 0, 128));
+                let mut finish = None;
+                for o in outs {
+                    match o {
+                        DiskOutput::Complete { id, error, .. } => {
+                            if error {
+                                flagged.push(id.0);
+                            }
+                        }
+                        DiskOutput::OpFinished { at } => finish = Some(at),
+                    }
+                }
+                d.on_op_finished(finish.expect("media op"));
+            }
+            (flagged, d.metrics().read_errors)
+        };
+        let (flagged, count) = errors_of(9);
+        assert!(count > 0, "50% error rate over 20 media reads must fire");
+        assert_eq!(flagged.len() as u64, count);
+        assert_eq!(errors_of(9), (flagged, count), "same seed, same errors");
     }
 }
 

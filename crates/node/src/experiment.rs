@@ -4,7 +4,7 @@ use seqio_controller::ControllerConfig;
 use seqio_core::{ServerConfig, ServerMetrics};
 use seqio_disk::{bytes_to_blocks, DiskConfig};
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
-use seqio_simcore::{LatencyHistogram, SeqioError, SimDuration};
+use seqio_simcore::{FaultPlan, LatencyHistogram, SeqioError, SimDuration};
 use seqio_workload::Pattern;
 
 use crate::calibration::CostModel;
@@ -152,6 +152,10 @@ pub struct Experiment {
     pub duration: SimDuration,
     /// RNG seed.
     pub seed: u64,
+    /// Deterministic fault schedule (`None` = healthy run; faults are
+    /// strictly opt-in and a missing or empty plan leaves every output
+    /// bit-identical to a build without fault support).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Experiment {
@@ -175,6 +179,7 @@ impl Experiment {
                 warmup: SimDuration::from_secs(2),
                 duration: SimDuration::from_secs(6),
                 seed: 1,
+                faults: None,
             },
         }
     }
@@ -220,6 +225,17 @@ impl Experiment {
         if let Some(t) = &self.replay {
             if t.is_empty() {
                 return Err(SeqioError::Experiment("replay trace is empty".into()));
+            }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+            let disks = self.shape.total_disks();
+            if let Some(d) = plan.max_disk() {
+                if d >= disks {
+                    return Err(SeqioError::Experiment(format!(
+                        "fault plan names disk {d} but the node has only {disks} disks"
+                    )));
+                }
             }
         }
         Ok(())
@@ -329,6 +345,12 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Installs a deterministic fault schedule for the run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.spec.faults = Some(plan);
+        self
+    }
+
     /// Finalizes the specification without running it.
     pub fn build(self) -> Experiment {
         self.spec
@@ -359,6 +381,14 @@ pub struct RunResult {
     pub disk_busy: Vec<SimDuration>,
     /// Per-disk media operations (for diagnostics).
     pub disk_ops: Vec<u64>,
+    /// Per-disk transient read errors injected by the fault plan (all
+    /// zero on healthy runs).
+    pub disk_read_errors: Vec<u64>,
+    /// Per-disk controller retries of errored fetches.
+    pub disk_retries: Vec<u64>,
+    /// Per-disk requests whose service time exceeded the configured
+    /// per-request deadline.
+    pub disk_timeouts: Vec<u64>,
     /// Controller prefetched bytes reclaimed before use (summed).
     pub ctrl_wasted_bytes: u64,
     /// Bytes the controllers pulled off the disks (summed; compare with
@@ -451,6 +481,23 @@ mod tests {
         assert!(e.validate().is_err());
         let mut e = Experiment::builder().build();
         e.duration = SimDuration::ZERO;
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plans_are_validated_against_the_shape() {
+        let plan = FaultPlan::new().straggler(0, 4.0, SimDuration::ZERO, None);
+        let e = Experiment::builder().faults(plan.clone()).build();
+        assert!(e.validate().is_ok());
+
+        // Disk 3 does not exist on a single-disk node.
+        let e = Experiment::builder().faults(FaultPlan::new().read_errors(3, 0.01)).build();
+        assert!(e.validate().is_err());
+
+        // Internally inconsistent plans are rejected too.
+        let e = Experiment::builder()
+            .faults(FaultPlan::new().straggler(0, 0.5, SimDuration::ZERO, None))
+            .build();
         assert!(e.validate().is_err());
     }
 }

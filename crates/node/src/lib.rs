@@ -39,6 +39,6 @@ pub mod trace;
 
 pub use calibration::CostModel;
 pub use experiment::{Experiment, ExperimentBuilder, Frontend, NodeShape, Placement, RunResult};
-pub use seqio_simcore::SeqioError;
+pub use seqio_simcore::{FaultPlan, RetryPolicy, SeqioError};
 pub use sweep::{PointOutcome, Sweep, SweepBuilder, SweepReport};
 pub use trace::TraceRecord;

@@ -122,10 +122,26 @@ impl StorageNode {
         let dpc = spec.shape.disks_per_controller;
         let mut controllers = Vec::with_capacity(spec.shape.controllers);
         for c in 0..spec.shape.controllers {
-            let cfg = ControllerConfig { ports: dpc, ..spec.shape.controller.clone() };
+            let mut cfg = ControllerConfig { ports: dpc, ..spec.shape.controller.clone() };
+            if let Some(policy) = spec.faults.as_ref().and_then(|pl| pl.retry_policy()) {
+                cfg.max_retries = policy.max_retries;
+                cfg.retry_backoff = policy.backoff;
+                cfg.request_timeout = policy.timeout;
+            }
             let disks = (0..dpc)
                 .map(|p| {
-                    Disk::new(spec.shape.disk.clone(), spec.seed ^ ((c * dpc + p) as u64) << 8 | 1)
+                    let global = c * dpc + p;
+                    let mut disk =
+                        Disk::new(spec.shape.disk.clone(), spec.seed ^ (global as u64) << 8 | 1);
+                    if let Some(df) = spec.faults.as_ref().and_then(|pl| pl.disk(global)) {
+                        // The fault RNG stream is independent of the disk's
+                        // rotational-phase seed so enabling faults never
+                        // perturbs healthy arithmetic.
+                        let fault_seed =
+                            spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (global as u64 + 1);
+                        disk.install_faults(df.clone(), fault_seed);
+                    }
+                    disk
                 })
                 .collect();
             controllers.push(Controller::new(cfg, disks));
@@ -256,6 +272,7 @@ impl StorageNode {
                 _ => unreachable!(),
             };
             self.q.push(SimTime::ZERO + period, Ev::Gc);
+            self.update_degraded(SimTime::ZERO);
         }
 
         while let Some((now, ev)) = self.q.pop() {
@@ -280,6 +297,9 @@ impl StorageNode {
         let mut disk_seeks = Vec::new();
         let mut disk_busy = Vec::new();
         let mut disk_ops = Vec::new();
+        let mut disk_read_errors = Vec::new();
+        let mut disk_retries = Vec::new();
+        let mut disk_timeouts = Vec::new();
         let mut ctrl_wasted_bytes = 0;
         let mut ctrl_bytes_from_disks = 0;
         for c in &self.controllers {
@@ -290,6 +310,10 @@ impl StorageNode {
                 disk_seeks.push(m.seeks);
                 disk_busy.push(m.busy_time);
                 disk_ops.push(m.media_ops);
+                disk_read_errors.push(m.read_errors);
+                let fc = c.fault_counters()[p];
+                disk_retries.push(fc.retries);
+                disk_timeouts.push(fc.timeouts);
             }
         }
         RunResult {
@@ -301,6 +325,9 @@ impl StorageNode {
             disk_seeks,
             disk_busy,
             disk_ops,
+            disk_read_errors,
+            disk_retries,
+            disk_timeouts,
             ctrl_wasted_bytes,
             ctrl_bytes_from_disks,
             requests_completed: self.requests_completed,
@@ -327,6 +354,7 @@ impl StorageNode {
             Ev::CtrlDone { ctrl, id } => self.on_ctrl_done(now, ctrl, id),
             Ev::Deliver { id, from_memory } => self.on_deliver(now, id, from_memory),
             Ev::Gc => {
+                self.update_degraded(now);
                 if let Fe::Stream(server) = &mut self.fe {
                     let mut outs = std::mem::take(&mut self.server_scratch);
                     server.on_gc_into(now, &mut outs);
@@ -486,6 +514,19 @@ impl StorageNode {
                     self.q.push(at + self.net(), Ev::Deliver { id: client, from_memory });
                 }
             }
+        }
+    }
+
+    /// Refreshes the stream scheduler's per-disk health view from the
+    /// fault plan: a disk whose straggler factor meets the configured
+    /// threshold has its streams rotated out after each fill instead of
+    /// stalling a dispatch slot. No-op on healthy runs.
+    fn update_degraded(&mut self, now: SimTime) {
+        let Some(plan) = &self.spec.faults else { return };
+        let Fe::Stream(server) = &mut self.fe else { return };
+        let threshold = server.config().degraded_rotate_threshold;
+        for d in 0..self.spec.shape.total_disks() {
+            server.set_disk_degraded(d, plan.straggler_factor(d, now) >= threshold);
         }
     }
 

@@ -3,7 +3,7 @@
 //! produce identical `RunResult` series, and derived per-point seeds must
 //! be distinct yet stable across runs.
 
-use seqio_node::{sweep, Experiment, Frontend, NodeShape, RunResult, Sweep};
+use seqio_node::{sweep, Experiment, FaultPlan, Frontend, NodeShape, RunResult, Sweep};
 use seqio_simcore::units::{KIB, MIB};
 use seqio_simcore::SimDuration;
 
@@ -37,7 +37,10 @@ fn fingerprint(r: &RunResult) -> (u64, u64, Vec<u64>, Vec<u64>, u64, u64, String
         r.disk_ops.clone(),
         r.ctrl_wasted_bytes,
         r.ctrl_bytes_from_disks,
-        format!("{:?} {:?}", r.per_stream_mbs, r.window),
+        format!(
+            "{:?} {:?} {:?} {:?} {:?}",
+            r.per_stream_mbs, r.window, r.disk_read_errors, r.disk_retries, r.disk_timeouts
+        ),
     )
 }
 
@@ -50,6 +53,34 @@ fn one_worker_and_eight_workers_agree_bit_for_bit() {
     for (i, (a, b)) in serial.results().zip(pooled.results()).enumerate() {
         assert_eq!(fingerprint(a), fingerprint(b), "point {i} diverged across worker counts");
     }
+}
+
+/// The fault layer draws from its own seeded RNG stream, so a faulted
+/// grid must stay bit-identical across worker counts and invocations just
+/// like a healthy one.
+#[test]
+fn faulted_grid_is_identical_across_worker_counts() {
+    let faulted = || {
+        let plan = FaultPlan::new()
+            .straggler(0, 4.0, SimDuration::from_millis(500), Some(SimDuration::from_secs(1)))
+            .read_errors(0, 0.05)
+            .bad_region(0, 50_000, 100_000, SimDuration::from_millis(2));
+        grid()
+            .into_iter()
+            .map(|mut e| {
+                e.faults = Some(plan.clone());
+                e
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial = Sweep::builder().points(faulted()).jobs(1).run();
+    let pooled = Sweep::builder().points(faulted()).jobs(8).run();
+    let mut saw_errors = false;
+    for (i, (a, b)) in serial.results().zip(pooled.results()).enumerate() {
+        assert_eq!(fingerprint(a), fingerprint(b), "faulted point {i} diverged across workers");
+        saw_errors |= a.disk_read_errors.iter().any(|&e| e > 0);
+    }
+    assert!(saw_errors, "the 5% error rate must actually fire somewhere in the grid");
 }
 
 #[test]

@@ -1,0 +1,558 @@
+//! Deterministic, seeded fault injection for the simulated storage stack.
+//!
+//! A [`FaultPlan`] schedules per-disk faults for one experiment run:
+//!
+//! * **straggler windows** — a service-time multiplier applied to every
+//!   media operation of one disk over a virtual-time window (a slow or
+//!   degraded spindle);
+//! * **transient read errors** — each media read fails with a configured
+//!   probability and must be retried by the controller;
+//! * **bad regions** — LBA ranges whose accesses pay a fixed remap
+//!   penalty (reallocated sectors living in a spare area).
+//!
+//! The plan itself is pure data: all randomness (the per-operation error
+//! draw) comes from a [`SimRng`](crate::SimRng) forked deterministically
+//! from the experiment seed by the disk model, so a fixed seed plus a
+//! fixed plan reproduces a run bit for bit — including across parallel
+//! sweep workers. An empty plan injects nothing and leaves the healthy
+//! simulation byte-identical: models only consult fault state when it was
+//! explicitly installed.
+//!
+//! # Examples
+//!
+//! ```
+//! use seqio_simcore::{FaultPlan, SimDuration, SimTime};
+//!
+//! let plan = FaultPlan::new()
+//!     .straggler(0, 4.0, SimDuration::from_secs(1), Some(SimDuration::from_secs(5)))
+//!     .read_errors(0, 0.01);
+//! plan.validate().unwrap();
+//! let t = SimTime::ZERO + SimDuration::from_secs(2);
+//! assert_eq!(plan.straggler_factor(0, t), 4.0);
+//! assert_eq!(plan.straggler_factor(1, t), 1.0);
+//! ```
+
+use crate::error::SeqioError;
+use crate::time::{SimDuration, SimTime};
+
+/// One straggler window: every media operation started by the disk while
+/// the window is active has its positioning and transfer times multiplied
+/// by `factor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Service-time multiplier, `>= 1.0`.
+    pub factor: f64,
+    /// Window start (virtual time; experiment runs start at `SimTime::ZERO`).
+    pub from: SimTime,
+    /// Window end (exclusive); `None` keeps the disk slow for the whole run.
+    pub until: Option<SimTime>,
+}
+
+impl Straggler {
+    /// Whether the window is active at `t`.
+    #[must_use]
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+}
+
+/// An LBA range whose media accesses pay a fixed remap penalty, modelling
+/// sectors reallocated to a spare area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadRegion {
+    /// First block of the region.
+    pub start: u64,
+    /// Length of the region in blocks.
+    pub blocks: u64,
+    /// Extra positioning time charged per media operation touching the
+    /// region.
+    pub penalty: SimDuration,
+}
+
+impl BadRegion {
+    /// Whether a media operation covering `[lba, lba + blocks)` touches
+    /// this region.
+    #[must_use]
+    pub fn overlaps(&self, lba: u64, blocks: u64) -> bool {
+        lba < self.start + self.blocks && self.start < lba + blocks
+    }
+}
+
+/// Bounded retry-with-backoff and per-request timeout policy applied by
+/// the controllers when a disk reports a transient read error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries per request before the controller gives
+    /// up and completes the request via the drive's internal recovery.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on every further attempt.
+    pub backoff: SimDuration,
+    /// Per-request deadline: a request whose total service time exceeds
+    /// this is counted as timed out (and no longer retried).
+    /// `SimDuration::ZERO` disables the deadline.
+    pub timeout: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: SimDuration::from_micros(500),
+            timeout: SimDuration::ZERO,
+        }
+    }
+}
+
+/// All faults scheduled for one disk.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiskFaults {
+    /// Straggler windows; when several are active the largest factor wins.
+    pub stragglers: Vec<Straggler>,
+    /// Probability that a media read fails transiently, in `[0, 1]`.
+    pub read_error_rate: f64,
+    /// Remapped LBA ranges.
+    pub bad_regions: Vec<BadRegion>,
+}
+
+impl DiskFaults {
+    /// The straggler multiplier in effect at `t` (`1.0` when healthy).
+    #[must_use]
+    pub fn straggler_factor(&self, t: SimTime) -> f64 {
+        self.stragglers.iter().filter(|s| s.active_at(t)).fold(1.0, |acc, s| acc.max(s.factor))
+    }
+
+    /// The total remap penalty for a media operation covering
+    /// `[lba, lba + blocks)` (`ZERO` when it touches no bad region).
+    #[must_use]
+    pub fn remap_penalty(&self, lba: u64, blocks: u64) -> SimDuration {
+        self.bad_regions
+            .iter()
+            .filter(|r| r.overlaps(lba, blocks))
+            .fold(SimDuration::ZERO, |acc, r| acc + r.penalty)
+    }
+}
+
+/// A deterministic per-disk fault schedule for one experiment run.
+///
+/// Built with the chained [`straggler`](FaultPlan::straggler),
+/// [`read_errors`](FaultPlan::read_errors),
+/// [`bad_region`](FaultPlan::bad_region) and [`retry`](FaultPlan::retry)
+/// methods, or parsed from the CLI spec grammar with
+/// [`parse`](FaultPlan::parse). Disk indices are global (over all
+/// controllers), matching the experiment's disk numbering.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    disks: Vec<(usize, DiskFaults)>,
+    retry: Option<RetryPolicy>,
+}
+
+impl FaultPlan {
+    /// An empty plan: injects nothing, changes nothing.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no faults and overrides no policy.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty() && self.retry.is_none()
+    }
+
+    /// Adds a straggler window for `disk`: media operations started in
+    /// `[from, from + duration)` are slowed by `factor`; `None` keeps the
+    /// disk slow for the rest of the run.
+    #[must_use]
+    pub fn straggler(
+        mut self,
+        disk: usize,
+        factor: f64,
+        from: SimDuration,
+        duration: Option<SimDuration>,
+    ) -> Self {
+        let from = SimTime::ZERO + from;
+        let until = duration.map(|d| from + d);
+        self.entry(disk).stragglers.push(Straggler { factor, from, until });
+        self
+    }
+
+    /// Sets the transient read-error probability for `disk`.
+    #[must_use]
+    pub fn read_errors(mut self, disk: usize, rate: f64) -> Self {
+        self.entry(disk).read_error_rate = rate;
+        self
+    }
+
+    /// Adds a remapped region of `blocks` blocks starting at `start` on
+    /// `disk`, charging `penalty` per media operation touching it.
+    #[must_use]
+    pub fn bad_region(
+        mut self,
+        disk: usize,
+        start: u64,
+        blocks: u64,
+        penalty: SimDuration,
+    ) -> Self {
+        self.entry(disk).bad_regions.push(BadRegion { start, blocks, penalty });
+        self
+    }
+
+    /// Overrides the controllers' retry/timeout policy for this run.
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The retry-policy override, if the plan carries one.
+    #[must_use]
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
+    /// The faults scheduled for `disk`, if any.
+    #[must_use]
+    pub fn disk(&self, disk: usize) -> Option<&DiskFaults> {
+        self.disks.iter().find(|(d, _)| *d == disk).map(|(_, f)| f)
+    }
+
+    /// The highest disk index named by the plan, if any disk is named.
+    #[must_use]
+    pub fn max_disk(&self) -> Option<usize> {
+        self.disks.iter().map(|(d, _)| *d).max()
+    }
+
+    /// The straggler multiplier in effect for `disk` at `t` (`1.0` for
+    /// disks the plan does not name).
+    #[must_use]
+    pub fn straggler_factor(&self, disk: usize, t: SimTime) -> f64 {
+        self.disk(disk).map_or(1.0, |f| f.straggler_factor(t))
+    }
+
+    /// Checks every scheduled fault for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: straggler factors must be
+    /// finite and `>= 1.0`, windows non-empty, error rates in `[0, 1]`,
+    /// and bad regions non-empty.
+    pub fn validate(&self) -> Result<(), SeqioError> {
+        let fail = |reason: String| Err(SeqioError::Component { component: "faults", reason });
+        for (disk, f) in &self.disks {
+            for s in &f.stragglers {
+                if !s.factor.is_finite() || s.factor < 1.0 {
+                    return fail(format!("disk {disk}: straggler factor must be >= 1.0"));
+                }
+                if s.until.is_some_and(|u| u <= s.from) {
+                    return fail(format!("disk {disk}: straggler window is empty"));
+                }
+            }
+            if !(0.0..=1.0).contains(&f.read_error_rate) {
+                return fail(format!("disk {disk}: read error rate must be in [0, 1]"));
+            }
+            for r in &f.bad_regions {
+                if r.blocks == 0 {
+                    return fail(format!("disk {disk}: bad region must cover at least one block"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the CLI `--faults` spec grammar: `;`-separated clauses of
+    /// `key=value` pairs, e.g.
+    ///
+    /// ```text
+    /// straggler:disk=0,factor=4,from=1s,for=10s;errors:disk=0,rate=0.01;
+    /// badregion:disk=1,start=4096,blocks=8192,penalty=5ms;
+    /// retry:max=4,backoff=500us,timeout=250ms
+    /// ```
+    ///
+    /// Durations accept `ns`/`us`/`ms`/`s` suffixes (bare numbers are
+    /// seconds). `straggler` defaults `from` to `0s` and leaves the window
+    /// open-ended when `for` is omitted. The parsed plan is validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `faults` component error naming the malformed clause or
+    /// the violated constraint.
+    pub fn parse(spec: &str) -> Result<FaultPlan, SeqioError> {
+        let fail = |reason: String| SeqioError::Component { component: "faults", reason };
+        let mut plan = FaultPlan::new();
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (kind, rest) = clause
+                .split_once(':')
+                .ok_or_else(|| fail(format!("clause `{clause}` is missing `kind:`")))?;
+            let mut fields = Fields::parse(rest).map_err(&fail)?;
+            match kind.trim() {
+                "straggler" => {
+                    let disk = fields.index("disk")?;
+                    let factor = fields.float("factor")?;
+                    let from = fields.duration_or("from", SimDuration::ZERO)?;
+                    let dur = fields.optional_duration("for")?;
+                    plan = plan.straggler(disk, factor, from, dur);
+                }
+                "errors" => {
+                    let disk = fields.index("disk")?;
+                    let rate = fields.float("rate")?;
+                    plan = plan.read_errors(disk, rate);
+                }
+                "badregion" => {
+                    let disk = fields.index("disk")?;
+                    let start = fields.count("start")?;
+                    let blocks = fields.count("blocks")?;
+                    let penalty = fields.duration_or("penalty", SimDuration::from_millis(5))?;
+                    plan = plan.bad_region(disk, start, blocks, penalty);
+                }
+                "retry" => {
+                    let mut policy = RetryPolicy::default();
+                    if let Some(m) = fields.take("max") {
+                        policy.max_retries = m
+                            .parse()
+                            .map_err(|_| fail(format!("retry max `{m}` is not an integer")))?;
+                    }
+                    if let Some(b) = fields.take("backoff") {
+                        policy.backoff = parse_duration(&b).map_err(&fail)?;
+                    }
+                    if let Some(t) = fields.take("timeout") {
+                        policy.timeout = parse_duration(&t).map_err(&fail)?;
+                    }
+                    plan = plan.retry(policy);
+                }
+                other => return Err(fail(format!("unknown fault kind `{other}`"))),
+            }
+            fields.finish(kind.trim())?;
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// `key=value` field list for one spec clause.
+struct Fields(Vec<(String, String)>);
+
+impl Fields {
+    fn parse(rest: &str) -> Result<Fields, String> {
+        let mut out = Vec::new();
+        for pair in rest.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (k, v) =
+                pair.split_once('=').ok_or_else(|| format!("field `{pair}` is not `key=value`"))?;
+            out.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        Ok(Fields(out))
+    }
+
+    fn take(&mut self, key: &str) -> Option<String> {
+        let i = self.0.iter().position(|(k, _)| k == key)?;
+        Some(self.0.remove(i).1)
+    }
+
+    fn required(&mut self, key: &str) -> Result<String, SeqioError> {
+        self.take(key).ok_or_else(|| SeqioError::Component {
+            component: "faults",
+            reason: format!("missing required field `{key}`"),
+        })
+    }
+
+    fn index(&mut self, key: &str) -> Result<usize, SeqioError> {
+        let v = self.required(key)?;
+        v.parse().map_err(|_| SeqioError::Component {
+            component: "faults",
+            reason: format!("`{key}={v}` is not a disk index"),
+        })
+    }
+
+    fn count(&mut self, key: &str) -> Result<u64, SeqioError> {
+        let v = self.required(key)?;
+        v.parse().map_err(|_| SeqioError::Component {
+            component: "faults",
+            reason: format!("`{key}={v}` is not a block count"),
+        })
+    }
+
+    fn float(&mut self, key: &str) -> Result<f64, SeqioError> {
+        let v = self.required(key)?;
+        v.parse().map_err(|_| SeqioError::Component {
+            component: "faults",
+            reason: format!("`{key}={v}` is not a number"),
+        })
+    }
+
+    fn duration_or(&mut self, key: &str, default: SimDuration) -> Result<SimDuration, SeqioError> {
+        match self.take(key) {
+            Some(v) => parse_duration(&v)
+                .map_err(|reason| SeqioError::Component { component: "faults", reason }),
+            None => Ok(default),
+        }
+    }
+
+    fn optional_duration(&mut self, key: &str) -> Result<Option<SimDuration>, SeqioError> {
+        match self.take(key) {
+            Some(v) => parse_duration(&v)
+                .map(Some)
+                .map_err(|reason| SeqioError::Component { component: "faults", reason }),
+            None => Ok(None),
+        }
+    }
+
+    fn finish(self, kind: &str) -> Result<(), SeqioError> {
+        match self.0.first() {
+            None => Ok(()),
+            Some((k, _)) => Err(SeqioError::Component {
+                component: "faults",
+                reason: format!("unknown field `{k}` in `{kind}` clause"),
+            }),
+        }
+    }
+}
+
+/// Parses a duration with an `ns`/`us`/`ms`/`s` suffix; a bare number is
+/// seconds.
+fn parse_duration(s: &str) -> Result<SimDuration, String> {
+    let s = s.trim();
+    let (num, nanos_per_unit) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        (s, 1e9)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{s}` is not a duration (expected e.g. `500us`, `5ms`, `2s`)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("duration `{s}` must be non-negative"));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(SimDuration::from_nanos((v * nanos_per_unit).round() as u64))
+}
+
+impl FaultPlan {
+    fn entry(&mut self, disk: usize) -> &mut DiskFaults {
+        if let Some(i) = self.disks.iter().position(|(d, _)| *d == disk) {
+            return &mut self.disks[i].1;
+        }
+        self.disks.push((disk, DiskFaults::default()));
+        &mut self.disks.last_mut().expect("just pushed").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.disk(0).is_none());
+        assert_eq!(plan.straggler_factor(0, at(1)), 1.0);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn straggler_window_bounds() {
+        let plan = FaultPlan::new().straggler(
+            2,
+            4.0,
+            SimDuration::from_secs(1),
+            Some(SimDuration::from_secs(2)),
+        );
+        assert_eq!(plan.straggler_factor(2, at(0)), 1.0);
+        assert_eq!(plan.straggler_factor(2, at(1)), 4.0);
+        assert_eq!(plan.straggler_factor(2, at(2)), 4.0);
+        assert_eq!(plan.straggler_factor(2, at(3)), 1.0);
+        assert_eq!(plan.straggler_factor(0, at(1)), 1.0);
+        assert_eq!(plan.max_disk(), Some(2));
+    }
+
+    #[test]
+    fn overlapping_windows_take_the_max_factor() {
+        let plan = FaultPlan::new().straggler(0, 2.0, SimDuration::ZERO, None).straggler(
+            0,
+            8.0,
+            SimDuration::from_secs(1),
+            Some(SimDuration::from_secs(1)),
+        );
+        assert_eq!(plan.straggler_factor(0, at(0)), 2.0);
+        assert_eq!(plan.straggler_factor(0, at(1)), 8.0);
+        assert_eq!(plan.straggler_factor(0, at(3)), 2.0);
+    }
+
+    #[test]
+    fn bad_region_overlap_and_penalty() {
+        let plan = FaultPlan::new().bad_region(1, 100, 50, SimDuration::from_millis(5));
+        let f = plan.disk(1).unwrap();
+        assert_eq!(f.remap_penalty(0, 100), SimDuration::ZERO);
+        assert_eq!(f.remap_penalty(140, 16), SimDuration::from_millis(5));
+        assert_eq!(f.remap_penalty(149, 1), SimDuration::from_millis(5));
+        assert_eq!(f.remap_penalty(150, 10), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        let p = FaultPlan::new().straggler(0, 0.5, SimDuration::ZERO, None);
+        assert!(p.validate().is_err());
+        let p =
+            FaultPlan::new().straggler(0, 2.0, SimDuration::from_secs(1), Some(SimDuration::ZERO));
+        assert!(p.validate().is_err());
+        let p = FaultPlan::new().read_errors(0, 1.5);
+        assert!(p.validate().is_err());
+        let p = FaultPlan::new().bad_region(0, 10, 0, SimDuration::from_millis(1));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse(
+            "straggler:disk=0,factor=4,from=1s,for=10s; errors:disk=0,rate=0.01;\
+             badregion:disk=1,start=4096,blocks=8192,penalty=5ms;\
+             retry:max=4,backoff=500us,timeout=250ms",
+        )
+        .unwrap();
+        assert_eq!(plan.straggler_factor(0, at(5)), 4.0);
+        assert_eq!(plan.straggler_factor(0, at(20)), 1.0);
+        assert!((plan.disk(0).unwrap().read_error_rate - 0.01).abs() < 1e-12);
+        assert_eq!(
+            plan.disk(1).unwrap().bad_regions,
+            vec![BadRegion { start: 4096, blocks: 8192, penalty: SimDuration::from_millis(5) }]
+        );
+        let retry = plan.retry_policy().unwrap();
+        assert_eq!(retry.max_retries, 4);
+        assert_eq!(retry.backoff, SimDuration::from_micros(500));
+        assert_eq!(retry.timeout, SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn parse_defaults_and_errors() {
+        let plan = FaultPlan::parse("straggler:disk=3,factor=2").unwrap();
+        assert_eq!(plan.straggler_factor(3, at(0)), 2.0);
+        assert_eq!(plan.straggler_factor(3, at(1000)), 2.0);
+
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("wobble:disk=0").is_err());
+        assert!(FaultPlan::parse("straggler:factor=2").is_err());
+        assert!(FaultPlan::parse("straggler:disk=0,factor=2,bogus=1").is_err());
+        assert!(FaultPlan::parse("errors:disk=0,rate=7").is_err());
+        assert!(FaultPlan::parse("straggler:disk=0,factor=2,for=-1s").is_err());
+    }
+
+    #[test]
+    fn parse_duration_suffixes() {
+        assert_eq!(parse_duration("250ns").unwrap(), SimDuration::from_nanos(250));
+        assert_eq!(parse_duration("500us").unwrap(), SimDuration::from_micros(500));
+        assert_eq!(parse_duration("5ms").unwrap(), SimDuration::from_millis(5));
+        assert_eq!(parse_duration("2s").unwrap(), SimDuration::from_secs(2));
+        assert_eq!(parse_duration("0.5").unwrap(), SimDuration::from_millis(500));
+        assert!(parse_duration("fast").is_err());
+    }
+}

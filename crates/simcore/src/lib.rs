@@ -14,6 +14,9 @@
 //!   implementation with identical semantics, kept for differential testing;
 //! * [`SimRng`] — explicitly seeded randomness with per-component forking;
 //! * measurement: [`OnlineStats`], [`LatencyHistogram`], [`ThroughputMeter`];
+//! * [`FaultPlan`] — deterministic, seeded per-disk fault schedules
+//!   (stragglers, transient read errors, bad regions) consumed by the
+//!   device models;
 //! * [`SeqioError`] — typed validation errors shared by the higher layers.
 //!
 //! # Examples
@@ -46,6 +49,7 @@
 mod calendar;
 mod error;
 mod event;
+mod fault;
 mod rng;
 mod stats;
 mod time;
@@ -54,6 +58,7 @@ pub mod units;
 pub use calendar::EventQueue;
 pub use error::SeqioError;
 pub use event::HeapEventQueue;
+pub use fault::{BadRegion, DiskFaults, FaultPlan, RetryPolicy, Straggler};
 pub use rng::SimRng;
 pub use stats::{LatencyHistogram, OnlineStats, ThroughputMeter};
 pub use time::{SimDuration, SimTime};
