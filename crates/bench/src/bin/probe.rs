@@ -10,6 +10,11 @@
 //! severities and transient-error rates on the direct and scheduler
 //! paths, with throughput and error/retry/timeout counters written to
 //! `bench_results/fault_probe.json`.
+//!
+//! `probe timeline` runs the scheduler-vs-direct pair with the metric
+//! sampler on and writes `bench_results/timeline_probe.json`: per-disk
+//! utilization timelines plus the scheduler's staged-memory high-water
+//! mark, cross-checked against the runs' aggregate counters.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -17,7 +22,7 @@ use std::time::Instant;
 use seqio_core::ServerConfig;
 use seqio_disk::CacheConfig;
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
-use seqio_node::{CostModel, Experiment, Frontend, NodeShape};
+use seqio_node::{CostModel, Experiment, Frontend, NodeShape, ObsConfig};
 use seqio_simcore::units::{KIB, MIB};
 use seqio_simcore::SimDuration;
 
@@ -117,6 +122,106 @@ fn perf_mode() {
         Ok(()) => println!("   -> {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+
+    // SEQIO_PERF_OBS=1: guard the observability layer's zero-cost promise.
+    // The recorder is always compiled in now; a run carrying a disabled
+    // ObsConfig must stay within 10% of the plain baseline's event rate.
+    if std::env::var("SEQIO_PERF_OBS").is_ok_and(|v| v == "1") {
+        let baseline = time_point("obs-absent", base().streams_per_disk(100).build(), repeats);
+        let disabled = time_point(
+            "obs-disabled",
+            base().streams_per_disk(100).build().observe(ObsConfig::new()),
+            repeats,
+        );
+        let (b, d) = (baseline.events_per_sec(), disabled.events_per_sec());
+        println!("-- recorder overhead: {b:.0} events/sec absent, {d:.0} disabled --");
+        assert_eq!(baseline.events, disabled.events, "a disabled recorder must not add events");
+        assert!(
+            d >= 0.9 * b,
+            "disabled recorder regressed the kernel by more than 10%: \
+             {d:.0} vs {b:.0} events/sec"
+        );
+    }
+}
+
+/// Runs the scheduler-vs-direct pair with metric sampling on and writes
+/// per-disk utilization timelines plus the scheduler's staged-memory
+/// high-water mark to `bench_results/timeline_probe.json`.
+fn timeline_mode() {
+    let secs: u64 =
+        std::env::var("SEQIO_TIMELINE_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let w = SimDuration::from_secs(1);
+    let d = SimDuration::from_secs(secs);
+    let interval = SimDuration::from_millis(20);
+    let run = |sched: bool| {
+        let mut b = Experiment::builder()
+            .shape(NodeShape::eight_disk())
+            .streams_per_disk(30)
+            .warmup(w)
+            .duration(d)
+            .seed(17);
+        if sched {
+            b = b.frontend(Frontend::stream_scheduler_with_readahead(MIB));
+        }
+        b.build().observe(ObsConfig::new().with_metrics().sample_every(interval)).run()
+    };
+
+    println!("-- timeline probe: 8 disks, 30 streams/disk, sampled every {interval} --");
+    let mut json = String::from("{\n  \"sample_interval_ms\": 20,\n  \"runs\": [");
+    let run_secs = (w + d).as_secs_f64();
+    for (i, (name, r)) in [("direct", run(false)), ("scheduler", run(true))].iter().enumerate() {
+        let series = r.metrics.as_ref().expect("sampling enabled");
+        let _ = write!(
+            json,
+            "{}\n    {{\"name\": \"{name}\", \"throughput_mbs\": {:.4}, \"disks\": [",
+            if i == 0 { "" } else { "," },
+            r.total_throughput_mbs()
+        );
+        for (disk, busy) in r.disk_busy.iter().enumerate() {
+            let col = format!("disk{disk}.busy_frac");
+            let sampled = series.column_mean(&col);
+            let aggregate = busy.as_secs_f64() / run_secs;
+            // The acceptance bar for the sampler: the timeline's mean must
+            // reproduce the run's aggregate utilization within 5%.
+            assert!(
+                (sampled - aggregate).abs() <= 0.05 * aggregate.max(0.01),
+                "{name} disk {disk}: sampled utilization {sampled:.4} \
+                 drifted from aggregate {aggregate:.4}"
+            );
+            let timeline: Vec<String> = series
+                .column_by_name(&col)
+                .expect("registered column")
+                .iter()
+                .map(|v| format!("{v:.4}"))
+                .collect();
+            let _ = write!(
+                json,
+                "{}\n      {{\"disk\": {disk}, \"mean_util\": {sampled:.4}, \
+                 \"aggregate_util\": {aggregate:.4}, \"timeline\": [{}]}}",
+                if disk == 0 { "" } else { "," },
+                timeline.join(",")
+            );
+        }
+        let staged_hw = series.column_max("server.staged_bytes");
+        let _ = write!(json, "\n    ], \"staged_high_water_bytes\": {}}}", staged_hw as u64);
+        println!(
+            "  {name:<10} {:>8.2} MB/s  mean util {:.3}  staged high-water {} KiB",
+            r.total_throughput_mbs(),
+            (0..r.disk_busy.len())
+                .map(|disk| series.column_mean(&format!("disk{disk}.busy_frac")))
+                .sum::<f64>()
+                / r.disk_busy.len() as f64,
+            staged_hw as u64 / 1024
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    let dir = seqio_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("timeline_probe.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("   -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// Sweeps straggler severity and error rate through both request paths
@@ -198,6 +303,10 @@ fn main() {
         }
         Some("faults") => {
             faults_mode();
+            return;
+        }
+        Some("timeline") => {
+            timeline_mode();
             return;
         }
         _ => {}

@@ -2,7 +2,7 @@
 
 use seqio_core::ServerConfig;
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
-use seqio_node::{CostModel, Experiment, Frontend, NodeShape, Placement};
+use seqio_node::{CostModel, Experiment, Frontend, NodeShape, ObsConfig, Placement};
 use seqio_simcore::{FaultPlan, SimDuration};
 use seqio_workload::Pattern;
 
@@ -29,6 +29,9 @@ pub const EXPERIMENT_FLAGS: &[&str] = &[
     "local-costs",
     "trace",
     "faults",
+    "trace-out",
+    "metrics-out",
+    "sample-interval",
 ];
 
 /// Builds the experiment, reporting the first flag problem.
@@ -131,6 +134,19 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, String> {
         let plan = FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
         b = b.faults(plan);
     }
+    let spans_on = args.get("trace-out").is_some();
+    let metrics_on = args.get("metrics-out").is_some();
+    if spans_on || metrics_on {
+        let mut cfg = ObsConfig::new()
+            .sample_every(args.duration_or("sample-interval", SimDuration::from_millis(10))?);
+        if spans_on {
+            cfg = cfg.with_spans();
+        }
+        if metrics_on {
+            cfg = cfg.with_metrics();
+        }
+        b = b.observe(cfg);
+    }
     let e = b.build();
     e.validate()?;
     Ok(e)
@@ -220,6 +236,29 @@ mod tests {
     fn writes_switch_applies() {
         let e = experiment_from(&args(&["--writes"])).unwrap();
         assert!(e.writes);
+    }
+
+    #[test]
+    fn observability_flags_enable_the_recorder() {
+        // Default: nothing recorded.
+        assert!(experiment_from(&args(&[])).unwrap().obs.is_none());
+        // --trace-out enables spans only.
+        let e = experiment_from(&args(&["--trace-out", "spans.csv"])).unwrap();
+        let obs = e.obs.expect("--trace-out enables observability");
+        assert!(obs.spans && !obs.metrics);
+        // --metrics-out enables sampling, with a configurable period.
+        let e =
+            experiment_from(&args(&["--metrics-out", "metrics.csv", "--sample-interval", "2ms"]))
+                .unwrap();
+        let obs = e.obs.expect("--metrics-out enables observability");
+        assert!(!obs.spans && obs.metrics);
+        assert_eq!(obs.sample_interval, SimDuration::from_millis(2));
+        // Both together.
+        let e =
+            experiment_from(&args(&["--trace-out", "s.jsonl", "--metrics-out", "m.csv"])).unwrap();
+        let obs = e.obs.unwrap();
+        assert!(obs.spans && obs.metrics);
+        assert_eq!(obs.sample_interval, SimDuration::from_millis(10), "default period");
     }
 
     #[test]

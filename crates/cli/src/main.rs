@@ -23,6 +23,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
         "replay" => cmd_replay(rest),
+        "report" => cmd_report(rest),
         "info" | "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -62,6 +63,33 @@ fn cmd_run(rest: Vec<String>) -> Result<(), String> {
         std::fs::write(path, seqio_node::trace::to_csv(trace))
             .map_err(|e| format!("--trace {path}: {e}"))?;
         println!("trace:           {} records -> {path}", trace.len());
+    }
+    write_obs_outputs(&args, &r)?;
+    Ok(())
+}
+
+/// Writes `--trace-out` (lifecycle spans; JSONL when the path ends in
+/// `.jsonl`, CSV otherwise) and `--metrics-out` (metric time series CSV).
+fn write_obs_outputs(args: &Args, r: &RunResult) -> Result<(), String> {
+    if let Some(path) = args.get("trace-out") {
+        let spans = r.spans.as_ref().expect("span recording was enabled");
+        let rendered = if path.ends_with(".jsonl") {
+            seqio_node::span::spans_to_jsonl(spans)
+        } else {
+            seqio_node::span::spans_to_csv(spans)
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        println!("spans:           {} spans -> {path}", spans.len());
+    }
+    if let Some(path) = args.get("metrics-out") {
+        let series = r.metrics.as_ref().expect("metric sampling was enabled");
+        std::fs::write(path, series.to_csv()).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        println!(
+            "metrics:         {} samples x {} series (every {}) -> {path}",
+            series.len(),
+            series.names().len(),
+            series.interval()
+        );
     }
     Ok(())
 }
@@ -129,6 +157,59 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
         std::fs::write(out, seqio_node::trace::to_csv(t))
             .map_err(|e| format!("--trace {out}: {e}"))?;
         println!("trace:           {} records -> {out}", t.len());
+    }
+    Ok(())
+}
+
+/// `seqio report --spans FILE [--phases]` — summarizes a span file written
+/// by `run --trace-out`, optionally with a per-phase latency breakdown.
+fn cmd_report(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let unknown = args.unknown_flags(&["spans", "phases"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag(s): {}", unknown.join(", ")));
+    }
+    let path = args.get("spans").ok_or("report needs --spans FILE (from `run --trace-out`)")?;
+    let csv = std::fs::read_to_string(path).map_err(|e| format!("--spans {path}: {e}"))?;
+    let spans = seqio_node::span::spans_from_csv(&csv)?;
+    let breakdown = seqio_node::span::PhaseBreakdown::from_spans(&spans);
+    let from_memory = spans.iter().filter(|s| s.from_memory).count();
+    let faulted = spans.iter().filter(|s| s.retries > 0 || s.timed_out).count();
+    println!(
+        "{} spans ({} served from memory, {} touched by faults)",
+        spans.len(),
+        from_memory,
+        faulted
+    );
+    if args.switch("phases") {
+        println!("{:<18} {:>10} {:>10} {:>10}", "phase", "mean ms", "p50 ms", "p99 ms");
+        // Enqueued marks the origin of every span; its duration is zero by
+        // construction, so the table starts at classification.
+        for phase in &seqio_node::SpanPhase::ALL[1..] {
+            let h = &breakdown.phases[phase.index()];
+            println!(
+                "{:<18} {:>10.3} {:>10.3} {:>10.3}",
+                phase.name(),
+                h.mean().as_millis_f64(),
+                h.quantile(0.5).unwrap_or_default().as_millis_f64(),
+                h.quantile(0.99).unwrap_or_default().as_millis_f64()
+            );
+        }
+        let t = &breakdown.total;
+        println!(
+            "{:<18} {:>10.3} {:>10.3} {:>10.3}",
+            "end-to-end",
+            t.mean().as_millis_f64(),
+            t.quantile(0.5).unwrap_or_default().as_millis_f64(),
+            t.quantile(0.99).unwrap_or_default().as_millis_f64()
+        );
+    } else {
+        println!(
+            "end-to-end:      mean {:.3} ms   p50 {:.3} ms   p99 {:.3} ms (try --phases)",
+            breakdown.total.mean().as_millis_f64(),
+            breakdown.total.quantile(0.5).unwrap_or_default().as_millis_f64(),
+            breakdown.total.quantile(0.99).unwrap_or_default().as_millis_f64()
+        );
     }
     Ok(())
 }
@@ -216,6 +297,7 @@ USAGE:
   seqio run    [flags]
   seqio sweep  --param streams|readahead|request --values a,b,c [--jobs N] [flags]
   seqio replay --trace-in FILE [flags]     # open-loop trace replay
+  seqio report --spans FILE [--phases]     # per-phase latency breakdown
   seqio info
 
 FLAGS (run & sweep):
@@ -234,6 +316,10 @@ FLAGS (run & sweep):
   --seed N                       deterministic seed      [1]
   --local-costs                  local (xdd-style) client cost model
   --trace FILE                   write a per-request CSV trace
+  --trace-out FILE               record request-lifecycle spans
+                                 (.jsonl for JSON lines, CSV otherwise)
+  --metrics-out FILE             record a metric time series CSV
+  --sample-interval DUR          metric sampling period  [10ms]
   --faults SPEC                  deterministic fault plan; `;`-separated:
                                    straggler:disk=D,factor=F[,from=DUR][,for=DUR]
                                    errors:disk=D,rate=P
@@ -249,6 +335,8 @@ EXAMPLES:
   seqio run --shape eight --frontend stream --d 8 --n 128 --readahead 512K
   seqio sweep --param streams --values 1,10,30,100 --frontend direct
   seqio run --frontend linux --scheduler anticipatory --request 4K --local-costs
-  seqio run --streams 100 --frontend stream --faults straggler:disk=0,factor=4"
+  seqio run --streams 100 --frontend stream --faults straggler:disk=0,factor=4
+  seqio run --streams 50 --frontend stream --trace-out spans.csv --metrics-out m.csv
+  seqio report --spans spans.csv --phases"
     );
 }

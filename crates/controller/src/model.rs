@@ -96,6 +96,10 @@ pub enum CtrlOutput {
         bytes: u64,
         /// Completion instant.
         at: SimTime,
+        /// Retry attempts the serving fetch went through (fault path).
+        retries: u32,
+        /// Whether the serving fetch overran the per-request deadline.
+        timed_out: bool,
     },
     /// Call [`Controller::on_event`] with `event` at `at`.
     Event {
@@ -301,7 +305,7 @@ impl Controller {
                     self.metrics.cache_hits += 1;
                     let at = self.charge_completion(now, req.bytes());
                     let port = req.port;
-                    self.finish(req, at, out);
+                    self.finish(req, at, 0, false, out);
                     self.maybe_async_prefetch(now, port, hit, out);
                 } else if let Some(f) = self.inflight.iter_mut().flatten().find(|f| {
                     f.port == req.port && f.lba <= req.lba && req.end() <= f.lba + f.blocks
@@ -414,11 +418,12 @@ impl Controller {
                     self.inflight[slot].take().expect("completion for unknown disk request");
                 self.inflight_free.push(slot);
                 assert_eq!(fetch.port, port, "completion port mismatch");
-                if self.cfg.request_timeout > SimDuration::ZERO
-                    && now.duration_since(fetch.started) > self.cfg.request_timeout
-                {
+                let timed_out = self.cfg.request_timeout > SimDuration::ZERO
+                    && now.duration_since(fetch.started) > self.cfg.request_timeout;
+                if timed_out {
                     self.port_faults[port].timeouts += 1;
                 }
+                let retries = fetch.attempts;
                 self.metrics.bytes_from_disks += fetch.blocks * BLOCK_SIZE;
                 // Move the extent over the port link before anything is
                 // visible to the host.
@@ -431,7 +436,7 @@ impl Controller {
                 }
                 for w in fetch.waiters.drain(..) {
                     let at = self.charge_completion(link_end, w.bytes());
-                    self.finish(w, at, out);
+                    self.finish(w, at, retries, timed_out, out);
                 }
                 self.waiter_pool.push(fetch.waiters);
             }
@@ -537,11 +542,18 @@ impl Controller {
         bus_end
     }
 
-    fn finish(&mut self, req: HostRequest, at: SimTime, out: &mut Vec<CtrlOutput>) {
+    fn finish(
+        &mut self,
+        req: HostRequest,
+        at: SimTime,
+        retries: u32,
+        timed_out: bool,
+        out: &mut Vec<CtrlOutput>,
+    ) {
         self.outstanding -= 1;
         self.resident_bytes -= req.bytes();
         self.metrics.bytes_to_host += req.bytes();
-        out.push(CtrlOutput::Complete { id: req.id, bytes: req.bytes(), at });
+        out.push(CtrlOutput::Complete { id: req.id, bytes: req.bytes(), at, retries, timed_out });
     }
 
     fn transfer_time(&self, bytes: u64, rate: u64) -> SimDuration {

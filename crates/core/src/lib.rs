@@ -49,5 +49,7 @@ pub use buffer::{BufferId, BufferPool, Coverage, IoBuffer, StreamId};
 pub use classifier::{Classification, Classifier};
 pub use config::{DispatchPolicy, ServerConfig};
 pub use runner::RealNode;
-pub use server::{BackendRequest, ClientRequest, ServerMetrics, ServerOutput, StorageServer};
+pub use server::{
+    BackendRequest, ClientRequest, ServerMetrics, ServerOutput, SpanEvent, StorageServer,
+};
 pub use stream::{PendingRequest, Stream, StreamTable};

@@ -117,6 +117,44 @@ enum PendingDisk {
     Fill { stream: StreamId, buffer: BufferId },
 }
 
+/// A lifecycle annotation emitted while the span log is enabled
+/// (see [`StorageServer::enable_span_log`]). Strictly observational:
+/// recording these never changes scheduling decisions or outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEvent {
+    /// The request matched (or triggered detection of) a stream.
+    Classified {
+        /// Client request id.
+        client: u64,
+        /// When the classification happened.
+        at: SimTime,
+    },
+    /// The request's stream held a dispatch-set slot.
+    Admitted {
+        /// Client request id.
+        client: u64,
+        /// When the slot was (already) held.
+        at: SimTime,
+    },
+    /// A disk I/O covering the request was issued.
+    DiskIssued {
+        /// Client request id.
+        client: u64,
+        /// Issue time.
+        at: SimTime,
+    },
+    /// The disk I/O serving the request went through the controller's
+    /// fault path (retries and/or a deadline overrun).
+    Faulted {
+        /// Client request id.
+        client: u64,
+        /// Retry attempts beyond the first issue.
+        retries: u32,
+        /// Whether the per-request deadline was exceeded.
+        timed_out: bool,
+    },
+}
+
 /// Why a read-ahead could (not) be issued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum IssueOutcome {
@@ -160,6 +198,9 @@ pub struct StorageServer {
     /// Per-disk degradation flags reported by the embedding layer (fault
     /// injection); degraded disks rotate their streams out early.
     degraded: Vec<bool>,
+    /// Lifecycle annotations accumulated since the last drain; `None`
+    /// (the default) disables all span bookkeeping.
+    span_log: Option<Vec<SpanEvent>>,
     metrics: ServerMetrics,
 }
 
@@ -196,7 +237,49 @@ impl StorageServer {
             scratch_issue: Vec::new(),
             scratch_complete: Vec::new(),
             degraded: vec![false; n_disks],
+            span_log: None,
             metrics: ServerMetrics::default(),
+        }
+    }
+
+    /// Turns on lifecycle-span annotations. The embedding layer collects
+    /// them via [`drain_span_log`](Self::drain_span_log) after each call
+    /// into the server. Off by default; enabling it records strictly more
+    /// information without changing any scheduling decision or output.
+    pub fn enable_span_log(&mut self) {
+        if self.span_log.is_none() {
+            self.span_log = Some(Vec::new());
+        }
+    }
+
+    /// Moves all span annotations accumulated since the last drain into
+    /// `into`. No-op while the span log is disabled.
+    pub fn drain_span_log(&mut self, into: &mut Vec<SpanEvent>) {
+        if let Some(log) = self.span_log.as_mut() {
+            into.append(log);
+        }
+    }
+
+    /// Annotates the client request(s) riding on backend operation
+    /// `backend_id` with the controller's fault-path outcome (retries /
+    /// deadline overrun). Must be called *before* the matching
+    /// [`on_disk_complete`](Self::on_disk_complete). For a read-ahead
+    /// fill, every request currently parked on the owning stream is
+    /// annotated. No-op while the span log is disabled.
+    pub fn annotate_backend_fault(&mut self, backend_id: u64, retries: u32, timed_out: bool) {
+        let Some(log) = self.span_log.as_mut() else { return };
+        match self.pending_disk.get(backend_id as usize).copied().flatten() {
+            Some(PendingDisk::Direct { client }) => {
+                log.push(SpanEvent::Faulted { client, retries, timed_out });
+            }
+            Some(PendingDisk::Fill { stream, .. }) => {
+                if let Some(s) = self.streams.get(stream) {
+                    for p in s.pending.iter() {
+                        log.push(SpanEvent::Faulted { client: p.client, retries, timed_out });
+                    }
+                }
+            }
+            None => {}
         }
     }
 
@@ -304,13 +387,16 @@ impl StorageServer {
         self.metrics.client_requests += 1;
 
         if req.write {
-            self.submit_direct(req, out);
+            self.submit_direct(now, req, out);
             return;
         }
 
         if let Some(sid) =
             self.streams.match_request(req.disk, req.lba, self.cfg.stream_match_slack_blocks)
         {
+            if let Some(log) = self.span_log.as_mut() {
+                log.push(SpanEvent::Classified { client: req.id, at: now });
+            }
             self.streams.advance_client_next(sid, req.end());
             if let Some(s) = self.streams.get_mut(sid) {
                 s.last_active = now;
@@ -336,6 +422,14 @@ impl StorageServer {
                         lba: req.lba,
                         blocks: req.blocks,
                     });
+                    if let Some(log) = self.span_log.as_mut() {
+                        // The covering fill is already on the wire: the
+                        // request was admitted and issued before it arrived.
+                        if self.streams.get(sid).is_some_and(|s| s.dispatched) {
+                            log.push(SpanEvent::Admitted { client: req.id, at: now });
+                        }
+                        log.push(SpanEvent::DiskIssued { client: req.id, at: now });
+                    }
                 }
                 Coverage::Missing => {
                     self.metrics.queued_requests += 1;
@@ -345,6 +439,12 @@ impl StorageServer {
                         lba: req.lba,
                         blocks: req.blocks,
                     });
+                    if let Some(log) = self.span_log.as_mut() {
+                        if self.streams.get(sid).is_some_and(|s| s.dispatched) {
+                            log.push(SpanEvent::Admitted { client: req.id, at: now });
+                        }
+                    }
+                    let s = self.streams.get_mut(sid).expect("stream exists");
                     if !s.dispatched && !s.waiting {
                         s.waiting = true;
                         self.rr.push_back(sid);
@@ -356,17 +456,20 @@ impl StorageServer {
             match self.classifier.observe(req.disk, req.lba, req.blocks, now) {
                 Classification::Detected => {
                     self.metrics.streams_detected += 1;
+                    if let Some(log) = self.span_log.as_mut() {
+                        log.push(SpanEvent::Classified { client: req.id, at: now });
+                    }
                     let sid = self.streams.create(req.disk, req.end(), req.end(), now);
                     let s = self.streams.get_mut(sid).expect("just created");
                     s.waiting = true;
                     self.rr.push_back(sid);
                     // The triggering request itself still goes directly to
                     // the disk; read-ahead starts behind it.
-                    self.submit_direct(req, out);
+                    self.submit_direct(now, req, out);
                     self.try_admit(now, out);
                 }
                 Classification::Pending => {
-                    self.submit_direct(req, out);
+                    self.submit_direct(now, req, out);
                 }
             }
         }
@@ -484,9 +587,12 @@ impl StorageServer {
     }
 
     /// Sends a request straight to the disk, bypassing staging.
-    fn submit_direct(&mut self, req: ClientRequest, out: &mut Vec<ServerOutput>) {
+    fn submit_direct(&mut self, now: SimTime, req: ClientRequest, out: &mut Vec<ServerOutput>) {
         let id = self.alloc_backend(PendingDisk::Direct { client: req.id });
         self.metrics.direct_requests += 1;
+        if let Some(log) = self.span_log.as_mut() {
+            log.push(SpanEvent::DiskIssued { client: req.id, at: now });
+        }
         out.push(ServerOutput::SubmitDisk(BackendRequest {
             id,
             disk: req.disk,
@@ -591,6 +697,14 @@ impl StorageServer {
             self.disk_dispatched[disk] += 1;
             self.last_admit_frontier[disk] = frontier;
             self.metrics.admissions += 1;
+            if let Some(log) = self.span_log.as_mut() {
+                // Every request parked on the stream rode this admission.
+                if let Some(s) = self.streams.get(sid) {
+                    for p in s.pending.iter() {
+                        log.push(SpanEvent::Admitted { client: p.client, at: now });
+                    }
+                }
+            }
             out.extend(probe);
         }
     }
@@ -651,7 +765,7 @@ impl StorageServer {
                     blocks: front.blocks,
                     write: false,
                 };
-                self.submit_direct(req, out);
+                self.submit_direct(now, req, out);
             }
             return IssueOutcome::NoDemand;
         }
@@ -668,6 +782,18 @@ impl StorageServer {
             s.issued_in_residency += 1;
         }
         self.metrics.fills_issued += 1;
+        if let Some(log) = self.span_log.as_mut() {
+            // Every parked request now fully inside the fetched frontier has
+            // its covering disk I/O on the wire (first stamp wins downstream,
+            // so re-announcing already-issued requests is harmless).
+            if let Some(s) = self.streams.get(stream) {
+                for p in s.pending.iter() {
+                    if p.lba + p.blocks <= s.frontier {
+                        log.push(SpanEvent::DiskIssued { client: p.client, at: now });
+                    }
+                }
+            }
+        }
         out.push(ServerOutput::SubmitDisk(BackendRequest {
             id,
             disk,
@@ -1078,6 +1204,72 @@ mod tests {
         let ServerOutput::SubmitDisk(b) = outs[0] else { panic!() };
         let _ = srv.on_disk_complete(t(1), b.id);
         let _ = srv.on_disk_complete(t(2), b.id);
+    }
+
+    #[test]
+    fn span_log_records_lifecycle_without_changing_outputs() {
+        // Identical request sequence with and without the span log: the
+        // ServerOutputs must match exactly, and the log must carry the
+        // expected annotations.
+        let drive = |enable: bool| {
+            let mut srv = server(cfg(2, 64, 2));
+            if enable {
+                srv.enable_span_log();
+            }
+            let mut all_outs = Vec::new();
+            let mut spans = Vec::new();
+            let mut backend = Vec::new();
+            let mut clock = 0u64;
+            for (id, lba) in [(0u64, 0u64), (1, 128), (2, 256)] {
+                clock += 100;
+                let outs = srv.on_client_request(t(clock), ClientRequest::read(id, 0, lba, 128));
+                for o in &outs {
+                    if let ServerOutput::SubmitDisk(b) = o {
+                        backend.push(b.id);
+                    }
+                }
+                all_outs.extend(outs);
+                srv.drain_span_log(&mut spans);
+            }
+            while let Some(bid) = backend.pop() {
+                clock += 10;
+                let outs = srv.on_disk_complete(t(clock), bid);
+                for o in &outs {
+                    if let ServerOutput::SubmitDisk(b) = o {
+                        backend.push(b.id);
+                    }
+                }
+                all_outs.extend(outs);
+                srv.drain_span_log(&mut spans);
+            }
+            (all_outs, spans)
+        };
+        let (outs_off, spans_off) = drive(false);
+        let (outs_on, spans_on) = drive(true);
+        assert_eq!(outs_off, outs_on, "span log must not perturb outputs");
+        assert!(spans_off.is_empty(), "disabled log records nothing");
+        // Request 1 triggers detection, request 2 matches the stream.
+        assert!(spans_on.contains(&SpanEvent::Classified { client: 1, at: t(200) }));
+        assert!(spans_on.contains(&SpanEvent::Classified { client: 2, at: t(300) }));
+        // Every direct submit carries a DiskIssued stamp.
+        assert!(spans_on.iter().any(|e| matches!(e, SpanEvent::DiskIssued { client: 0, .. })));
+        assert!(spans_on.iter().any(|e| matches!(e, SpanEvent::DiskIssued { client: 1, .. })));
+    }
+
+    #[test]
+    fn annotate_backend_fault_tags_direct_and_fill() {
+        let mut srv = server(cfg(1, 64, 1));
+        srv.enable_span_log();
+        // Direct request: annotate before completion.
+        let outs = srv.on_client_request(t(0), ClientRequest::read(7, 0, 0, 128));
+        let ServerOutput::SubmitDisk(b) = outs[0] else { panic!() };
+        srv.annotate_backend_fault(b.id, 2, true);
+        let mut spans = Vec::new();
+        srv.drain_span_log(&mut spans);
+        assert!(spans.contains(&SpanEvent::Faulted { client: 7, retries: 2, timed_out: true }));
+        let _ = srv.on_disk_complete(t(10), b.id);
+        // Unknown backend id is a no-op, not a panic.
+        srv.annotate_backend_fault(9999, 1, false);
     }
 
     #[test]

@@ -85,6 +85,18 @@ pub struct DiskMetrics {
     pub degraded_ops: u64,
 }
 
+impl DiskMetrics {
+    /// Fraction of `elapsed` the mechanism spent busy (positioning +
+    /// transfer). Returns 0 for a zero elapsed time; values can exceed 1
+    /// transiently when `elapsed` undercounts in-flight work.
+    pub fn busy_fraction(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.busy_time.as_nanos() as f64 / elapsed.as_nanos() as f64
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct ActiveOp {
     lba: Lba,

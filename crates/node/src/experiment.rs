@@ -4,7 +4,9 @@ use seqio_controller::ControllerConfig;
 use seqio_core::{ServerConfig, ServerMetrics};
 use seqio_disk::{bytes_to_blocks, DiskConfig};
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
-use seqio_simcore::{FaultPlan, LatencyHistogram, SeqioError, SimDuration};
+use seqio_simcore::{
+    FaultPlan, LatencyHistogram, MetricSeries, ObsConfig, SeqioError, SimDuration,
+};
 use seqio_workload::Pattern;
 
 use crate::calibration::CostModel;
@@ -156,6 +158,10 @@ pub struct Experiment {
     /// strictly opt-in and a missing or empty plan leaves every output
     /// bit-identical to a build without fault support).
     pub faults: Option<FaultPlan>,
+    /// Observability configuration (`None` = nothing recorded; like
+    /// faults, observability is strictly opt-in and never perturbs the
+    /// simulation — results stay bit-identical with it on or off).
+    pub obs: Option<ObsConfig>,
 }
 
 impl Experiment {
@@ -180,6 +186,7 @@ impl Experiment {
                 duration: SimDuration::from_secs(6),
                 seed: 1,
                 faults: None,
+                obs: None,
             },
         }
     }
@@ -227,6 +234,9 @@ impl Experiment {
                 return Err(SeqioError::Experiment("replay trace is empty".into()));
             }
         }
+        if let Some(obs) = &self.obs {
+            obs.validate()?;
+        }
         if let Some(plan) = &self.faults {
             plan.validate()?;
             let disks = self.shape.total_disks();
@@ -239,6 +249,14 @@ impl Experiment {
             }
         }
         Ok(())
+    }
+
+    /// Attaches an observability configuration to an already-built
+    /// experiment (equivalent to [`ExperimentBuilder::observe`]). Recording
+    /// is strictly opt-in and never changes simulation outputs.
+    pub fn observe(mut self, cfg: ObsConfig) -> Self {
+        self.obs = Some(cfg);
+        self
     }
 
     /// Runs the experiment to completion.
@@ -351,6 +369,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables the observability layer (lifecycle spans and/or metric
+    /// sampling) for the run. Strictly opt-in: a run with any
+    /// [`ObsConfig`] produces results bit-identical to a run without one.
+    pub fn observe(mut self, cfg: ObsConfig) -> Self {
+        self.spec.obs = Some(cfg);
+        self
+    }
+
     /// Finalizes the specification without running it.
     pub fn build(self) -> Experiment {
         self.spec
@@ -401,6 +427,11 @@ pub struct RunResult {
     pub events_simulated: u64,
     /// Per-request records, when tracing was enabled.
     pub trace: Option<Vec<crate::TraceRecord>>,
+    /// Phase-stamped lifecycle spans, when span recording was enabled
+    /// (one per request completed inside the measured window).
+    pub spans: Option<Vec<crate::SpanRecord>>,
+    /// Metric time series, when periodic sampling was enabled.
+    pub metrics: Option<MetricSeries>,
 }
 
 impl RunResult {

@@ -33,12 +33,14 @@
 
 mod calibration;
 mod experiment;
+pub mod span;
 pub mod sweep;
 mod system;
 pub mod trace;
 
 pub use calibration::CostModel;
 pub use experiment::{Experiment, ExperimentBuilder, Frontend, NodeShape, Placement, RunResult};
-pub use seqio_simcore::{FaultPlan, RetryPolicy, SeqioError};
+pub use seqio_simcore::{FaultPlan, MetricSeries, ObsConfig, RetryPolicy, SeqioError, SpanPhase};
+pub use span::{PhaseBreakdown, SpanRecord};
 pub use sweep::{PointOutcome, Sweep, SweepBuilder, SweepReport};
 pub use trace::TraceRecord;

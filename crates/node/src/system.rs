@@ -9,13 +9,16 @@
 //! time taken at the client.
 
 use seqio_controller::{Controller, ControllerConfig, CtrlEvent, CtrlOutput, HostRequest};
-use seqio_core::{ServerConfig, ServerOutput, StorageServer};
+use seqio_core::{ServerConfig, ServerOutput, SpanEvent, StorageServer};
 use seqio_disk::{Direction, Disk, RequestId};
 use seqio_hostsched::{BlockRequest, IoScheduler, RaOutcome, SchedDecision, StreamRa};
-use seqio_simcore::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime};
+use seqio_simcore::{
+    EventQueue, LatencyHistogram, MetricId, MetricsHub, SimDuration, SimRng, SimTime, SpanPhase,
+};
 use seqio_workload::{interval_offsets, uniform_offsets, ClientSet, StreamSpec};
 
 use crate::experiment::{Experiment, Frontend, Placement, RunResult};
+use crate::span::SpanRecord;
 
 #[derive(Debug)]
 enum Ev {
@@ -25,14 +28,18 @@ enum Ev {
     SubmitCtrl { ctrl: usize, req: HostRequest },
     /// A controller-internal event is due.
     CtrlInternal { ctrl: usize, ev: CtrlEvent },
-    /// Controller `ctrl` finished its request `id`.
-    CtrlDone { ctrl: usize, id: u64 },
+    /// Controller `ctrl` finished its request `id` (fault-path
+    /// annotations ride along for the span recorder).
+    CtrlDone { ctrl: usize, id: u64, retries: u32, timed_out: bool },
     /// Response for client request `id` reaches the client.
     Deliver { id: u64, from_memory: bool },
     /// Stream-scheduler garbage-collection tick.
     Gc,
     /// Re-poll a Linux block scheduler (anticipation expiry).
     LinuxKick { disk: usize },
+    /// Periodic observability sample (only scheduled when metric
+    /// sampling is enabled; excluded from `events_simulated`).
+    Sample,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +89,89 @@ enum Drive {
     Replay,
 }
 
+/// A span being assembled for an in-flight client request (slab-parallel
+/// to `StorageNode::meta`).
+#[derive(Debug, Clone, Copy, Default)]
+struct PartialSpan {
+    stamps: [Option<SimTime>; SpanPhase::COUNT],
+    retries: u32,
+    timed_out: bool,
+}
+
+/// Metric handles registered by the node's sampler, in registration order.
+#[derive(Debug)]
+struct HubIds {
+    /// Per-disk gauges/counters, indexed by global disk id.
+    queue_depth: Vec<MetricId>,
+    busy_frac: Vec<MetricId>,
+    retries: Vec<MetricId>,
+    requests_completed: MetricId,
+    bytes_delivered: MetricId,
+    /// Stream-scheduler metrics (absent on direct/Linux front ends).
+    server: Option<ServerIds>,
+}
+
+#[derive(Debug)]
+struct ServerIds {
+    dispatched_streams: MetricId,
+    live_streams: MetricId,
+    staged_bytes: MetricId,
+    memory_capacity: MetricId,
+    streams_detected: MetricId,
+    streams_gced: MetricId,
+    memory_hits: MetricId,
+    admissions: MetricId,
+}
+
+/// Opt-in observability state. Recording never feeds back into the
+/// simulation: sampler events are excluded from `events_simulated`, span
+/// stamping only reads model state, and no extra randomness is drawn.
+#[derive(Debug)]
+struct Obs {
+    spans_on: bool,
+    /// Metric sampling period ([`SimDuration::ZERO`] when metrics are off).
+    interval: SimDuration,
+    hub: Option<(MetricsHub, HubIds)>,
+    /// Last sampled per-disk cumulative busy time, for windowed busy-fraction.
+    prev_busy: Vec<SimDuration>,
+    prev_at: SimTime,
+    /// Partial spans, slab-parallel to `StorageNode::meta`.
+    slots: Vec<PartialSpan>,
+    /// Finished spans delivered inside the measured window.
+    done: Vec<SpanRecord>,
+    /// Reused buffer for draining the server's span log.
+    scratch: Vec<SpanEvent>,
+    /// Sampler events pushed onto the queue, subtracted from
+    /// `scheduled_count()` so `events_simulated` stays bit-identical with
+    /// observability off.
+    pushes: u64,
+}
+
+impl Obs {
+    /// Records `phase` for client `id` at `at`; the first stamp per phase
+    /// wins (a covering fill may be re-announced for already-issued
+    /// requests).
+    fn stamp(&mut self, id: u64, phase: SpanPhase, at: SimTime) {
+        if !self.spans_on {
+            return;
+        }
+        let slot = &mut self.slots[id as usize].stamps[phase.index()];
+        if slot.is_none() {
+            *slot = Some(at);
+        }
+    }
+
+    /// Merges fault annotations into the span of client `id`.
+    fn annotate(&mut self, id: u64, retries: u32, timed_out: bool) {
+        if !self.spans_on {
+            return;
+        }
+        let slot = &mut self.slots[id as usize];
+        slot.retries = slot.retries.max(retries);
+        slot.timed_out |= timed_out;
+    }
+}
+
 /// The assembled storage node (see module docs).
 #[derive(Debug)]
 pub(crate) struct StorageNode {
@@ -113,6 +203,7 @@ pub(crate) struct StorageNode {
     last_delivery: SimTime,
     requests_completed: u64,
     trace: Option<Vec<crate::TraceRecord>>,
+    obs: Option<Obs>,
 }
 
 impl StorageNode {
@@ -185,7 +276,7 @@ impl StorageNode {
             (Drive::Replay, Some(t)) => t.iter().map(|r| r.stream + 1).max().unwrap_or(1),
             (Drive::Replay, None) => unreachable!("replay drive implies a trace"),
         };
-        let fe = match &spec.frontend {
+        let mut fe = match &spec.frontend {
             Frontend::Direct => Fe::Direct,
             Frontend::StreamScheduler(cfg) => Fe::Stream(Box::new(StorageServer::new(
                 cfg.clone(),
@@ -212,6 +303,56 @@ impl StorageNode {
         let warmup_at = SimTime::ZERO + spec.warmup;
         let stop_at = warmup_at + spec.duration;
         let trace = if spec.record_trace { Some(Vec::new()) } else { None };
+        let obs = spec.obs.filter(|o| o.is_enabled()).map(|cfg| {
+            if cfg.spans {
+                if let Fe::Stream(server) = &mut fe {
+                    server.enable_span_log();
+                }
+            }
+            let hub = cfg.metrics.then(|| {
+                let mut hub = MetricsHub::new(cfg.sample_interval);
+                let mut queue_depth = Vec::with_capacity(total_disks);
+                let mut busy_frac = Vec::with_capacity(total_disks);
+                let mut retries = Vec::with_capacity(total_disks);
+                for d in 0..total_disks {
+                    queue_depth.push(hub.gauge(&format!("disk{d}.queue_depth"), "requests"));
+                    busy_frac.push(hub.gauge(&format!("disk{d}.busy_frac"), "fraction"));
+                    retries.push(hub.counter(&format!("disk{d}.retries"), "retries"));
+                }
+                let requests_completed = hub.counter("node.requests_completed", "requests");
+                let bytes_delivered = hub.counter("node.bytes_delivered", "bytes");
+                let server = matches!(fe, Fe::Stream(_)).then(|| ServerIds {
+                    dispatched_streams: hub.gauge("server.dispatched_streams", "streams"),
+                    live_streams: hub.gauge("server.live_streams", "streams"),
+                    staged_bytes: hub.gauge("server.staged_bytes", "bytes"),
+                    memory_capacity: hub.gauge("server.memory_capacity", "bytes"),
+                    streams_detected: hub.counter("server.streams_detected", "streams"),
+                    streams_gced: hub.counter("server.streams_gced", "streams"),
+                    memory_hits: hub.counter("server.memory_hits", "requests"),
+                    admissions: hub.counter("server.admissions", "admissions"),
+                });
+                let ids = HubIds {
+                    queue_depth,
+                    busy_frac,
+                    retries,
+                    requests_completed,
+                    bytes_delivered,
+                    server,
+                };
+                (hub, ids)
+            });
+            Obs {
+                spans_on: cfg.spans,
+                interval: if cfg.metrics { cfg.sample_interval } else { SimDuration::ZERO },
+                hub,
+                prev_busy: vec![SimDuration::ZERO; total_disks],
+                prev_at: SimTime::ZERO,
+                slots: Vec::new(),
+                done: Vec::new(),
+                scratch: Vec::new(),
+                pushes: 0,
+            }
+        });
         StorageNode {
             spec,
             q: EventQueue::new(),
@@ -234,6 +375,7 @@ impl StorageNode {
             last_delivery: SimTime::ZERO,
             requests_completed: 0,
             trace,
+            obs,
         }
     }
 
@@ -273,6 +415,12 @@ impl StorageNode {
             };
             self.q.push(SimTime::ZERO + period, Ev::Gc);
             self.update_degraded(SimTime::ZERO);
+        }
+        if let Some(obs) = &mut self.obs {
+            if obs.interval > SimDuration::ZERO {
+                self.q.push(SimTime::ZERO + obs.interval, Ev::Sample);
+                obs.pushes += 1;
+            }
         }
 
         while let Some((now, ev)) = self.q.pop() {
@@ -316,6 +464,15 @@ impl StorageNode {
                 disk_timeouts.push(fc.timeouts);
             }
         }
+        // Sampler events are bookkeeping, not simulation: subtract them so
+        // `events_simulated` is bit-identical with observability off.
+        let obs_pushes = self.obs.as_ref().map_or(0, |o| o.pushes);
+        let (spans, metrics) = match self.obs {
+            Some(obs) => {
+                (obs.spans_on.then_some(obs.done), obs.hub.map(|(hub, _)| hub.into_series()))
+            }
+            None => (None, None),
+        };
         RunResult {
             per_stream_mbs,
             response: self.response,
@@ -331,8 +488,10 @@ impl StorageNode {
             ctrl_wasted_bytes,
             ctrl_bytes_from_disks,
             requests_completed: self.requests_completed,
-            events_simulated: self.q.scheduled_count(),
+            events_simulated: self.q.scheduled_count() - obs_pushes,
             trace: self.trace,
+            spans,
+            metrics,
         }
     }
 
@@ -351,7 +510,9 @@ impl StorageNode {
                 self.map_ctrl_outputs(ctrl, &mut outs);
                 self.ctrl_scratch = outs;
             }
-            Ev::CtrlDone { ctrl, id } => self.on_ctrl_done(now, ctrl, id),
+            Ev::CtrlDone { ctrl, id, retries, timed_out } => {
+                self.on_ctrl_done(now, ctrl, id, retries, timed_out)
+            }
             Ev::Deliver { id, from_memory } => self.on_deliver(now, id, from_memory),
             Ev::Gc => {
                 self.update_degraded(now);
@@ -359,13 +520,90 @@ impl StorageNode {
                     let mut outs = std::mem::take(&mut self.server_scratch);
                     server.on_gc_into(now, &mut outs);
                     let period = server.gc_period();
-                    self.apply_server_outputs(now, &mut outs);
+                    self.drain_server_spans();
+                    self.apply_server_outputs(now, false, &mut outs);
                     self.server_scratch = outs;
                     self.q.push(now + period, Ev::Gc);
                 }
             }
             Ev::LinuxKick { disk } => self.linux_kick(now, disk),
+            Ev::Sample => self.on_sample(now),
         }
+    }
+
+    /// Takes one metric sample and reschedules the sampler. Read-only with
+    /// respect to the simulation: every value is computed from existing
+    /// model state, and the re-pushed event is excluded from
+    /// `events_simulated`.
+    fn on_sample(&mut self, now: SimTime) {
+        let Some(obs) = self.obs.as_mut() else { return };
+        let Some((hub, ids)) = obs.hub.as_mut() else { return };
+        let elapsed = now.duration_since(obs.prev_at);
+        let mut d = 0;
+        for c in &self.controllers {
+            let fcs = c.fault_counters();
+            for (p, fc) in fcs.iter().enumerate().take(self.dpc) {
+                let disk = c.disk(p);
+                hub.set(ids.queue_depth[d], disk.queue_len() as f64);
+                let busy = disk.metrics().busy_time;
+                let frac = if elapsed > SimDuration::ZERO {
+                    busy.saturating_sub(obs.prev_busy[d]).as_nanos() as f64
+                        / elapsed.as_nanos() as f64
+                } else {
+                    0.0
+                };
+                hub.set(ids.busy_frac[d], frac);
+                obs.prev_busy[d] = busy;
+                hub.set(ids.retries[d], fc.retries as f64);
+                d += 1;
+            }
+        }
+        obs.prev_at = now;
+        hub.set(ids.requests_completed, self.requests_completed as f64);
+        hub.set(ids.bytes_delivered, self.stream_bytes.iter().sum::<u64>() as f64);
+        if let (Some(sids), Fe::Stream(server)) = (&ids.server, &self.fe) {
+            let m = server.metrics();
+            hub.set(sids.dispatched_streams, server.dispatched_streams() as f64);
+            hub.set(sids.live_streams, server.live_streams() as f64);
+            hub.set(sids.staged_bytes, server.memory_used() as f64);
+            hub.set(sids.memory_capacity, server.config().memory_bytes as f64);
+            hub.set(sids.streams_detected, m.streams_detected as f64);
+            hub.set(sids.streams_gced, m.streams_gced as f64);
+            hub.set(sids.memory_hits, m.memory_hits as f64);
+            hub.set(sids.admissions, m.admissions as f64);
+        }
+        hub.sample(now);
+        let next = now + obs.interval;
+        if next <= self.stop_at {
+            self.q.push(next, Ev::Sample);
+            obs.pushes += 1;
+        }
+    }
+
+    /// Drains span events the stream scheduler logged during its last call
+    /// and stamps the matching client spans. No-op unless spans are on.
+    fn drain_server_spans(&mut self) {
+        let Some(obs) = self.obs.as_mut().filter(|o| o.spans_on) else { return };
+        let Fe::Stream(server) = &mut self.fe else { return };
+        let mut scratch = std::mem::take(&mut obs.scratch);
+        server.drain_span_log(&mut scratch);
+        for ev in scratch.drain(..) {
+            match ev {
+                SpanEvent::Classified { client, at } => {
+                    obs.stamp(client, SpanPhase::Classified, at)
+                }
+                SpanEvent::Admitted { client, at } => {
+                    obs.stamp(client, SpanPhase::DispatchAdmitted, at)
+                }
+                SpanEvent::DiskIssued { client, at } => {
+                    obs.stamp(client, SpanPhase::DiskIssued, at)
+                }
+                SpanEvent::Faulted { client, retries, timed_out } => {
+                    obs.annotate(client, retries, timed_out)
+                }
+            }
+        }
+        obs.scratch = scratch;
     }
 
     // ----- client side ------------------------------------------------
@@ -379,7 +617,7 @@ impl StorageNode {
         sent: SimTime,
     ) -> u64 {
         let meta = ClientMeta { stream, disk, lba, blocks, sent };
-        match self.meta_free.pop() {
+        let id = match self.meta_free.pop() {
             Some(id) => {
                 self.meta[id as usize] = Some(meta);
                 id
@@ -388,7 +626,16 @@ impl StorageNode {
                 self.meta.push(Some(meta));
                 self.meta.len() as u64 - 1
             }
+        };
+        if let Some(obs) = self.obs.as_mut().filter(|o| o.spans_on) {
+            let idx = id as usize;
+            if obs.slots.len() <= idx {
+                obs.slots.resize(idx + 1, PartialSpan::default());
+            }
+            obs.slots[idx] = PartialSpan::default();
+            obs.slots[idx].stamps[SpanPhase::Enqueued.index()] = Some(sent);
         }
+        id
     }
 
     fn net(&self) -> SimDuration {
@@ -402,6 +649,20 @@ impl StorageNode {
             self.stream_bytes[meta.stream] += meta.blocks * 512;
             self.response.record(now.duration_since(meta.sent));
             self.requests_completed += 1;
+            if let Some(obs) = self.obs.as_mut().filter(|o| o.spans_on) {
+                obs.stamp(id, SpanPhase::Delivered, now);
+                let slot = obs.slots[id as usize];
+                obs.done.push(SpanRecord {
+                    stream: meta.stream,
+                    disk: meta.disk,
+                    lba: meta.lba,
+                    blocks: meta.blocks,
+                    from_memory,
+                    retries: slot.retries,
+                    timed_out: slot.timed_out,
+                    stamps: slot.stamps,
+                });
+            }
             if let Some(trace) = &mut self.trace {
                 trace.push(crate::TraceRecord {
                     stream: meta.stream,
@@ -442,6 +703,9 @@ impl StorageNode {
         match &mut self.fe {
             Fe::Direct => {
                 let at = self.charge(now, self.spec.costs.cpu_request);
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.stamp(id, SpanPhase::DiskIssued, at);
+                }
                 let write = self.spec.writes;
                 self.submit_to_disk(at, meta.disk, meta.lba, meta.blocks, write, Tag::Client(id));
             }
@@ -455,7 +719,8 @@ impl StorageNode {
                 };
                 let mut outs = std::mem::take(&mut self.server_scratch);
                 server.on_client_request_into(now, req, &mut outs);
-                self.apply_server_outputs(now, &mut outs);
+                self.drain_server_spans();
+                self.apply_server_outputs(now, false, &mut outs);
                 self.server_scratch = outs;
             }
             Fe::Linux(disks) => {
@@ -491,8 +756,15 @@ impl StorageNode {
     }
 
     /// Applies stream-scheduler outputs, charging server CPU per action.
-    /// Drains `outs` so the caller can reuse the buffer.
-    fn apply_server_outputs(&mut self, now: SimTime, outs: &mut Vec<ServerOutput>) {
+    /// Drains `outs` so the caller can reuse the buffer. `from_disk` says
+    /// whether the outputs came from a disk completion (the span recorder
+    /// uses it to tell "data just landed" from "data was already staged").
+    fn apply_server_outputs(
+        &mut self,
+        now: SimTime,
+        from_disk: bool,
+        outs: &mut Vec<ServerOutput>,
+    ) {
         for o in outs.drain(..) {
             match o {
                 ServerOutput::SubmitDisk(b) => {
@@ -510,6 +782,15 @@ impl StorageNode {
                     self.submit_to_disk(at, b.disk, b.lba, b.blocks, b.write, Tag::Backend(b.id));
                 }
                 ServerOutput::CompleteClient { client, from_memory } => {
+                    if let Some(obs) = self.obs.as_mut() {
+                        // Data served straight from disk (direct pass-through
+                        // or a fill landing) reached the device now; a memory
+                        // hit on arrival or GC only proves it was staged.
+                        if !from_memory || from_disk {
+                            obs.stamp(client, SpanPhase::DiskComplete, now);
+                        }
+                        obs.stamp(client, SpanPhase::Staged, now);
+                    }
                     let at = self.charge(now, self.spec.costs.cpu_completion);
                     self.q.push(at + self.net(), Ev::Deliver { id: client, from_memory });
                 }
@@ -574,8 +855,8 @@ impl StorageNode {
     fn map_ctrl_outputs(&mut self, ctrl: usize, outs: &mut Vec<CtrlOutput>) {
         for o in outs.drain(..) {
             match o {
-                CtrlOutput::Complete { id, at, .. } => {
-                    self.q.push(at, Ev::CtrlDone { ctrl, id: id.0 });
+                CtrlOutput::Complete { id, at, retries, timed_out, .. } => {
+                    self.q.push(at, Ev::CtrlDone { ctrl, id: id.0, retries, timed_out });
                 }
                 CtrlOutput::Event { at, event } => {
                     self.q.push(at, Ev::CtrlInternal { ctrl, ev: event });
@@ -584,19 +865,28 @@ impl StorageNode {
         }
     }
 
-    fn on_ctrl_done(&mut self, now: SimTime, _ctrl: usize, id: u64) {
+    fn on_ctrl_done(&mut self, now: SimTime, _ctrl: usize, id: u64, retries: u32, timed_out: bool) {
         let tag = self.tags[id as usize].take().expect("completion for unknown tag");
         self.tags_free.push(id);
         match tag {
             Tag::Client(req) => {
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.stamp(req, SpanPhase::DiskComplete, now);
+                    obs.annotate(req, retries, timed_out);
+                }
                 let at = self.charge(now, self.spec.costs.cpu_completion);
                 self.q.push(at + self.net(), Ev::Deliver { id: req, from_memory: false });
             }
             Tag::Backend(bid) => {
+                let spans_on = self.obs.as_ref().is_some_and(|o| o.spans_on);
                 if let Fe::Stream(server) = &mut self.fe {
+                    if spans_on && (retries > 0 || timed_out) {
+                        server.annotate_backend_fault(bid, retries, timed_out);
+                    }
                     let mut outs = std::mem::take(&mut self.server_scratch);
                     server.on_disk_complete_into(now, bid, &mut outs);
-                    self.apply_server_outputs(now, &mut outs);
+                    self.drain_server_spans();
+                    self.apply_server_outputs(now, true, &mut outs);
                     self.server_scratch = outs;
                 }
             }
@@ -612,6 +902,10 @@ impl StorageNode {
                     // the next fetch on this stream.
                     let mut waiters = std::mem::take(&mut d.waiters[stream]);
                     for w in waiters.drain(..) {
+                        if let Some(obs) = self.obs.as_mut() {
+                            obs.stamp(w, SpanPhase::DiskComplete, now);
+                            obs.annotate(w, retries, timed_out);
+                        }
                         let at = now + self.spec.costs.cpu_completion;
                         self.q.push(at, Ev::Deliver { id: w, from_memory: false });
                     }

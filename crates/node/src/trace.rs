@@ -60,7 +60,10 @@ pub fn to_csv(records: &[TraceRecord]) -> String {
 ///
 /// # Errors
 ///
-/// Returns a message naming the first malformed line.
+/// Returns a message naming the first malformed line: wrong field count,
+/// unparsable numbers, a `from_memory` field that is not exactly
+/// `true`/`false`, a completion before the send time, or a `latency_us`
+/// column inconsistent with `sent`/`completed`.
 pub fn from_csv(csv: &str) -> Result<Vec<TraceRecord>, String> {
     let mut out = Vec::new();
     for (i, line) in csv.lines().enumerate() {
@@ -77,15 +80,39 @@ pub fn from_csv(csv: &str) -> Result<Vec<TraceRecord>, String> {
         let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
             s.parse().map_err(|_| format!("line {}: bad {what} {s:?}", i + 1))
         };
-        out.push(TraceRecord {
+        let from_memory = match f[7].trim() {
+            "true" => true,
+            "false" => false,
+            other => {
+                return Err(format!("line {}: bad from_memory {other:?}", i + 1));
+            }
+        };
+        let rec = TraceRecord {
             stream: parse_u64(f[0], "stream")? as usize,
             disk: parse_u64(f[1], "disk")? as usize,
             lba: parse_u64(f[2], "lba")?,
             blocks: parse_u64(f[3], "blocks")?,
             sent: SimTime::from_nanos(parse_u64(f[4], "sent")?),
             completed: SimTime::from_nanos(parse_u64(f[5], "completed")?),
-            from_memory: f[7].trim() == "true",
-        });
+            from_memory,
+        };
+        if rec.completed < rec.sent {
+            return Err(format!("line {}: completed precedes sent", i + 1));
+        }
+        let latency_us: f64 = f[6]
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad latency_us {:?}", i + 1, f[6]))?;
+        // `to_csv` writes the latency with one decimal ({:.1}), so allow
+        // half a unit in the last place of rounding slack.
+        if (latency_us - rec.latency().as_micros_f64()).abs() > 0.05 + 1e-9 {
+            return Err(format!(
+                "line {}: latency_us {latency_us} does not match completed - sent ({:.1})",
+                i + 1,
+                rec.latency().as_micros_f64()
+            ));
+        }
+        out.push(rec);
     }
     Ok(out)
 }
@@ -130,6 +157,35 @@ mod tests {
         assert!(from_csv("1,2,3").is_err());
         assert!(from_csv("a,b,c,d,e,f,g,h").is_err());
         assert!(from_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage_from_memory() {
+        // Anything other than exactly "true"/"false" is an error, not a
+        // silent `false`.
+        for bad in ["TRUE", "1", "yes", "tru", ""] {
+            let line = format!("0,0,0,128,0,100000,100.0,{bad}");
+            let err = from_csv(&line).unwrap_err();
+            assert!(err.contains("line 1"), "{err}");
+            assert!(err.contains("from_memory"), "{err}");
+        }
+        assert!(from_csv("0,0,0,128,0,100000,100.0,false").is_ok());
+    }
+
+    #[test]
+    fn from_csv_validates_latency_against_timestamps() {
+        // latency 100 us matches completed - sent = 100_000 ns.
+        assert!(from_csv("0,0,0,128,0,100000,100.0,true").is_ok());
+        // Rounding slack of half a ULP of the {:.1} format is accepted.
+        assert!(from_csv("0,0,0,128,0,100049,100.0,true").is_ok());
+        // A latency column that contradicts the timestamps is an error.
+        let err = from_csv("0,0,0,128,0,100000,250.0,true").unwrap_err();
+        assert!(err.contains("line 1") && err.contains("latency_us"), "{err}");
+        // Unparsable latency names the line too.
+        assert!(from_csv("0,0,0,128,0,100000,abc,true").is_err());
+        // Completion before send is rejected.
+        let err = from_csv("0,0,0,128,100000,0,100.0,true").unwrap_err();
+        assert!(err.contains("precedes"), "{err}");
     }
 
     #[test]

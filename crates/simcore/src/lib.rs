@@ -17,6 +17,9 @@
 //! * [`FaultPlan`] — deterministic, seeded per-disk fault schedules
 //!   (stragglers, transient read errors, bad regions) consumed by the
 //!   device models;
+//! * observability: [`ObsConfig`], [`SpanPhase`], [`MetricsHub`] /
+//!   [`MetricSeries`] — strictly opt-in lifecycle-span and metric
+//!   time-series recording, guaranteed not to perturb simulation output;
 //! * [`SeqioError`] — typed validation errors shared by the higher layers.
 //!
 //! # Examples
@@ -50,6 +53,7 @@ mod calendar;
 mod error;
 mod event;
 mod fault;
+mod obs;
 mod rng;
 mod stats;
 mod time;
@@ -59,6 +63,7 @@ pub use calendar::EventQueue;
 pub use error::SeqioError;
 pub use event::HeapEventQueue;
 pub use fault::{BadRegion, DiskFaults, FaultPlan, RetryPolicy, Straggler};
+pub use obs::{MetricId, MetricKind, MetricSeries, MetricsHub, ObsConfig, SpanPhase};
 pub use rng::SimRng;
 pub use stats::{LatencyHistogram, OnlineStats, ThroughputMeter};
 pub use time::{SimDuration, SimTime};

@@ -148,12 +148,12 @@ impl LatencyHistogram {
 
     fn bucket_for(d: SimDuration) -> usize {
         let ns = d.as_nanos().max(1);
-        // Index of the first bucket whose upper bound (1024 << i) is >= ns.
-        let mut i = 0usize;
-        while i + 1 < BUCKETS && (1024u64 << i) < ns {
-            i += 1;
-        }
-        i
+        // Index of the first bucket whose upper bound (1024 << i) is >= ns,
+        // i.e. ceil(log2(ns)) - 10 clamped to the bucket range. `ns - 1`
+        // makes exact powers of two land in the lower bucket (1024 << i is
+        // an inclusive upper bound).
+        let ceil_log2 = (64 - (ns - 1).leading_zeros()) as usize;
+        ceil_log2.saturating_sub(10).min(BUCKETS - 1)
     }
 
     /// Upper bound of bucket `i`.
@@ -304,6 +304,56 @@ impl ThroughputMeter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-optimization linear scan, kept as the reference oracle for
+    /// `bucket_for`.
+    fn bucket_for_linear(d: SimDuration) -> usize {
+        let ns = d.as_nanos().max(1);
+        let mut i = 0usize;
+        while i + 1 < BUCKETS && (1024u64 << i) < ns {
+            i += 1;
+        }
+        i
+    }
+
+    #[test]
+    fn bucket_for_matches_linear_scan_across_full_range() {
+        // Every power of two (and its neighbours) across the whole u64
+        // range, including 0, 1, u64::MAX.
+        let mut probes = vec![0u64, 1, 2, u64::MAX, u64::MAX - 1];
+        for shift in 0..64 {
+            let p = 1u64 << shift;
+            probes.extend([p.saturating_sub(1), p, p.saturating_add(1)]);
+        }
+        // A dense sweep through the first few buckets where requests live.
+        probes.extend(1..=16_384u64);
+        // Coarser deterministic sweep further out.
+        let mut v = 16_384u64;
+        while v < 1u64 << 40 {
+            probes.push(v);
+            probes.push(v + v / 3);
+            v = v.saturating_mul(2);
+        }
+        for ns in probes {
+            let d = SimDuration::from_nanos(ns);
+            assert_eq!(
+                LatencyHistogram::bucket_for(d),
+                bucket_for_linear(d),
+                "bucket mismatch at {ns} ns"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_for_boundary_values() {
+        // Inclusive upper bounds: exactly 1024 << i stays in bucket i.
+        assert_eq!(LatencyHistogram::bucket_for(SimDuration::from_nanos(0)), 0);
+        assert_eq!(LatencyHistogram::bucket_for(SimDuration::from_nanos(1)), 0);
+        assert_eq!(LatencyHistogram::bucket_for(SimDuration::from_nanos(1024)), 0);
+        assert_eq!(LatencyHistogram::bucket_for(SimDuration::from_nanos(1025)), 1);
+        assert_eq!(LatencyHistogram::bucket_for(SimDuration::from_nanos(2048)), 1);
+        assert_eq!(LatencyHistogram::bucket_for(SimDuration::from_nanos(u64::MAX)), BUCKETS - 1);
+    }
 
     #[test]
     fn online_stats_basic() {

@@ -219,6 +219,12 @@ impl Sub for SimDuration {
     }
 }
 
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
 impl SubAssign for SimDuration {
     fn sub_assign(&mut self, rhs: SimDuration) {
         self.0 -= rhs.0;
