@@ -15,6 +15,11 @@
 //! sampler on and writes `bench_results/timeline_probe.json`: per-disk
 //! utilization timelines plus the scheduler's staged-memory high-water
 //! mark, cross-checked against the runs' aggregate counters.
+//!
+//! `probe cluster` runs the multi-node scale-out points (1/2/4/8 healthy
+//! nodes, plus the hash-vs-straggler-aware pair under one factor-4
+//! straggler node) and writes `bench_results/cluster_probe.json` with the
+//! scaling factor and routing ratio the issue's acceptance bars read.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -295,6 +300,94 @@ fn faults_mode() {
     }
 }
 
+/// Runs the cluster scale-out points and writes
+/// `bench_results/cluster_probe.json`: aggregate throughput and makespan
+/// for 1/2/4/8 healthy nodes, plus the hash-vs-straggler-aware routing
+/// pair with one factor-4 straggler node at 4 nodes.
+fn cluster_mode() {
+    use seqio_cluster::{ClusterExperiment, ClusterResult, ShardPolicy};
+    use seqio_node::FaultPlan;
+
+    let spd: usize =
+        std::env::var("SEQIO_CLUSTER_STREAMS").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
+    let requests: u64 = 16;
+    let template = || {
+        Experiment::builder()
+            .streams_per_disk(spd)
+            .request_size(64 * KIB)
+            .frontend(Frontend::stream_scheduler_with_readahead(512 * KIB))
+            .requests_per_stream(requests)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(120))
+            .build()
+    };
+    let run = |nodes: usize, policy: ShardPolicy, straggler: Option<usize>| -> ClusterResult {
+        let mut b = ClusterExperiment::builder()
+            .template(template())
+            .nodes(nodes)
+            .policy(policy)
+            .base_seed(2026);
+        if let Some(k) = straggler {
+            b = b.node_fault(k, FaultPlan::new().straggler(0, 4.0, SimDuration::ZERO, None));
+        }
+        b.run().expect("cluster probe point")
+    };
+
+    println!("-- cluster probe: {spd} streams/disk, {requests} requests/stream, batch drain --");
+    let mut json = String::from("{\n  \"streams_per_disk\": ");
+    let _ = write!(json, "{spd},\n  \"requests_per_stream\": {requests},\n  \"healthy\": [");
+    let mut healthy = [0.0f64; 9];
+    for (i, nodes) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        let r = run(nodes, ShardPolicy::HashByStream, None);
+        healthy[nodes] = r.total_throughput_mbs();
+        assert_eq!(r.requests_completed, (nodes * spd) as u64 * requests);
+        println!(
+            "  nodes={nodes}  {:>8.2} MB/s aggregate  makespan {:.1} ms",
+            r.total_throughput_mbs(),
+            r.window.as_millis_f64()
+        );
+        let _ = write!(
+            json,
+            "{}\n    {{\"nodes\": {nodes}, \"aggregate_mbs\": {:.4}, \"makespan_ms\": {:.3}}}",
+            if i == 0 { "" } else { "," },
+            r.total_throughput_mbs(),
+            r.window.as_millis_f64()
+        );
+    }
+    let scaling = healthy[4] / healthy[1];
+
+    let hash = run(4, ShardPolicy::HashByStream, Some(1));
+    let aware = run(4, ShardPolicy::StragglerAware, Some(1));
+    let ratio = aware.total_throughput_mbs() / hash.total_throughput_mbs();
+    println!(
+        "  straggler(4x on node 1): hash {:>7.2} MB/s  aware {:>7.2} MB/s  ratio {ratio:.2}x",
+        hash.total_throughput_mbs(),
+        aware.total_throughput_mbs()
+    );
+    println!("  1->4 healthy scaling: {scaling:.2}x");
+    let _ = write!(
+        json,
+        "\n  ],\n  \"scaling_1_to_4\": {scaling:.4},\n  \"straggler\": {{\
+         \"factor\": 4.0, \"node\": 1, \"nodes\": 4, \
+         \"hash_mbs\": {:.4}, \"aware_mbs\": {:.4}, \"aware_over_hash\": {ratio:.4}}}\n}}\n",
+        hash.total_throughput_mbs(),
+        aware.total_throughput_mbs()
+    );
+
+    // The issue's acceptance bars, enforced at probe time too so the CI
+    // smoke step fails loudly if scale-out regresses.
+    assert!(scaling >= 3.5, "1 -> 4 node scaling {scaling:.2}x below 3.5x");
+    assert!(ratio >= 1.5, "straggler-aware routing held only {ratio:.2}x of hash");
+
+    let dir = seqio_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("cluster_probe.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("   -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("perf") => {
@@ -307,6 +400,10 @@ fn main() {
         }
         Some("timeline") => {
             timeline_mode();
+            return;
+        }
+        Some("cluster") => {
+            cluster_mode();
             return;
         }
         _ => {}

@@ -1,16 +1,19 @@
 //! Regression guard for the committed figure data: recomputes a small
-//! subset of `bench_results/fig01_collapse.csv` from the current build and
-//! fails if the committed full-mode numbers drift from what the code now
-//! produces. Cheap on purpose — two cells of the figure, chosen from the
-//! low-throughput corner so the simulated event count stays small.
+//! subset of the committed `bench_results/*.csv` cells from the current
+//! build and fails if the full-mode numbers drift from what the code now
+//! produces. Cheap on purpose — a handful of cells per figure, chosen
+//! from low-throughput corners so the simulated event count stays small.
+//!
+//! Covered figures: fig01 (direct-path collapse, 60 disks), fig12 (8-disk
+//! D = S configuration) and fig13 (small dispatch set vs D = S).
 
-use seqio_node::{Experiment, NodeShape};
+use seqio_node::{Experiment, Frontend, NodeShape};
 use seqio_simcore::units::KIB;
 use seqio_simcore::SimDuration;
 
-/// Loads a cell of the committed CSV by row label and column header.
-fn committed_cell(row: &str, column: &str) -> String {
-    let path = seqio_bench::results_dir().join("fig01_collapse.csv");
+/// Loads a cell of a committed CSV by row label and column header.
+fn committed_cell(slug: &str, row: &str, column: &str) -> String {
+    let path = seqio_bench::results_dir().join(format!("{slug}.csv"));
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     let mut lines = text.lines();
@@ -32,10 +35,15 @@ fn committed_cell(row: &str, column: &str) -> String {
     panic!("no row {row:?} in {}", path.display());
 }
 
-/// Recomputes one full-figure cell with the exact spec the bench uses in
-/// full mode (`SEQIO_BENCH_FULL=1`): 60 disks, seed 11, 4 s warmup, 8 s
-/// measured window. `Figure::report` writes y values with `{:.4}`.
-fn recomputed_cell(streams_per_disk: usize, request_size: u64) -> String {
+/// `Figure::report` writes y values with `{:.4}` — the committed format.
+fn cell(mbs: f64) -> String {
+    format!("{mbs:.4}")
+}
+
+/// Recomputes one full-figure fig01 cell with the exact spec the bench
+/// uses in full mode (`SEQIO_BENCH_FULL=1`): 60 disks, seed 11, 4 s
+/// warmup, 8 s measured window.
+fn fig01_cell(streams_per_disk: usize, request_size: u64) -> String {
     let r = Experiment::builder()
         .shape(NodeShape::sixty_disk())
         .streams_per_disk(streams_per_disk)
@@ -44,7 +52,7 @@ fn recomputed_cell(streams_per_disk: usize, request_size: u64) -> String {
         .duration(SimDuration::from_secs(8))
         .seed(11)
         .run();
-    format!("{:.4}", r.total_throughput_mbs())
+    cell(r.total_throughput_mbs())
 }
 
 #[test]
@@ -52,8 +60,8 @@ fn fig01_committed_csv_matches_current_build() {
     // 256K row: the collapsed stream counts deliver under 1 GB/s, so these
     // are the cheapest cells of the figure to re-simulate.
     for (column, per_disk) in [("120 Streams", 2), ("300 Streams", 5)] {
-        let committed = committed_cell("256K", column);
-        let current = recomputed_cell(per_disk, 256 * KIB);
+        let committed = committed_cell("fig01_collapse", "256K", column);
+        let current = fig01_cell(per_disk, 256 * KIB);
         assert_eq!(
             current, committed,
             "bench_results/fig01_collapse.csv cell (256K, {column}) drifted from the \
@@ -61,4 +69,52 @@ fn fig01_committed_csv_matches_current_build() {
              `SEQIO_BENCH_FULL=1 cargo bench` and commit the result"
         );
     }
+}
+
+#[test]
+fn fig12_committed_csv_matches_current_build() {
+    // The collapsed "No Readahead" corner of the 8-disk figure: full mode
+    // runs 10 s warmup + 10 s window at seed 1212 on the direct path, and
+    // the 60/100-stream rows are its lowest-throughput (cheapest) cells.
+    for streams_per_disk in [60usize, 100] {
+        let committed =
+            committed_cell("fig12_eight_disks", &streams_per_disk.to_string(), "No Readahead");
+        let r = Experiment::builder()
+            .shape(NodeShape::eight_disk())
+            .streams_per_disk(streams_per_disk)
+            .warmup(SimDuration::from_secs(10))
+            .duration(SimDuration::from_secs(10))
+            .seed(1212)
+            .run();
+        assert_eq!(
+            cell(r.total_throughput_mbs()),
+            committed,
+            "bench_results/fig12_eight_disks.csv cell ({streams_per_disk}, No Readahead) \
+             drifted from the current build; regenerate with \
+             `SEQIO_BENCH_FULL=1 cargo bench` and commit the result"
+        );
+    }
+}
+
+#[test]
+fn fig13_committed_csv_matches_current_build() {
+    // The D = S comparison curve at its cheapest point (10 streams/disk):
+    // full mode runs 12 s warmup + 12 s window at seed 1313 with the
+    // stream scheduler at R = 512K.
+    let committed = committed_cell("fig13_dispatch_staged", "10", "D = S (from Fig. 12)");
+    let r = Experiment::builder()
+        .shape(NodeShape::eight_disk())
+        .streams_per_disk(10)
+        .frontend(Frontend::stream_scheduler_with_readahead(512 * KIB))
+        .warmup(SimDuration::from_secs(12))
+        .duration(SimDuration::from_secs(12))
+        .seed(1313)
+        .run();
+    assert_eq!(
+        cell(r.total_throughput_mbs()),
+        committed,
+        "bench_results/fig13_dispatch_staged.csv cell (10, D = S) drifted from the \
+         current build; regenerate with `SEQIO_BENCH_FULL=1 cargo bench` and \
+         commit the result"
+    );
 }

@@ -22,6 +22,7 @@ fn main() -> ExitCode {
     let result = match sub.as_str() {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
+        "cluster" => cmd_cluster(rest),
         "replay" => cmd_replay(rest),
         "report" => cmd_report(rest),
         "info" | "help" | "--help" | "-h" => {
@@ -132,6 +133,108 @@ fn print_report(r: &RunResult, disks: usize) {
     if errors + retries + timeouts > 0 {
         println!("faults:          {errors} read errors, {retries} retries, {timeouts} timeouts");
     }
+}
+
+/// `seqio cluster run --nodes K --shard POLICY [--faults SPEC
+/// --fault-node I] [experiment flags]` — a multi-node cluster run: the
+/// experiment flags describe each node's template, `--faults` (if given)
+/// lands on `--fault-node` only, and the router shards the global stream
+/// population across the nodes.
+fn cmd_cluster(rest: Vec<String>) -> Result<(), String> {
+    let mut rest = rest.into_iter();
+    match rest.next().as_deref() {
+        Some("run") => {}
+        other => {
+            return Err(format!(
+                "cluster: expected `cluster run [flags]`, got {:?}",
+                other.unwrap_or("nothing")
+            ))
+        }
+    }
+    let args = Args::parse(rest)?;
+    let mut known = EXPERIMENT_FLAGS.to_vec();
+    known.extend_from_slice(&["nodes", "shard", "fault-node", "jobs", "base-seed"]);
+    let unknown = args.unknown_flags(&known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag(s): {}", unknown.join(", ")));
+    }
+    if args.get("trace").is_some() || args.get("trace-out").is_some() {
+        return Err("cluster runs do not support per-request trace output yet".into());
+    }
+
+    let mut template = experiment_from(&args)?;
+    // `experiment_from` installs --faults on the template; the cluster
+    // layer wants them on one node instead.
+    let plan = template.faults.take();
+    let nodes = args.u64_or("nodes", 1)? as usize;
+    let policy = seqio_cluster::ShardPolicy::parse(args.get("shard").unwrap_or("hash"))
+        .map_err(|e| format!("--shard: {e}"))?;
+    let fault_node = args.u64_or("fault-node", 0)? as usize;
+    if fault_node >= nodes.max(1) {
+        return Err(format!("--fault-node: node {fault_node} past cluster size {nodes}"));
+    }
+
+    let mut b = seqio_cluster::ClusterExperiment::builder()
+        .template(template.clone())
+        .nodes(nodes)
+        .policy(policy);
+    if let Some(plan) = plan {
+        b = b.node_fault(fault_node, plan);
+    }
+    if let Some(seed) = args.get("base-seed") {
+        let s: u64 = seed.parse().map_err(|_| format!("--base-seed: bad integer {seed:?}"))?;
+        b = b.base_seed(s);
+    }
+    if let Some(j) = args.get("jobs") {
+        let j: usize = j.parse().map_err(|_| format!("--jobs: bad integer {j:?}"))?;
+        b = b.jobs(j);
+    }
+    let spec = b.build();
+    eprintln!(
+        "cluster: {} node(s) x {} disk(s), {} global stream(s), {} routing",
+        nodes,
+        template.shape.total_disks(),
+        spec.total_streams(),
+        policy.name()
+    );
+    let c = spec.run().map_err(|e| e.to_string())?;
+
+    println!("{:>6} {:>9} {:>12} {:>10} {:>10}", "node", "streams", "MB/s", "mean ms", "window");
+    for n in &c.nodes {
+        match &n.result {
+            Some(r) => println!(
+                "{:>6} {:>9} {:>12.2} {:>10.2} {:>10}",
+                n.node,
+                n.assigned_streams,
+                c.node_throughput_mbs(n.node),
+                r.mean_response_ms(),
+                r.window
+            ),
+            None => println!("{:>6} {:>9} {:>12} {:>10} {:>10}", n.node, 0, "-", "-", "skipped"),
+        }
+    }
+    println!("throughput:      {:>9.2} MB/s aggregate over {}", c.total_throughput_mbs(), c.window);
+    println!(
+        "response time:   mean {:.2} ms   p99 {:.2} ms   worst node mean {:.2} ms",
+        c.mean_response_ms(),
+        c.p99_response_ms(),
+        c.max_node_mean_response_ms()
+    );
+    println!(
+        "requests:        {} completed, {} MiB delivered",
+        c.requests_completed,
+        c.bytes_delivered >> 20
+    );
+    if let Some(path) = args.get("metrics-out") {
+        let series = c.metrics.as_ref().expect("metric sampling was enabled");
+        std::fs::write(path, series.to_csv()).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        println!(
+            "metrics:         {} samples x {} series -> {path}",
+            series.len(),
+            series.names().len()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
@@ -296,6 +399,7 @@ seqio — storage-node simulator for large numbers of sequential streams
 USAGE:
   seqio run    [flags]
   seqio sweep  --param streams|readahead|request --values a,b,c [--jobs N] [flags]
+  seqio cluster run --nodes K --shard POLICY [flags]   # multi-node cluster
   seqio replay --trace-in FILE [flags]     # open-loop trace replay
   seqio report --spans FILE [--phases]     # per-phase latency breakdown
   seqio info
@@ -330,6 +434,15 @@ FLAGS (sweep only):
   --jobs N                       parallel worker threads   [SEQIO_JOBS, then #cpus]
   --progress                     per-point progress lines on stderr
 
+FLAGS (cluster run):
+  --nodes K                      storage nodes             [1]
+  --shard identity|hash|range|straggler-aware              [hash]
+  --fault-node I                 node receiving --faults   [0]
+  --base-seed N                  derive per-node seeds from (N, node)
+  --jobs N                       node fan-out workers      [SEQIO_JOBS, then #cpus]
+  (experiment flags above describe each node's template; --faults applies
+   to --fault-node only and drives straggler-aware health)
+
 EXAMPLES:
   seqio run --streams 100 --frontend stream --readahead 4M
   seqio run --shape eight --frontend stream --d 8 --n 128 --readahead 512K
@@ -337,6 +450,9 @@ EXAMPLES:
   seqio run --frontend linux --scheduler anticipatory --request 4K --local-costs
   seqio run --streams 100 --frontend stream --faults straggler:disk=0,factor=4
   seqio run --streams 50 --frontend stream --trace-out spans.csv --metrics-out m.csv
-  seqio report --spans spans.csv --phases"
+  seqio report --spans spans.csv --phases
+  seqio cluster run --nodes 4 --shard straggler-aware --streams 100 \\
+        --frontend stream --requests 16 --warmup 0s --duration 60s \\
+        --faults straggler:disk=0,factor=4 --fault-node 1 --base-seed 7"
     );
 }

@@ -1,0 +1,553 @@
+//! Cluster composition: per-node experiment construction, deterministic
+//! fan-out over the sweep worker pool, and result merging.
+
+use seqio_node::sweep::derive_seed;
+use seqio_node::{Experiment, RunResult, Sweep};
+use seqio_simcore::{FaultPlan, LatencyHistogram, MetricSeries, SeqioError, SimDuration};
+
+use crate::router::{NodeHealth, Router, ShardPolicy};
+
+/// A multi-node cluster experiment: `K` copies of a per-node
+/// [`Experiment`] template behind a front-end [`Router`].
+///
+/// The client population is `K * template.total_streams()` global
+/// streams. The router assigns each global stream to a node before
+/// anything runs; each node then simulates its share as a full
+/// single-node DES, and the per-node [`RunResult`]s merge into one
+/// [`ClusterResult`] on a shared clock.
+///
+/// All three in-tree disciplines carry over: node simulations fan out
+/// over the [`Sweep`] worker pool and stay bit-identical at any worker
+/// count; faults are opt-in per node; observability is opt-in via the
+/// template's `ObsConfig` and never perturbs results.
+#[derive(Debug, Clone)]
+pub struct ClusterExperiment {
+    /// Per-node experiment template (shape, workload, frontend, clock).
+    pub template: Experiment,
+    /// Number of storage nodes `K`.
+    pub nodes: usize,
+    /// Stream sharding policy.
+    pub policy: ShardPolicy,
+    /// Per-node fault plans (`None` entries are healthy nodes). The
+    /// template's own `faults` field must stay empty — cluster faults
+    /// are always per node.
+    pub node_faults: Vec<Option<FaultPlan>>,
+    /// When set, node `k` runs with seed [`derive_seed`]`(base, k)`;
+    /// when `None`, every node keeps the template seed (used by the
+    /// 1-node equivalence oracle).
+    pub base_seed: Option<u64>,
+    /// Worker override for the fan-out (`None` = `SEQIO_JOBS`, then
+    /// available parallelism).
+    pub jobs: Option<usize>,
+    /// Degraded threshold the straggler-aware router uses (defaults to
+    /// the stream scheduler's `degraded_rotate_threshold`).
+    pub degraded_threshold: f64,
+    /// Per-node stream capacity for the straggler-aware deal.
+    pub capacity_per_node: Option<usize>,
+}
+
+impl ClusterExperiment {
+    /// Starts a builder: 1 node, identity routing, healthy, template
+    /// defaults from [`Experiment::builder`].
+    pub fn builder() -> ClusterExperimentBuilder {
+        ClusterExperimentBuilder {
+            spec: ClusterExperiment {
+                template: Experiment::builder().build(),
+                nodes: 1,
+                policy: ShardPolicy::Identity,
+                node_faults: vec![None],
+                base_seed: None,
+                jobs: None,
+                degraded_threshold: seqio_core::ServerConfig::default_tuning()
+                    .degraded_rotate_threshold,
+                capacity_per_node: None,
+            },
+        }
+    }
+
+    /// Global client streams across the cluster.
+    pub fn total_streams(&self) -> usize {
+        self.nodes * self.template.total_streams()
+    }
+
+    /// The router this specification implies (health derived from the
+    /// per-node fault plans).
+    pub fn router(&self) -> Router {
+        let disks = self.template.shape.total_disks();
+        let health: Vec<NodeHealth> =
+            self.node_faults.iter().map(|p| NodeHealth::from_faults(p.as_ref(), disks)).collect();
+        let mut r = Router::new(self.policy, self.nodes)
+            .with_health(health)
+            .with_threshold(self.degraded_threshold);
+        if let Some(cap) = self.capacity_per_node {
+            r = r.with_capacity(cap);
+        }
+        r
+    }
+
+    /// Validates the full cluster specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`SeqioError`].
+    pub fn validate(&self) -> Result<(), SeqioError> {
+        self.template.validate()?;
+        if self.template.faults.is_some() {
+            return Err(SeqioError::Experiment(
+                "cluster faults are per node: use node_fault(k, plan), not the template".into(),
+            ));
+        }
+        if self.template.stream_counts.is_some() {
+            return Err(SeqioError::Experiment(
+                "the cluster owns per-disk stream layout; leave template.stream_counts unset"
+                    .into(),
+            ));
+        }
+        if self.template.replay.is_some() {
+            return Err(SeqioError::Experiment("trace replay cannot be sharded".into()));
+        }
+        if self.node_faults.len() != self.nodes {
+            return Err(SeqioError::Experiment(format!(
+                "node_faults names {} nodes but the cluster has {}",
+                self.node_faults.len(),
+                self.nodes
+            )));
+        }
+        for (k, plan) in self.node_faults.iter().enumerate() {
+            if let Some(p) = plan {
+                p.validate()?;
+                if let Some(d) = p.max_disk() {
+                    let disks = self.template.shape.total_disks();
+                    if d >= disks {
+                        return Err(SeqioError::Experiment(format!(
+                            "node {k} fault plan names disk {d} but nodes have {disks} disks"
+                        )));
+                    }
+                }
+            }
+        }
+        self.router().validate()
+    }
+
+    /// Builds the per-node experiment spec for a node assigned
+    /// `assigned` streams (`None` when the node received no streams and
+    /// is skipped entirely).
+    fn node_spec(&self, node: usize, assigned: usize) -> Option<Experiment> {
+        if assigned == 0 {
+            return None;
+        }
+        let mut spec = self.template.clone();
+        let disks = spec.shape.total_disks();
+        if assigned.is_multiple_of(disks) {
+            // An even share keeps the uniform layout, so a 1-node
+            // identity cluster runs the template spec verbatim.
+            spec.streams_per_disk = assigned / disks;
+        } else {
+            let base = assigned / disks;
+            let rem = assigned % disks;
+            spec.stream_counts = Some((0..disks).map(|d| base + usize::from(d < rem)).collect());
+        }
+        spec.faults = self.node_faults[node].clone();
+        if let Some(b) = self.base_seed {
+            spec.seed = derive_seed(b, node);
+        }
+        Some(spec)
+    }
+
+    /// Runs every node and merges the results.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first specification error; a valid specification
+    /// always runs to completion.
+    pub fn run(&self) -> Result<ClusterResult, SeqioError> {
+        self.validate()?;
+        let total = self.total_streams();
+        let router = self.router();
+        let assignment = router.assign(total);
+
+        // Node k serves its assigned global ids in ascending order,
+        // mapped onto local slots 0..n_k (disk-major, the node's own
+        // stream order).
+        let mut node_ids: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
+        for (g, &k) in assignment.iter().enumerate() {
+            node_ids[k].push(g);
+        }
+
+        let mut specs: Vec<Option<Experiment>> = Vec::with_capacity(self.nodes);
+        for (k, ids) in node_ids.iter().enumerate() {
+            let spec = self.node_spec(k, ids.len());
+            if let Some(s) = &spec {
+                s.validate()?;
+            }
+            specs.push(spec);
+        }
+
+        // Fan the populated nodes over the sweep pool. Seeds were
+        // already derived per node, so no sweep-level base seed: a
+        // skipped (empty) node must not shift its neighbours' seeds.
+        let mut sweep = Sweep::builder();
+        for spec in specs.iter().flatten() {
+            sweep = sweep.point(spec.clone());
+        }
+        if let Some(j) = self.jobs {
+            sweep = sweep.jobs(j);
+        }
+        let mut results = sweep.run().into_results().into_iter();
+
+        let disks = self.template.shape.total_disks();
+        let mut outcomes = Vec::with_capacity(self.nodes);
+        for (k, spec) in specs.into_iter().enumerate() {
+            let result = spec.as_ref().map(|_| results.next().expect("one result per spec"));
+            outcomes.push(NodeOutcome {
+                node: k,
+                assigned_streams: node_ids[k].len(),
+                health: NodeHealth::from_faults(self.node_faults[k].as_ref(), disks),
+                spec,
+                result,
+            });
+        }
+        Ok(ClusterResult::merge(outcomes, assignment, node_ids))
+    }
+}
+
+/// Builder for [`ClusterExperiment`].
+#[derive(Debug, Clone)]
+pub struct ClusterExperimentBuilder {
+    spec: ClusterExperiment,
+}
+
+impl ClusterExperimentBuilder {
+    /// Sets the per-node experiment template.
+    pub fn template(mut self, t: Experiment) -> Self {
+        self.spec.template = t;
+        self
+    }
+
+    /// Sets the node count (resizes the per-node fault table).
+    pub fn nodes(mut self, k: usize) -> Self {
+        self.spec.nodes = k;
+        self.spec.node_faults.resize(k, None);
+        self
+    }
+
+    /// Sets the sharding policy.
+    pub fn policy(mut self, p: ShardPolicy) -> Self {
+        self.spec.policy = p;
+        self
+    }
+
+    /// Installs a fault plan on one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is past the configured node count (call
+    /// [`nodes`](Self::nodes) first).
+    pub fn node_fault(mut self, node: usize, plan: FaultPlan) -> Self {
+        assert!(node < self.spec.nodes, "node {node} past cluster size {}", self.spec.nodes);
+        self.spec.node_faults[node] = Some(plan);
+        self
+    }
+
+    /// Derives per-node seeds from a cluster base seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.spec.base_seed = Some(seed);
+        self
+    }
+
+    /// Overrides the fan-out worker count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.spec.jobs = Some(jobs);
+        self
+    }
+
+    /// Overrides the degraded threshold for straggler-aware routing.
+    pub fn degraded_threshold(mut self, t: f64) -> Self {
+        self.spec.degraded_threshold = t;
+        self
+    }
+
+    /// Caps the streams any single node accepts under the
+    /// straggler-aware deal.
+    pub fn capacity_per_node(mut self, cap: usize) -> Self {
+        self.spec.capacity_per_node = Some(cap);
+        self
+    }
+
+    /// Finalizes the specification without running it.
+    pub fn build(self) -> ClusterExperiment {
+        self.spec
+    }
+
+    /// Builds and runs in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first specification error.
+    pub fn run(self) -> Result<ClusterResult, SeqioError> {
+        self.spec.run()
+    }
+}
+
+/// One node's share of a cluster run.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// Node index `0..K`.
+    pub node: usize,
+    /// Streams the router assigned here.
+    pub assigned_streams: usize,
+    /// Health the router saw for this node.
+    pub health: NodeHealth,
+    /// The spec that ran (`None` when no streams were assigned and the
+    /// node was skipped).
+    pub spec: Option<Experiment>,
+    /// The node's own result over its own realized window (`None` for
+    /// skipped nodes).
+    pub result: Option<RunResult>,
+}
+
+/// Merged outcome of a cluster run on the shared cluster clock.
+///
+/// All nodes start at `SimTime::ZERO`; the cluster's measurement window
+/// is the **makespan** — the longest realized node window — and every
+/// per-stream throughput is expressed over that shared window, so the
+/// paper-style sum `total_throughput_mbs` equals total bytes over the
+/// time the slowest node needed. A straggling node therefore drags the
+/// whole cluster figure down exactly as it would a real batch of
+/// clients waiting for their slowest shard.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Per-node outcomes, indexed by node.
+    pub nodes: Vec<NodeOutcome>,
+    /// Global stream → node map the router produced.
+    pub assignment: Vec<usize>,
+    /// Per-stream throughput in MBytes/s over the cluster window, in
+    /// global stream order.
+    pub per_stream_mbs: Vec<f64>,
+    /// The cluster window: the longest realized node window.
+    pub window: SimDuration,
+    /// Client response-time distribution merged across nodes.
+    pub response: LatencyHistogram,
+    /// Bytes delivered cluster-wide inside the measured windows.
+    pub bytes_delivered: u64,
+    /// Client requests completed cluster-wide.
+    pub requests_completed: u64,
+    /// Discrete events simulated across all node runs.
+    pub events_simulated: u64,
+    /// Merged metric time series (`nodeK.`-prefixed columns), when the
+    /// template enabled metric sampling.
+    pub metrics: Option<MetricSeries>,
+}
+
+impl ClusterResult {
+    fn merge(
+        nodes: Vec<NodeOutcome>,
+        assignment: Vec<usize>,
+        node_ids: Vec<Vec<usize>>,
+    ) -> ClusterResult {
+        let window = nodes
+            .iter()
+            .filter_map(|n| n.result.as_ref())
+            .map(|r| r.window)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let mut per_stream_mbs = vec![0.0; assignment.len()];
+        let mut response = LatencyHistogram::new();
+        let mut bytes = 0u64;
+        let mut requests = 0u64;
+        let mut events = 0u64;
+        let mut parts: Vec<(String, &MetricSeries)> = Vec::new();
+        for outcome in &nodes {
+            let Some(result) = &outcome.result else { continue };
+            // Rescale each stream's rate from its node's window to the
+            // shared cluster window (ratio 1.0 for the slowest node, so a
+            // 1-node cluster keeps its values bit-identical).
+            let ratio = if result.window == window || window == SimDuration::ZERO {
+                1.0
+            } else {
+                result.window.as_millis_f64() / window.as_millis_f64()
+            };
+            for (slot, &g) in node_ids[outcome.node].iter().enumerate() {
+                per_stream_mbs[g] = result.per_stream_mbs[slot] * ratio;
+            }
+            response.merge(&result.response);
+            bytes += result.bytes_delivered;
+            requests += result.requests_completed;
+            events += result.events_simulated;
+            if let Some(series) = &result.metrics {
+                parts.push((format!("node{}", outcome.node), series));
+            }
+        }
+        let metrics = if parts.is_empty() {
+            None
+        } else {
+            let labeled: Vec<(&str, &MetricSeries)> =
+                parts.iter().map(|(l, s)| (l.as_str(), *s)).collect();
+            Some(
+                MetricSeries::merge_labeled(&labeled)
+                    .expect("node series share the template's sampling interval"),
+            )
+        };
+        ClusterResult {
+            nodes,
+            assignment,
+            per_stream_mbs,
+            window,
+            response,
+            bytes_delivered: bytes,
+            requests_completed: requests,
+            events_simulated: events,
+            metrics,
+        }
+    }
+
+    /// Cluster throughput: the sum of per-stream throughputs over the
+    /// shared window, exactly as the paper aggregates a node.
+    pub fn total_throughput_mbs(&self) -> f64 {
+        self.per_stream_mbs.iter().sum()
+    }
+
+    /// One node's share of the cluster throughput.
+    pub fn node_throughput_mbs(&self, node: usize) -> f64 {
+        self.assignment
+            .iter()
+            .zip(&self.per_stream_mbs)
+            .filter(|(&k, _)| k == node)
+            .map(|(_, &mbs)| mbs)
+            .sum()
+    }
+
+    /// Mean response time in milliseconds across every client request.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.response.mean().as_millis_f64()
+    }
+
+    /// 99th-percentile response time in milliseconds cluster-wide.
+    pub fn p99_response_ms(&self) -> f64 {
+        self.response.quantile(0.99).map(|d| d.as_millis_f64()).unwrap_or(0.0)
+    }
+
+    /// The worst per-node mean response time in milliseconds — the
+    /// tail-node view a cluster operator watches.
+    pub fn max_node_mean_response_ms(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.result.as_ref())
+            .map(|r| r.mean_response_ms())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_template() -> Experiment {
+        Experiment::builder()
+            .streams_per_disk(4)
+            .requests_per_stream(8)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(30))
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        let c = ClusterExperiment::builder().template(quick_template()).build();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.total_streams(), 4);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        // Identity routing on K > 1.
+        let c = ClusterExperiment::builder().template(quick_template()).nodes(2).build();
+        assert!(c.validate().is_err());
+        // Template-level faults.
+        let mut c = ClusterExperiment::builder().template(quick_template()).build();
+        c.template.faults = Some(FaultPlan::new().read_errors(0, 0.01));
+        assert!(c.validate().is_err());
+        // Template-level stream_counts.
+        let mut c = ClusterExperiment::builder().template(quick_template()).build();
+        c.template.stream_counts = Some(vec![4]);
+        assert!(c.validate().is_err());
+        // Fault table length drift.
+        let mut c = ClusterExperiment::builder().template(quick_template()).build();
+        c.node_faults.clear();
+        assert!(c.validate().is_err());
+        // Node fault naming an absent disk.
+        let c = ClusterExperiment::builder()
+            .template(quick_template())
+            .nodes(2)
+            .policy(ShardPolicy::HashByStream)
+            .node_fault(1, FaultPlan::new().read_errors(5, 0.01))
+            .build();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn two_node_hash_cluster_merges_both_nodes() {
+        let result = ClusterExperiment::builder()
+            .template(quick_template())
+            .nodes(2)
+            .policy(ShardPolicy::HashByStream)
+            .base_seed(7)
+            .jobs(2)
+            .run()
+            .unwrap();
+        assert_eq!(result.per_stream_mbs.len(), 8);
+        assert_eq!(result.assignment.len(), 8);
+        assert_eq!(result.requests_completed, 8 * 8);
+        assert!(result.total_throughput_mbs() > 0.0);
+        assert!(result.window > SimDuration::ZERO);
+        // Exact deal: four streams per node, both nodes ran.
+        for n in &result.nodes {
+            assert_eq!(n.assigned_streams, 4);
+            assert!(n.result.is_some());
+        }
+        // Node shares partition the total.
+        let split = result.node_throughput_mbs(0) + result.node_throughput_mbs(1);
+        assert!((split - result.total_throughput_mbs()).abs() < 1e-9);
+        // Per-node seeds derive from (base, node).
+        for (k, n) in result.nodes.iter().enumerate() {
+            assert_eq!(n.spec.as_ref().unwrap().seed, derive_seed(7, k));
+        }
+    }
+
+    #[test]
+    fn empty_nodes_are_skipped_without_shifting_seeds() {
+        // All streams steered away from the degraded node 0.
+        let plan = FaultPlan::new().straggler(0, 4.0, SimDuration::ZERO, None);
+        let result = ClusterExperiment::builder()
+            .template(quick_template())
+            .nodes(2)
+            .policy(ShardPolicy::StragglerAware)
+            .node_fault(0, plan)
+            .base_seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(result.nodes[0].assigned_streams, 0);
+        assert!(result.nodes[0].result.is_none() && result.nodes[0].spec.is_none());
+        let n1 = &result.nodes[1];
+        assert_eq!(n1.assigned_streams, 8);
+        assert_eq!(n1.spec.as_ref().unwrap().seed, derive_seed(3, 1));
+        assert!(n1.health == NodeHealth::healthy());
+        assert_eq!(result.requests_completed, 8 * 8);
+    }
+
+    #[test]
+    fn uneven_shares_fall_back_to_stream_counts() {
+        let c = ClusterExperiment::builder().template(quick_template()).build();
+        // 4 streams on 1 disk: even share, uniform layout preserved.
+        let spec = c.node_spec(0, 4).unwrap();
+        assert_eq!(spec.streams_per_disk, 4);
+        assert!(spec.stream_counts.is_none());
+        // Uneven share on an 8-disk node spreads the remainder.
+        let mut c = c;
+        c.template.shape = seqio_node::NodeShape::eight_disk();
+        let spec = c.node_spec(0, 11).unwrap();
+        assert_eq!(spec.stream_counts, Some(vec![2, 2, 2, 1, 1, 1, 1, 1]));
+        assert_eq!(spec.total_streams(), 11);
+        assert!(c.node_spec(0, 0).is_none());
+    }
+}

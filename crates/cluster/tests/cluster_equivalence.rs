@@ -1,0 +1,152 @@
+//! The 1-node equivalence oracle: a single-node cluster with the
+//! identity router is the plain `Experiment` — bit for bit, with the
+//! observability recorder both off and on — and the fig01 golden subset
+//! reproduces through the cluster path unchanged.
+
+use seqio_cluster::{ClusterExperiment, ShardPolicy};
+use seqio_node::span::spans_to_csv;
+use seqio_node::{Experiment, Frontend, NodeShape, ObsConfig, RunResult};
+use seqio_simcore::units::{KIB, MIB};
+use seqio_simcore::SimDuration;
+
+/// Every observable a figure could plot, plus the diagnostics (same
+/// shape as the node-level sweep determinism fingerprint).
+fn fingerprint(r: &RunResult) -> (u64, u64, Vec<u64>, Vec<u64>, u64, u64, String) {
+    (
+        r.bytes_delivered,
+        r.requests_completed,
+        r.disk_seeks.clone(),
+        r.disk_ops.clone(),
+        r.ctrl_wasted_bytes,
+        r.ctrl_bytes_from_disks,
+        format!(
+            "{:?} {:?} {:?} {:?} {:?}",
+            r.per_stream_mbs, r.window, r.disk_read_errors, r.disk_retries, r.disk_timeouts
+        ),
+    )
+}
+
+fn template() -> Experiment {
+    Experiment::builder()
+        .shape(NodeShape::eight_disk())
+        .streams_per_disk(5)
+        .request_size(64 * KIB)
+        .frontend(Frontend::stream_scheduler_with_readahead(MIB))
+        .warmup(SimDuration::from_millis(500))
+        .duration(SimDuration::from_secs(1))
+        .seed(33)
+        .build()
+}
+
+fn identity_cluster(t: Experiment) -> ClusterExperiment {
+    // No base seed: the node must keep the template seed verbatim.
+    ClusterExperiment::builder().template(t).nodes(1).policy(ShardPolicy::Identity).build()
+}
+
+#[test]
+fn one_node_identity_cluster_is_the_plain_experiment() {
+    let plain = template().run();
+    let cluster = identity_cluster(template()).run().unwrap();
+
+    // The node ran the template spec verbatim and produced the same
+    // RunResult bit for bit.
+    let node = &cluster.nodes[0];
+    assert_eq!(node.assigned_streams, 40);
+    let spec = node.spec.as_ref().unwrap();
+    assert_eq!(spec.seed, 33);
+    assert_eq!(spec.streams_per_disk, 5);
+    assert!(spec.stream_counts.is_none(), "even shares must keep the uniform layout");
+    assert_eq!(fingerprint(node.result.as_ref().unwrap()), fingerprint(&plain));
+
+    // The merged cluster view degenerates to the node view: same
+    // per-stream series (the makespan rescale ratio is exactly 1.0),
+    // same window, same totals.
+    assert_eq!(cluster.per_stream_mbs, plain.per_stream_mbs);
+    assert_eq!(cluster.window, plain.window);
+    assert_eq!(cluster.bytes_delivered, plain.bytes_delivered);
+    assert_eq!(cluster.requests_completed, plain.requests_completed);
+    assert_eq!(cluster.events_simulated, plain.events_simulated);
+    assert_eq!(cluster.total_throughput_mbs().to_bits(), plain.total_throughput_mbs().to_bits());
+    assert_eq!(cluster.mean_response_ms().to_bits(), plain.mean_response_ms().to_bits());
+    assert_eq!(cluster.p99_response_ms().to_bits(), plain.p99_response_ms().to_bits());
+}
+
+#[test]
+fn equivalence_holds_with_the_observability_recorder_on() {
+    let obs = ObsConfig::all().sample_every(SimDuration::from_millis(5));
+    let plain = template().observe(obs).run();
+    let cluster = identity_cluster(template().observe(obs)).run().unwrap();
+    let node_result = cluster.nodes[0].result.as_ref().unwrap();
+
+    // Simulation outputs stay bit-identical with recording enabled.
+    assert_eq!(fingerprint(node_result), fingerprint(&plain));
+
+    // And the recordings themselves match the plain run's.
+    let plain_spans = plain.spans.as_ref().expect("spans recorded");
+    let node_spans = node_result.spans.as_ref().expect("spans recorded");
+    assert_eq!(spans_to_csv(node_spans), spans_to_csv(plain_spans));
+
+    let plain_series = plain.metrics.as_ref().expect("metrics recorded");
+    let merged = cluster.metrics.as_ref().expect("cluster merges node series");
+    assert_eq!(merged.len(), plain_series.len());
+    assert_eq!(merged.times(), plain_series.times());
+    for name in plain_series.names() {
+        let prefixed = format!("node0.{name}");
+        assert_eq!(
+            merged.column_by_name(&prefixed).unwrap_or_else(|| panic!("{prefixed} missing")),
+            plain_series.column_by_name(name).unwrap(),
+            "column {name} drifted through the merge"
+        );
+    }
+}
+
+/// FNV-1a over the rendered CSV bytes — dependency-free and stable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The fig01 subset golden from `crates/node/tests/sweep_determinism.rs`,
+/// reproduced through 1-node identity clusters: the cluster path must not
+/// perturb a single byte of the figure pipeline.
+#[test]
+fn fig01_subset_golden_reproduces_through_the_cluster_path() {
+    const GOLDEN: u64 = 4786420990628480947;
+
+    let per_disk = [1usize, 5];
+    let requests = [64 * KIB, 256 * KIB];
+    let mut throughputs = Vec::new();
+    for &streams in &per_disk {
+        for &req in &requests {
+            let t = Experiment::builder()
+                .shape(NodeShape::sixty_disk())
+                .streams_per_disk(streams)
+                .request_size(req)
+                .warmup(SimDuration::from_secs(1))
+                .duration(SimDuration::from_secs(2))
+                .seed(11)
+                .build();
+            let result = identity_cluster(t).run().unwrap();
+            throughputs.push(result.total_throughput_mbs());
+        }
+    }
+
+    let mut csv = String::from("Request size,60 Streams,300 Streams\n");
+    for (ri, x) in ["64K", "256K"].iter().enumerate() {
+        csv.push_str(x);
+        for si in 0..per_disk.len() {
+            let y = throughputs[si * requests.len() + ri];
+            csv.push_str(&format!(",{y:.4}"));
+        }
+        csv.push('\n');
+    }
+    assert_eq!(
+        fnv1a(csv.as_bytes()),
+        GOLDEN,
+        "fig01 subset drifted when run through 1-node clusters:\n{csv}"
+    );
+}

@@ -1,0 +1,84 @@
+//! The two headline cluster guarantees from the issue's acceptance
+//! criteria, asserted at the 100-streams-per-disk operating point the
+//! `cluster_scaling` bench and `probe cluster` record:
+//!
+//! 1. aggregate throughput scales >= 3.5x from 1 to 4 healthy nodes;
+//! 2. with one factor-4 straggler node, the straggler-aware router holds
+//!    >= 1.5x the hash router's aggregate throughput.
+
+use seqio_cluster::{ClusterExperiment, ClusterResult, ShardPolicy};
+use seqio_node::{Experiment, FaultPlan, Frontend};
+use seqio_simcore::units::KIB;
+use seqio_simcore::SimDuration;
+
+const STREAMS_PER_DISK: usize = 100;
+const BASE_SEED: u64 = 2026;
+
+/// Batch workload on the shared cluster clock: every stream pulls a
+/// fixed request budget from time zero, so a node's realized window is
+/// its drain time and the cluster window is the makespan.
+fn template() -> Experiment {
+    Experiment::builder()
+        .streams_per_disk(STREAMS_PER_DISK)
+        .request_size(64 * KIB)
+        .frontend(Frontend::stream_scheduler_with_readahead(512 * KIB))
+        .requests_per_stream(16)
+        .warmup(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(120))
+        .build()
+}
+
+fn run(nodes: usize, policy: ShardPolicy, straggler_node: Option<usize>) -> ClusterResult {
+    let mut b = ClusterExperiment::builder()
+        .template(template())
+        .nodes(nodes)
+        .policy(policy)
+        .base_seed(BASE_SEED);
+    if let Some(k) = straggler_node {
+        b = b.node_fault(k, FaultPlan::new().straggler(0, 4.0, SimDuration::ZERO, None));
+    }
+    b.run().unwrap()
+}
+
+#[test]
+fn four_healthy_nodes_scale_aggregate_throughput_at_least_3_5x() {
+    let one = run(1, ShardPolicy::Identity, None);
+    let four = run(4, ShardPolicy::HashByStream, None);
+    let scale = four.total_throughput_mbs() / one.total_throughput_mbs();
+    assert!(
+        scale >= 3.5,
+        "1 -> 4 node scaling {scale:.2}x below 3.5x \
+         ({:.2} -> {:.2} MB/s at {STREAMS_PER_DISK} streams/disk)",
+        one.total_throughput_mbs(),
+        four.total_throughput_mbs()
+    );
+    // Full batch delivered on both sides.
+    assert_eq!(one.requests_completed, (STREAMS_PER_DISK * 16) as u64);
+    assert_eq!(four.requests_completed, (4 * STREAMS_PER_DISK * 16) as u64);
+}
+
+#[test]
+fn straggler_aware_routing_beats_hash_by_at_least_1_5x_under_one_straggler() {
+    let hash = run(4, ShardPolicy::HashByStream, Some(1));
+    let aware = run(4, ShardPolicy::StragglerAware, Some(1));
+
+    // The hash router keeps feeding the degraded node, so the cluster
+    // makespan stretches with the factor-4 disk; the aware router
+    // steers the whole batch onto the three healthy nodes.
+    assert!(hash.nodes[1].assigned_streams > 0);
+    assert_eq!(aware.nodes[1].assigned_streams, 0);
+    assert!(aware.window < hash.window, "steering must shorten the makespan");
+
+    let ratio = aware.total_throughput_mbs() / hash.total_throughput_mbs();
+    assert!(
+        ratio >= 1.5,
+        "straggler-aware routing held only {ratio:.2}x of hash routing \
+         ({:.2} vs {:.2} MB/s)",
+        aware.total_throughput_mbs(),
+        hash.total_throughput_mbs()
+    );
+    // Both routers still deliver the complete batch.
+    let batch = (4 * STREAMS_PER_DISK * 16) as u64;
+    assert_eq!(hash.requests_completed, batch);
+    assert_eq!(aware.requests_completed, batch);
+}

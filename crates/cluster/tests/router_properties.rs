@@ -1,0 +1,138 @@
+//! Property tests for the cluster stream router: purity, hash-deal
+//! balance, straggler avoidance and range contiguity, over randomized
+//! node counts, stream counts, health vectors and capacities.
+
+use proptest::prelude::*;
+use seqio_cluster::{NodeHealth, Router, ShardPolicy};
+
+/// The degraded threshold used throughout: matches the stream
+/// scheduler's `degraded_rotate_threshold` default.
+const THRESHOLD: f64 = 2.0;
+
+fn router(policy: ShardPolicy, degraded: &[bool]) -> Router {
+    let health: Vec<NodeHealth> = degraded
+        .iter()
+        .map(|&d| NodeHealth { worst_straggler_factor: if d { 4.0 } else { 1.0 } })
+        .collect();
+    Router::new(policy, degraded.len()).with_health(health).with_threshold(THRESHOLD)
+}
+
+proptest! {
+    /// Sharding is a pure function of (policy, K, S, health, capacity):
+    /// recomputing the assignment — as a different worker or a later
+    /// process would — yields the identical vector, and every stream
+    /// lands on a real node.
+    #[test]
+    fn prop_assignment_is_pure_and_total(
+        nodes in 1usize..9,
+        streams in 0usize..400,
+        policy_pick in 0usize..3,
+        degraded in proptest::collection::vec(any::<bool>(), 1..9),
+    ) {
+        let policy = [
+            ShardPolicy::HashByStream,
+            ShardPolicy::RangeByOffset,
+            ShardPolicy::StragglerAware,
+        ][policy_pick];
+        let degraded: Vec<bool> = (0..nodes).map(|k| *degraded.get(k).unwrap_or(&false)).collect();
+        let r = router(policy, &degraded);
+        let a = r.assign(streams);
+        let b = r.assign(streams);
+        prop_assert_eq!(&a, &b, "assignment must be reproducible");
+        prop_assert_eq!(a.len(), streams);
+        prop_assert!(a.iter().all(|&k| k < nodes), "stream routed past node count");
+    }
+
+    /// The hash policy balances within the promised ±20% of the ideal
+    /// S/K share for 64 or more streams (the rank-based deal actually
+    /// achieves ±1 stream, well inside the contract).
+    #[test]
+    fn prop_hash_balances_within_20_percent(
+        nodes in 1usize..9,
+        streams in 64usize..512,
+    ) {
+        let r = Router::new(ShardPolicy::HashByStream, nodes);
+        let loads = r.node_loads(streams);
+        prop_assert_eq!(loads.iter().sum::<usize>(), streams);
+        let ideal = streams as f64 / nodes as f64;
+        for (k, &l) in loads.iter().enumerate() {
+            prop_assert!(
+                (l as f64 - ideal).abs() <= 0.2 * ideal,
+                "node {} holds {} streams, ideal {:.1} (K={}, S={})",
+                k, l, ideal, nodes, streams
+            );
+            prop_assert!((l as f64 - ideal).abs() <= 1.0, "deal is exact to ±1");
+        }
+    }
+
+    /// The straggler-aware policy never routes a stream to a node flagged
+    /// past the degraded threshold while any healthy node still has
+    /// capacity: a degraded node carrying load implies every healthy node
+    /// is full.
+    #[test]
+    fn prop_straggler_aware_spares_degraded_nodes(
+        nodes in 2usize..9,
+        streams in 1usize..400,
+        cap_slots in 1usize..80,
+        use_cap in any::<bool>(),
+        degraded_seed in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let degraded: Vec<bool> =
+            (0..nodes).map(|k| degraded_seed[k % degraded_seed.len()]).collect();
+        prop_assume!(degraded.iter().any(|&d| !d));
+        let mut r = router(ShardPolicy::StragglerAware, &degraded);
+        if use_cap {
+            r = r.with_capacity(cap_slots);
+        }
+        let cap = if use_cap { cap_slots } else { usize::MAX };
+        let loads = r.node_loads(streams);
+        prop_assert_eq!(loads.iter().sum::<usize>(), streams, "no stream may be dropped");
+        for k in 0..nodes {
+            if degraded[k] && loads[k] > 0 {
+                for h in 0..nodes {
+                    if !degraded[h] {
+                        prop_assert!(
+                            loads[h] >= cap,
+                            "degraded node {} got {} streams while healthy node {} \
+                             had {}/{} capacity used",
+                            k, loads[k], h, loads[h], cap
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// With every node healthy, the straggler-aware deal degenerates to
+    /// the hash deal exactly — health consultation must cost nothing.
+    #[test]
+    fn prop_straggler_aware_matches_hash_when_healthy(
+        nodes in 1usize..9,
+        streams in 0usize..300,
+    ) {
+        let aware = Router::new(ShardPolicy::StragglerAware, nodes).assign(streams);
+        let hash = Router::new(ShardPolicy::HashByStream, nodes).assign(streams);
+        prop_assert_eq!(aware, hash);
+    }
+
+    /// Range-by-offset assigns monotonically non-decreasing nodes over
+    /// the global id axis (contiguous ranges), covers every node when
+    /// S >= K, and balances to within one stream.
+    #[test]
+    fn prop_range_is_contiguous(
+        nodes in 1usize..9,
+        streams in 1usize..400,
+    ) {
+        let r = Router::new(ShardPolicy::RangeByOffset, nodes);
+        let a = r.assign(streams);
+        for w in a.windows(2) {
+            prop_assert!(w[0] <= w[1], "range shards must be contiguous");
+        }
+        let loads = r.node_loads(streams);
+        if streams >= nodes {
+            prop_assert!(loads.iter().all(|&l| l > 0), "every node serves a range");
+        }
+        let (min, max) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "ranges differ by more than one stream: {:?}", loads);
+    }
+}

@@ -1,0 +1,115 @@
+//! Cluster-level worker-count determinism, extending the node-level
+//! `sweep_determinism` suite: a cluster run on one worker and the same
+//! cluster run on eight must merge to bit-identical results — healthy or
+//! faulted, with the observability recorder off or on.
+
+use seqio_cluster::{ClusterExperiment, ClusterResult, ShardPolicy};
+use seqio_node::{Experiment, FaultPlan, Frontend, ObsConfig};
+use seqio_simcore::units::{KIB, MIB};
+use seqio_simcore::SimDuration;
+
+fn template(obs: bool) -> Experiment {
+    let mut b = Experiment::builder()
+        .streams_per_disk(8)
+        .request_size(64 * KIB)
+        .frontend(Frontend::stream_scheduler_with_readahead(MIB))
+        .requests_per_stream(12)
+        .warmup(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(30));
+    if obs {
+        b = b.observe(ObsConfig::all().sample_every(SimDuration::from_millis(10)));
+    }
+    b.build()
+}
+
+fn cluster(policy: ShardPolicy, faulted: bool, obs: bool, jobs: usize) -> ClusterResult {
+    let mut b = ClusterExperiment::builder()
+        .template(template(obs))
+        .nodes(4)
+        .policy(policy)
+        .base_seed(0xC1)
+        .jobs(jobs);
+    if faulted {
+        let plan = FaultPlan::new()
+            .straggler(0, 4.0, SimDuration::ZERO, Some(SimDuration::from_secs(5)))
+            .read_errors(0, 0.25);
+        b = b.node_fault(2, plan);
+    }
+    b.run().unwrap()
+}
+
+/// Every merged observable, plus each node's own result series.
+fn fingerprint(c: &ClusterResult) -> (u64, u64, u64, String, Vec<String>) {
+    (
+        c.bytes_delivered,
+        c.requests_completed,
+        c.events_simulated,
+        format!("{:?} {:?} {:?}", c.per_stream_mbs, c.window, c.assignment),
+        c.nodes
+            .iter()
+            .map(|n| {
+                let Some(r) = &n.result else { return String::from("skipped") };
+                format!(
+                    "{:?} {:?} {} {} {:?} {:?}",
+                    r.per_stream_mbs,
+                    r.window,
+                    r.bytes_delivered,
+                    r.requests_completed,
+                    r.disk_seeks,
+                    r.disk_read_errors
+                )
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn healthy_cluster_is_identical_across_worker_counts() {
+    let serial = cluster(ShardPolicy::HashByStream, false, false, 1);
+    let pooled = cluster(ShardPolicy::HashByStream, false, false, 8);
+    assert_eq!(fingerprint(&serial), fingerprint(&pooled));
+    assert_eq!(serial.requests_completed, 4 * 8 * 12);
+}
+
+#[test]
+fn faulted_cluster_is_identical_across_worker_counts() {
+    let serial = cluster(ShardPolicy::HashByStream, true, false, 1);
+    let pooled = cluster(ShardPolicy::HashByStream, true, false, 8);
+    assert_eq!(fingerprint(&serial), fingerprint(&pooled));
+    // The fault plan actually fired on the faulted node.
+    let faulted = serial.nodes[2].result.as_ref().unwrap();
+    assert!(
+        faulted.disk_read_errors.iter().any(|&e| e > 0),
+        "the 25% error rate must fire on node 2"
+    );
+}
+
+#[test]
+fn straggler_aware_routing_is_identical_across_worker_counts() {
+    let serial = cluster(ShardPolicy::StragglerAware, true, false, 1);
+    let pooled = cluster(ShardPolicy::StragglerAware, true, false, 8);
+    assert_eq!(fingerprint(&serial), fingerprint(&pooled));
+    // Steering emptied the degraded node; its absence must not have
+    // shifted the healthy nodes' seeds (asserted inside fingerprint by
+    // the per-node series, and here explicitly).
+    assert_eq!(serial.nodes[2].assigned_streams, 0);
+    assert!(serial.nodes[2].result.is_none());
+}
+
+#[test]
+fn observability_recorder_does_not_perturb_merged_results() {
+    for jobs in [1, 8] {
+        let dark = cluster(ShardPolicy::HashByStream, true, false, jobs);
+        let lit = cluster(ShardPolicy::HashByStream, true, true, jobs);
+        assert_eq!(
+            fingerprint(&dark),
+            fingerprint(&lit),
+            "obs recording changed merged results at jobs={jobs}"
+        );
+        assert!(dark.metrics.is_none());
+        let merged = lit.metrics.as_ref().expect("metrics merged when enabled");
+        assert!(merged.names().iter().any(|n| n.starts_with("node0.")));
+        assert!(merged.names().iter().any(|n| n.starts_with("node3.")));
+        assert!(!merged.is_empty());
+    }
+}

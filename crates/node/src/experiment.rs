@@ -127,6 +127,13 @@ pub struct Experiment {
     pub shape: NodeShape,
     /// Concurrent sequential streams per disk.
     pub streams_per_disk: usize,
+    /// Explicit per-disk stream counts (one entry per disk, in global disk
+    /// order), overriding the uniform `streams_per_disk` layout. Disks may
+    /// carry different counts — even zero — as long as at least one stream
+    /// exists. `None` (the default) keeps the uniform layout and is
+    /// bit-identical to builds without this field. Used by the cluster
+    /// layer, where a router hands each node an uneven share of streams.
+    pub stream_counts: Option<Vec<usize>>,
     /// Client request size in bytes.
     pub request_bytes: u64,
     /// Request path.
@@ -173,6 +180,7 @@ impl Experiment {
             spec: Experiment {
                 shape: NodeShape::single_disk(),
                 streams_per_disk: 10,
+                stream_counts: None,
                 request_bytes: 64 * 1024,
                 frontend: Frontend::Direct,
                 placement: Placement::Uniform,
@@ -193,7 +201,20 @@ impl Experiment {
 
     /// Total streams across the node.
     pub fn total_streams(&self) -> usize {
-        self.streams_per_disk * self.shape.total_disks()
+        match &self.stream_counts {
+            Some(counts) => counts.iter().sum(),
+            None => self.streams_per_disk * self.shape.total_disks(),
+        }
+    }
+
+    /// Streams on each disk, in global disk order: the explicit
+    /// [`stream_counts`](Experiment::stream_counts) when set, else
+    /// `streams_per_disk` everywhere.
+    pub fn per_disk_streams(&self) -> Vec<usize> {
+        match &self.stream_counts {
+            Some(counts) => counts.clone(),
+            None => vec![self.streams_per_disk; self.shape.total_disks()],
+        }
     }
 
     /// Request size in blocks.
@@ -211,6 +232,20 @@ impl Experiment {
         self.costs.validate().map_err(SeqioError::component("cost model"))?;
         if self.streams_per_disk == 0 {
             return Err(SeqioError::Experiment("need at least one stream per disk".into()));
+        }
+        if let Some(counts) = &self.stream_counts {
+            if counts.len() != self.shape.total_disks() {
+                return Err(SeqioError::Experiment(format!(
+                    "stream_counts names {} disks but the node has {}",
+                    counts.len(),
+                    self.shape.total_disks()
+                )));
+            }
+            if counts.iter().sum::<usize>() == 0 {
+                return Err(SeqioError::Experiment(
+                    "stream_counts must place at least one stream".into(),
+                ));
+            }
         }
         if self.request_bytes == 0 {
             return Err(SeqioError::Experiment("request size must be positive".into()));
@@ -265,11 +300,23 @@ impl Experiment {
     ///
     /// Panics if the specification is invalid.
     pub fn run(&self) -> RunResult {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
+        match run_node(self) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
         }
-        StorageNode::new(self.clone()).run()
     }
+}
+
+/// Validates and runs one storage-node simulation — the non-panicking
+/// entry point embedders (the cluster layer, custom harnesses) build on.
+/// [`Experiment::run`] is a thin panicking wrapper over this.
+///
+/// # Errors
+///
+/// Returns the first violated constraint of the specification.
+pub fn run_node(spec: &Experiment) -> Result<RunResult, SeqioError> {
+    spec.validate()?;
+    Ok(StorageNode::new(spec.clone()).run())
 }
 
 /// Builder for [`Experiment`].
@@ -288,6 +335,13 @@ impl ExperimentBuilder {
     /// Sets streams per disk.
     pub fn streams_per_disk(mut self, n: usize) -> Self {
         self.spec.streams_per_disk = n;
+        self
+    }
+
+    /// Overrides the uniform layout with explicit per-disk stream counts
+    /// (one entry per disk, in global disk order; entries may be zero).
+    pub fn stream_counts(mut self, counts: Vec<usize>) -> Self {
+        self.spec.stream_counts = Some(counts);
         self
     }
 

@@ -39,7 +39,9 @@ mod system;
 pub mod trace;
 
 pub use calibration::CostModel;
-pub use experiment::{Experiment, ExperimentBuilder, Frontend, NodeShape, Placement, RunResult};
+pub use experiment::{
+    run_node, Experiment, ExperimentBuilder, Frontend, NodeShape, Placement, RunResult,
+};
 pub use seqio_simcore::{FaultPlan, MetricSeries, ObsConfig, RetryPolicy, SeqioError, SpanPhase};
 pub use span::{PhaseBreakdown, SpanRecord};
 pub use sweep::{PointOutcome, Sweep, SweepBuilder, SweepReport};

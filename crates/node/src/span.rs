@@ -147,6 +147,11 @@ pub fn spans_from_csv(csv: &str) -> Result<Vec<SpanRecord>, String> {
         {
             return Err(format!("line {}: span lacks enqueue/delivery stamps", i + 1));
         }
+        // A delivery stamped before the enqueue would make every
+        // downstream duration computation panic; reject it here instead.
+        if stamps[SpanPhase::Delivered.index()] < stamps[SpanPhase::Enqueued.index()] {
+            return Err(format!("line {}: delivery precedes enqueue", i + 1));
+        }
         out.push(SpanRecord {
             stream: parse_u64(f[0], "stream")? as usize,
             disk: parse_u64(f[1], "disk")? as usize,

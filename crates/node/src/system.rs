@@ -240,16 +240,22 @@ impl StorageNode {
         let disk_blocks = controllers[0].disk(0).geometry().total_blocks();
         let total_disks = spec.shape.total_disks();
 
-        // Stream layout: `streams_per_disk` per spindle.
-        let mut specs = Vec::with_capacity(total_disks * spec.streams_per_disk);
+        // Stream layout: `streams_per_disk` per spindle, unless the spec
+        // carries explicit per-disk counts (cluster sharding).
+        let per_disk = spec.per_disk_streams();
+        let mut specs = Vec::with_capacity(per_disk.iter().sum());
         let request_blocks = spec.request_blocks();
         let reqs = spec.requests_per_stream.unwrap_or(u64::MAX);
-        for d in 0..total_disks {
+        debug_assert_eq!(per_disk.len(), total_disks);
+        for (d, &count) in per_disk.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
             let offsets = match spec.placement {
-                Placement::Uniform => uniform_offsets(disk_blocks, spec.streams_per_disk),
+                Placement::Uniform => uniform_offsets(disk_blocks, count),
                 Placement::Interval(bytes) => interval_offsets(
                     disk_blocks,
-                    spec.streams_per_disk,
+                    count,
                     bytes.div_ceil(512),
                     // Open-ended streams just need their start to fit; finite
                     // ones must fit their whole run in the interval.
@@ -283,10 +289,7 @@ impl StorageNode {
                 vec![disk_blocks; total_disks],
             ))),
             Frontend::AllDispatched { read_ahead_bytes } => {
-                let cfg = ServerConfig::all_dispatched(
-                    spec.streams_per_disk * total_disks,
-                    *read_ahead_bytes,
-                );
+                let cfg = ServerConfig::all_dispatched(spec.total_streams(), *read_ahead_bytes);
                 Fe::Stream(Box::new(StorageServer::new(cfg, vec![disk_blocks; total_disks])))
             }
             Frontend::Linux { scheduler, .. } => Fe::Linux(

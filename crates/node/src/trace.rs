@@ -104,8 +104,12 @@ pub fn from_csv(csv: &str) -> Result<Vec<TraceRecord>, String> {
             .parse()
             .map_err(|_| format!("line {}: bad latency_us {:?}", i + 1, f[6]))?;
         // `to_csv` writes the latency with one decimal ({:.1}), so allow
-        // half a unit in the last place of rounding slack.
-        if (latency_us - rec.latency().as_micros_f64()).abs() > 0.05 + 1e-9 {
+        // half a unit in the last place of rounding slack. NaN/inf parse
+        // as valid f64 but make every comparison below vacuously false,
+        // so reject them explicitly.
+        if !latency_us.is_finite()
+            || (latency_us - rec.latency().as_micros_f64()).abs() > 0.05 + 1e-9
+        {
             return Err(format!(
                 "line {}: latency_us {latency_us} does not match completed - sent ({:.1})",
                 i + 1,

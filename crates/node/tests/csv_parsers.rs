@@ -1,0 +1,120 @@
+//! Edge-case audit of the CSV/JSONL parsers: `trace::from_csv` and
+//! `span::spans_from_csv` must handle degenerate inputs — empty files,
+//! header-only files, trailing newlines, mid-file corruption — with
+//! errors, never panics, and never silently dropped rows.
+
+use seqio_node::span::{spans_from_csv, spans_to_csv};
+use seqio_node::trace::{from_csv, to_csv};
+use seqio_node::{SpanPhase, TraceRecord};
+use seqio_simcore::SimTime;
+
+fn trace_rec(stream: usize) -> TraceRecord {
+    TraceRecord {
+        stream,
+        disk: 0,
+        lba: stream as u64 * 4096,
+        blocks: 128,
+        sent: SimTime::from_nanos(stream as u64 * 1_000),
+        completed: SimTime::from_nanos(stream as u64 * 1_000 + 250_000),
+        from_memory: false,
+    }
+}
+
+fn span_line(delivered_ns: u64) -> String {
+    // stream,disk,lba,blocks,from_memory,retries,timed_out + 7 stamps
+    // (enqueued first, delivered last).
+    format!("0,0,0,128,true,0,false,1000,,,,,,{delivered_ns}")
+}
+
+#[test]
+fn empty_and_whitespace_files_parse_to_nothing() {
+    assert_eq!(from_csv("").unwrap(), vec![]);
+    assert_eq!(from_csv("\n\n  \n").unwrap(), vec![]);
+    assert_eq!(spans_from_csv("").unwrap(), vec![]);
+    assert_eq!(spans_from_csv("\n\n  \n").unwrap(), vec![]);
+}
+
+#[test]
+fn header_only_files_parse_to_nothing() {
+    let trace_header = to_csv(&[]);
+    assert!(trace_header.starts_with("stream,"));
+    assert_eq!(from_csv(&trace_header).unwrap(), vec![]);
+    // With and without the trailing newline.
+    assert_eq!(from_csv(trace_header.trim_end()).unwrap(), vec![]);
+
+    let span_header = spans_to_csv(&[]);
+    assert!(span_header.starts_with("stream,"));
+    assert_eq!(spans_from_csv(&span_header).unwrap(), vec![]);
+    assert_eq!(spans_from_csv(span_header.trim_end()).unwrap(), vec![]);
+}
+
+#[test]
+fn trailing_newlines_do_not_add_rows() {
+    let csv = to_csv(&[trace_rec(0), trace_rec(1)]);
+    assert!(csv.ends_with('\n'));
+    assert_eq!(from_csv(&csv).unwrap().len(), 2);
+    assert_eq!(from_csv(csv.trim_end()).unwrap().len(), 2);
+    assert_eq!(from_csv(&format!("{csv}\n\n")).unwrap().len(), 2);
+
+    let spans = spans_from_csv(&span_line(2_000)).unwrap();
+    let csv = spans_to_csv(&spans);
+    assert!(csv.ends_with('\n'));
+    assert_eq!(spans_from_csv(&csv).unwrap().len(), 1);
+    assert_eq!(spans_from_csv(csv.trim_end()).unwrap().len(), 1);
+    assert_eq!(spans_from_csv(&format!("{csv}\n\n")).unwrap().len(), 1);
+}
+
+#[test]
+fn field_count_mismatch_mid_file_names_the_line() {
+    // A good row, then a truncated one: the error carries the 1-based
+    // line number of the corruption (header is line 1).
+    let mut csv = to_csv(&[trace_rec(0), trace_rec(1)]);
+    csv.push_str("7,0,0,128\n");
+    let err = from_csv(&csv).unwrap_err();
+    assert!(err.contains("line 4"), "{err}");
+    assert!(err.contains("expected 8 fields"), "{err}");
+
+    let good = span_line(2_000);
+    let n_fields = 7 + SpanPhase::COUNT;
+    let csv = format!("{good}\n{good}\n0,0,0\n");
+    let err = spans_from_csv(&csv).unwrap_err();
+    assert!(err.contains("line 3"), "{err}");
+    assert!(err.contains(&format!("expected {n_fields} fields")), "{err}");
+
+    // An extra field is just as corrupt as a missing one.
+    let err = from_csv("0,0,0,128,0,100000,100.0,true,oops").unwrap_err();
+    assert!(err.contains("expected 8 fields"), "{err}");
+}
+
+#[test]
+fn non_finite_latency_is_rejected_not_accepted() {
+    // NaN parses as a valid f64 and defeats any `>` tolerance check, so
+    // the parser must reject non-finite latencies explicitly.
+    for bad in ["NaN", "inf", "-inf"] {
+        let line = format!("0,0,0,128,0,100000,{bad},true");
+        let err = from_csv(&line).unwrap_err();
+        assert!(err.contains("latency_us"), "{bad}: {err}");
+    }
+}
+
+#[test]
+fn span_delivery_before_enqueue_is_an_error_not_a_panic() {
+    // delivered (100 ns) < enqueued (1000 ns): without parser validation
+    // this record would panic later in SpanRecord::total().
+    let err = spans_from_csv(&span_line(100)).unwrap_err();
+    assert!(err.contains("delivery precedes enqueue"), "{err}");
+    // Equal stamps (zero-latency memory hit) are fine.
+    let spans = spans_from_csv(&span_line(1_000)).unwrap();
+    assert_eq!(spans[0].total(), seqio_simcore::SimDuration::ZERO);
+}
+
+#[test]
+fn a_body_row_that_looks_like_a_header_is_not_skipped() {
+    // Only line 1 may be a header; a header-ish line later is corrupt.
+    let csv = format!(
+        "{}stream,disk,lba,blocks,sent_ns,completed_ns,latency_us,from_memory\n",
+        to_csv(&[trace_rec(0)])
+    );
+    let err = from_csv(&csv).unwrap_err();
+    assert!(err.contains("line 3"), "{err}");
+}

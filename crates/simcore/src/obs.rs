@@ -351,6 +351,63 @@ impl MetricSeries {
         self.column_by_name(name).map(|c| c.iter().copied().fold(0.0f64, f64::max)).unwrap_or(0.0)
     }
 
+    /// Merges several independently recorded series onto one shared
+    /// clock, prefixing every column name with its source label
+    /// (`"node0." + name`).
+    ///
+    /// All series share the simulation's time origin (`SimTime::ZERO`)
+    /// and must have been sampled with the same interval, so rows align
+    /// by index. The merged time axis is the longest input axis; series
+    /// that stopped sampling earlier (their node drained sooner) are
+    /// padded by holding their last sampled value, or `0.0` when they
+    /// never sampled at all. Inputs paired with an empty label keep
+    /// their column names unprefixed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects inputs whose sampling intervals disagree — rows would not
+    /// represent the same instants and the merge would be meaningless.
+    pub fn merge_labeled(
+        parts: &[(&str, &MetricSeries)],
+    ) -> Result<MetricSeries, crate::SeqioError> {
+        let interval =
+            parts.iter().map(|(_, s)| s.interval).max().unwrap_or(SimDuration::from_millis(10));
+        if parts.iter().any(|(_, s)| s.interval != interval) {
+            return Err(crate::SeqioError::Experiment(
+                "metric series merge: sampling intervals differ across inputs".into(),
+            ));
+        }
+        let times = parts
+            .iter()
+            .map(|(_, s)| &s.times)
+            .max_by_key(|t| t.len())
+            .cloned()
+            .unwrap_or_default();
+        let rows = times.len();
+        let mut merged = MetricSeries {
+            interval,
+            names: Vec::new(),
+            units: Vec::new(),
+            times,
+            columns: Vec::new(),
+        };
+        for (label, series) in parts {
+            for ((name, unit), col) in series.names.iter().zip(&series.units).zip(&series.columns) {
+                merged.names.push(if label.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{label}.{name}")
+                });
+                merged.units.push(unit);
+                let mut out = col.clone();
+                let pad = out.last().copied().unwrap_or(0.0);
+                out.resize(rows, pad);
+                merged.columns.push(out);
+            }
+        }
+        Ok(merged)
+    }
+
     /// Renders the series as CSV: a `time_ms` column followed by one
     /// column per metric (header row carries `name [unit]`).
     pub fn to_csv(&self) -> String {
@@ -443,6 +500,35 @@ mod tests {
         assert_eq!(lines.next().unwrap(), "time_ms,staged [bytes]");
         assert_eq!(lines.next().unwrap(), "5.000,1024");
         assert_eq!(lines.next().unwrap(), "10.000,0.250000");
+    }
+
+    #[test]
+    fn merge_aligns_clocks_and_pads_short_tails() {
+        let mut a = MetricsHub::new(SimDuration::from_millis(1));
+        let ga = a.gauge("depth", "requests");
+        a.set(ga, 2.0);
+        a.sample(SimTime::from_nanos(1_000_000));
+        a.set(ga, 5.0);
+        a.sample(SimTime::from_nanos(2_000_000));
+        let mut b = MetricsHub::new(SimDuration::from_millis(1));
+        let gb = b.gauge("depth", "requests");
+        b.set(gb, 7.0);
+        b.sample(SimTime::from_nanos(1_000_000));
+        let merged =
+            MetricSeries::merge_labeled(&[("node0", a.series()), ("node1", b.series())]).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.names(), &["node0.depth".to_string(), "node1.depth".to_string()]);
+        assert_eq!(merged.column_by_name("node0.depth").unwrap(), &[2.0, 5.0]);
+        // node1 drained after one sample: its last value is held.
+        assert_eq!(merged.column_by_name("node1.depth").unwrap(), &[7.0, 7.0]);
+        assert_eq!(merged.interval(), SimDuration::from_millis(1));
+        // Empty labels keep names unprefixed; empty input set merges to empty.
+        let plain = MetricSeries::merge_labeled(&[("", a.series())]).unwrap();
+        assert_eq!(plain.names(), &["depth".to_string()]);
+        assert!(MetricSeries::merge_labeled(&[]).unwrap().is_empty());
+        // Interval mismatch is an error, not a silent misalignment.
+        let c = MetricsHub::new(SimDuration::from_millis(2));
+        assert!(MetricSeries::merge_labeled(&[("a", a.series()), ("c", c.series())]).is_err());
     }
 
     #[test]

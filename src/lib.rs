@@ -13,7 +13,9 @@
 //!   with bitmap classification, a bounded dispatch set and a memory-bounded
 //!   buffered set ([`core`]);
 //! * workload generation ([`workload`]) and a full storage-node simulation
-//!   with an experiment runner ([`node`]).
+//!   with an experiment runner ([`node`]);
+//! * a multi-node cluster layer with deterministic stream routing and
+//!   result merging ([`cluster`]).
 //!
 //! # Quick start
 //!
@@ -55,6 +57,7 @@ pub use seqio_simcore::SeqioError;
 /// use seqio::prelude::*;
 /// ```
 pub mod prelude {
+    pub use seqio_cluster::{ClusterExperiment, ClusterResult, ShardPolicy};
     pub use seqio_core::ServerConfig;
     pub use seqio_node::{
         Experiment, ExperimentBuilder, Frontend, NodeShape, RunResult, Sweep, SweepBuilder,
@@ -63,6 +66,7 @@ pub mod prelude {
     pub use seqio_simcore::{SeqioError, SimDuration};
 }
 
+pub use seqio_cluster as cluster;
 pub use seqio_controller as controller;
 pub use seqio_core as core;
 pub use seqio_disk as disk;
