@@ -20,6 +20,12 @@
 //! nodes, plus the hash-vs-straggler-aware pair under one factor-4
 //! straggler node) and writes `bench_results/cluster_probe.json` with the
 //! scaling factor and routing ratio the issue's acceptance bars read.
+//!
+//! `probe migrate` runs the mid-run migration point: a straggler lands on
+//! one of two nodes *after* the batch is underway, and the shared-clock
+//! rebalancer's live migration is compared against the best static
+//! routings. Writes `bench_results/migrate_probe.json` and asserts the
+//! >= 1.3x migration win.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -388,6 +394,101 @@ fn cluster_mode() {
     }
 }
 
+/// Runs the mid-run migration point and writes
+/// `bench_results/migrate_probe.json`: one of two nodes develops a
+/// factor-8 straggler at 60% of the healthy makespan, and the rebalanced
+/// run must beat both the hash deal and the fault-aware static router by
+/// the issue's >= 1.3x bar.
+fn migrate_mode() {
+    use seqio_cluster::{ClusterResult, RebalanceConfig, Scenario, ShardPolicy};
+    use seqio_node::FaultPlan;
+
+    let spd: usize =
+        std::env::var("SEQIO_MIGRATE_STREAMS").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let requests: u64 = 16;
+    let run = |policy: ShardPolicy,
+               fault: Option<FaultPlan>,
+               rebalance: Option<RebalanceConfig>|
+     -> ClusterResult {
+        let mut b = Scenario::builder()
+            .streams_per_disk(spd)
+            .request_size(64 * KIB)
+            .requests_per_stream(requests)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(300))
+            .nodes(2)
+            .policy(policy)
+            .base_seed(19)
+            .jobs(2);
+        if let Some(f) = fault {
+            b = b.node_fault(1, f);
+        }
+        if let Some(r) = rebalance {
+            b = b.rebalance(r);
+        }
+        b.build().expect("valid migrate scenario").run().expect("migrate probe point")
+    };
+
+    // Calibrate the straggler onset off the healthy makespan so the fault
+    // genuinely lands mid-run, whatever the stream count.
+    let healthy = run(ShardPolicy::HashByStream, None, None);
+    let onset = SimDuration::from_millis((healthy.window.as_millis_f64() * 0.6) as u64);
+    let fault = || FaultPlan::new().straggler(0, 8.0, onset, None);
+    let epoch = SimDuration::from_millis(((healthy.window.as_millis_f64() / 25.0) as u64).max(1));
+
+    let hash = run(ShardPolicy::HashByStream, Some(fault()), None);
+    let aware = run(ShardPolicy::StragglerAware, Some(fault()), None);
+    let migrated = run(ShardPolicy::HashByStream, Some(fault()), Some(RebalanceConfig::new(epoch)));
+
+    let (tp_hash, tp_aware, tp_mig) = (
+        hash.total_throughput_mbs(),
+        aware.total_throughput_mbs(),
+        migrated.total_throughput_mbs(),
+    );
+    let win = tp_mig / tp_hash.max(tp_aware);
+    println!("-- migrate probe: 2 nodes, {spd} streams/node, 8x straggler from {onset} --");
+    println!(
+        "  static hash      {tp_hash:>8.2} MB/s  makespan {:.1} ms",
+        hash.window.as_millis_f64()
+    );
+    println!(
+        "  static aware     {tp_aware:>8.2} MB/s  makespan {:.1} ms",
+        aware.window.as_millis_f64()
+    );
+    println!(
+        "  migrated         {tp_mig:>8.2} MB/s  makespan {:.1} ms  ({} move(s))",
+        migrated.window.as_millis_f64(),
+        migrated.migrations.len()
+    );
+    println!("  migration win over best static: {win:.2}x");
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"streams_per_node\": {spd},\n  \"requests_per_stream\": {requests},\n  \
+         \"straggler_factor\": 8.0,\n  \"onset_ms\": {:.3},\n  \"epoch_ms\": {:.3},\n  \
+         \"hash_mbs\": {tp_hash:.4},\n  \"aware_mbs\": {tp_aware:.4},\n  \
+         \"migrated_mbs\": {tp_mig:.4},\n  \"migrations\": {},\n  \
+         \"win_over_best_static\": {win:.4}\n}}\n",
+        onset.as_millis_f64(),
+        epoch.as_millis_f64(),
+        migrated.migrations.len()
+    );
+
+    // The issue's acceptance bar, enforced at probe time so the CI smoke
+    // step fails loudly if the migration win regresses.
+    assert!(!migrated.migrations.is_empty(), "the straggler must trigger migrations");
+    assert!(win >= 1.3, "migration win {win:.2}x below the 1.3x bar");
+
+    let dir = seqio_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("migrate_probe.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("   -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("perf") => {
@@ -404,6 +505,10 @@ fn main() {
         }
         Some("cluster") => {
             cluster_mode();
+            return;
+        }
+        Some("migrate") => {
+            migrate_mode();
             return;
         }
         _ => {}

@@ -6,7 +6,14 @@
 //!
 //! Covered figures: fig01 (direct-path collapse, 60 disks), fig12 (8-disk
 //! D = S configuration) and fig13 (small dispatch set vs D = S).
+//!
+//! The final test re-derives one cell of each figure through the
+//! shared-clock cluster driver (a 1-node identity [`Scenario`]) — the
+//! committed figure data must be reachable through the cluster path too,
+//! bit for bit, pinning the single-node/cluster equivalence to the same
+//! goldens the figures use.
 
+use seqio_cluster::Scenario;
 use seqio_node::{Experiment, Frontend, NodeShape};
 use seqio_simcore::units::KIB;
 use seqio_simcore::SimDuration;
@@ -116,5 +123,67 @@ fn fig13_committed_csv_matches_current_build() {
         "bench_results/fig13_dispatch_staged.csv cell (10, D = S) drifted from the \
          current build; regenerate with `SEQIO_BENCH_FULL=1 cargo bench` and \
          commit the result"
+    );
+}
+
+/// Runs a figure template through the shared-clock cluster driver as a
+/// 1-node identity scenario and renders the aggregate the way
+/// `Figure::report` does.
+fn cluster_cell(template: Experiment) -> String {
+    let c = Scenario::builder()
+        .template(template)
+        .build()
+        .expect("figure templates are valid scenarios")
+        .run()
+        .expect("1-node scenario runs");
+    cell(c.total_throughput_mbs())
+}
+
+#[test]
+fn cluster_path_reproduces_committed_figure_cells() {
+    // One representative cell per covered figure, each recomputed through
+    // the co-simulation driver instead of `Experiment::run`. Equality with
+    // the committed CSV is exact: the 1-node cluster is bit-identical to
+    // the plain experiment, so any drift here means the cluster layer
+    // perturbed the node simulation.
+    let fig01 = Experiment::builder()
+        .shape(NodeShape::sixty_disk())
+        .streams_per_disk(2)
+        .request_size(256 * KIB)
+        .warmup(SimDuration::from_secs(4))
+        .duration(SimDuration::from_secs(8))
+        .seed(11)
+        .build();
+    assert_eq!(
+        cluster_cell(fig01),
+        committed_cell("fig01_collapse", "256K", "120 Streams"),
+        "the cluster path no longer reproduces fig01 (256K, 120 Streams)"
+    );
+
+    let fig12 = Experiment::builder()
+        .shape(NodeShape::eight_disk())
+        .streams_per_disk(60)
+        .warmup(SimDuration::from_secs(10))
+        .duration(SimDuration::from_secs(10))
+        .seed(1212)
+        .build();
+    assert_eq!(
+        cluster_cell(fig12),
+        committed_cell("fig12_eight_disks", "60", "No Readahead"),
+        "the cluster path no longer reproduces fig12 (60, No Readahead)"
+    );
+
+    let fig13 = Experiment::builder()
+        .shape(NodeShape::eight_disk())
+        .streams_per_disk(10)
+        .frontend(Frontend::stream_scheduler_with_readahead(512 * KIB))
+        .warmup(SimDuration::from_secs(12))
+        .duration(SimDuration::from_secs(12))
+        .seed(1313)
+        .build();
+    assert_eq!(
+        cluster_cell(fig13),
+        committed_cell("fig13_dispatch_staged", "10", "D = S (from Fig. 12)"),
+        "the cluster path no longer reproduces fig13 (10, D = S)"
     );
 }

@@ -2,13 +2,16 @@
 
 use seqio_core::ServerConfig;
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
-use seqio_node::{CostModel, Experiment, Frontend, NodeShape, ObsConfig, Placement};
-use seqio_simcore::{FaultPlan, SimDuration};
+use seqio_node::{CostModel, Experiment, Frontend, NodeShape, Placement};
+use seqio_simcore::SimDuration;
 use seqio_workload::Pattern;
 
 use crate::args::{parse_size, Args};
+use crate::common::CommonArgs;
 
-/// Flags understood by experiment construction.
+/// Flags understood by experiment construction. The fault / output /
+/// worker knobs every subcommand shares live in
+/// [`crate::common::COMMON_FLAGS`] instead.
 pub const EXPERIMENT_FLAGS: &[&str] = &[
     "shape",
     "streams",
@@ -28,18 +31,16 @@ pub const EXPERIMENT_FLAGS: &[&str] = &[
     "seed",
     "local-costs",
     "trace",
-    "faults",
-    "trace-out",
-    "metrics-out",
-    "sample-interval",
 ];
 
-/// Builds the experiment, reporting the first flag problem.
+/// Builds the experiment, reporting the first flag problem. The shared
+/// flags (`--faults`, the observability outputs) arrive pre-parsed in
+/// `common` and are installed on the template here.
 ///
 /// # Errors
 ///
 /// Returns a usage message describing the offending flag.
-pub fn experiment_from(args: &Args) -> Result<Experiment, String> {
+pub fn experiment_from(args: &Args, common: &CommonArgs) -> Result<Experiment, String> {
     let shape = match args.get("shape").unwrap_or("single") {
         "single" => NodeShape::single_disk(),
         "eight" => NodeShape::eight_disk(),
@@ -130,21 +131,10 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, String> {
     if args.get("trace").is_some() {
         b = b.record_trace(true);
     }
-    if let Some(spec) = args.get("faults") {
-        let plan = FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
-        b = b.faults(plan);
+    if let Some(plan) = &common.faults {
+        b = b.faults(plan.clone());
     }
-    let spans_on = args.get("trace-out").is_some();
-    let metrics_on = args.get("metrics-out").is_some();
-    if spans_on || metrics_on {
-        let mut cfg = ObsConfig::new()
-            .sample_every(args.duration_or("sample-interval", SimDuration::from_millis(10))?);
-        if spans_on {
-            cfg = cfg.with_spans();
-        }
-        if metrics_on {
-            cfg = cfg.with_metrics();
-        }
+    if let Some(cfg) = common.obs() {
         b = b.observe(cfg);
     }
     let e = b.build();
@@ -160,9 +150,15 @@ mod tests {
         Args::parse(items.iter().map(|s| s.to_string())).unwrap()
     }
 
+    /// Parses the shared flags too, the way every subcommand does.
+    fn try_build(a: &Args) -> Result<Experiment, String> {
+        let common = CommonArgs::from_args(a)?;
+        experiment_from(a, &common)
+    }
+
     #[test]
     fn defaults_build() {
-        let e = experiment_from(&args(&[])).unwrap();
+        let e = try_build(&args(&[])).unwrap();
         assert_eq!(e.streams_per_disk, 10);
         assert_eq!(e.request_bytes, 64 * 1024);
         assert!(matches!(e.frontend, Frontend::Direct));
@@ -170,7 +166,7 @@ mod tests {
 
     #[test]
     fn stream_frontend_with_explicit_drnm() {
-        let e = experiment_from(&args(&[
+        let e = try_build(&args(&[
             "--frontend",
             "stream",
             "--d",
@@ -194,7 +190,7 @@ mod tests {
 
     #[test]
     fn stream_frontend_defaults_to_all_dispatched() {
-        let e = experiment_from(&args(&["--frontend", "stream", "--readahead", "2M"])).unwrap();
+        let e = try_build(&args(&["--frontend", "stream", "--readahead", "2M"])).unwrap();
         assert!(matches!(
             e.frontend,
             Frontend::AllDispatched { read_ahead_bytes } if read_ahead_bytes == 2 << 20
@@ -203,13 +199,13 @@ mod tests {
 
     #[test]
     fn linux_frontend_with_scheduler() {
-        let e = experiment_from(&args(&["--frontend", "linux", "--scheduler", "cfq"])).unwrap();
+        let e = try_build(&args(&["--frontend", "linux", "--scheduler", "cfq"])).unwrap();
         assert!(matches!(e.frontend, Frontend::Linux { scheduler: SchedKind::Cfq, .. }));
     }
 
     #[test]
     fn interval_placement_and_pattern() {
-        let e = experiment_from(&args(&[
+        let e = try_build(&args(&[
             "--placement",
             "interval:1G",
             "--pattern",
@@ -225,37 +221,35 @@ mod tests {
 
     #[test]
     fn bad_values_are_reported() {
-        assert!(experiment_from(&args(&["--shape", "giant"])).is_err());
-        assert!(experiment_from(&args(&["--frontend", "warp"])).is_err());
-        assert!(experiment_from(&args(&["--streams", "0"])).is_err());
-        assert!(experiment_from(&args(&["--scheduler", "bfq", "--frontend", "linux"])).is_err());
-        assert!(experiment_from(&args(&["--placement", "pile"])).is_err());
+        assert!(try_build(&args(&["--shape", "giant"])).is_err());
+        assert!(try_build(&args(&["--frontend", "warp"])).is_err());
+        assert!(try_build(&args(&["--streams", "0"])).is_err());
+        assert!(try_build(&args(&["--scheduler", "bfq", "--frontend", "linux"])).is_err());
+        assert!(try_build(&args(&["--placement", "pile"])).is_err());
     }
 
     #[test]
     fn writes_switch_applies() {
-        let e = experiment_from(&args(&["--writes"])).unwrap();
+        let e = try_build(&args(&["--writes"])).unwrap();
         assert!(e.writes);
     }
 
     #[test]
     fn observability_flags_enable_the_recorder() {
         // Default: nothing recorded.
-        assert!(experiment_from(&args(&[])).unwrap().obs.is_none());
+        assert!(try_build(&args(&[])).unwrap().obs.is_none());
         // --trace-out enables spans only.
-        let e = experiment_from(&args(&["--trace-out", "spans.csv"])).unwrap();
+        let e = try_build(&args(&["--trace-out", "spans.csv"])).unwrap();
         let obs = e.obs.expect("--trace-out enables observability");
         assert!(obs.spans && !obs.metrics);
         // --metrics-out enables sampling, with a configurable period.
-        let e =
-            experiment_from(&args(&["--metrics-out", "metrics.csv", "--sample-interval", "2ms"]))
-                .unwrap();
+        let e = try_build(&args(&["--metrics-out", "metrics.csv", "--sample-interval", "2ms"]))
+            .unwrap();
         let obs = e.obs.expect("--metrics-out enables observability");
         assert!(!obs.spans && obs.metrics);
         assert_eq!(obs.sample_interval, SimDuration::from_millis(2));
         // Both together.
-        let e =
-            experiment_from(&args(&["--trace-out", "s.jsonl", "--metrics-out", "m.csv"])).unwrap();
+        let e = try_build(&args(&["--trace-out", "s.jsonl", "--metrics-out", "m.csv"])).unwrap();
         let obs = e.obs.unwrap();
         assert!(obs.spans && obs.metrics);
         assert_eq!(obs.sample_interval, SimDuration::from_millis(10), "default period");
@@ -263,7 +257,7 @@ mod tests {
 
     #[test]
     fn faults_spec_builds_a_plan() {
-        let e = experiment_from(&args(&[
+        let e = try_build(&args(&[
             "--faults",
             "straggler:disk=0,factor=4,from=1s,for=10s;errors:disk=0,rate=0.01",
         ]))
@@ -274,9 +268,9 @@ mod tests {
             4.0
         );
         // Default: healthy.
-        assert!(experiment_from(&args(&[])).unwrap().faults.is_none());
+        assert!(try_build(&args(&[])).unwrap().faults.is_none());
         // Malformed specs and plans naming absent disks are usage errors.
-        assert!(experiment_from(&args(&["--faults", "wobble:disk=0"])).is_err());
-        assert!(experiment_from(&args(&["--faults", "errors:disk=9,rate=0.1"])).is_err());
+        assert!(try_build(&args(&["--faults", "wobble:disk=0"])).is_err());
+        assert!(try_build(&args(&["--faults", "errors:disk=9,rate=0.1"])).is_err());
     }
 }

@@ -8,11 +8,13 @@
 
 mod args;
 mod build;
+mod common;
 
 use std::process::ExitCode;
 
 use args::Args;
 use build::{experiment_from, EXPERIMENT_FLAGS};
+use common::{CommonArgs, COMMON_FLAGS};
 use seqio_node::RunResult;
 
 fn main() -> ExitCode {
@@ -42,22 +44,36 @@ fn main() -> ExitCode {
 
 fn cmd_run(rest: Vec<String>) -> Result<(), String> {
     let args = Args::parse(rest)?;
-    let unknown = args.unknown_flags(EXPERIMENT_FLAGS);
+    let mut known = EXPERIMENT_FLAGS.to_vec();
+    known.extend_from_slice(COMMON_FLAGS);
+    let unknown = args.unknown_flags(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown flag(s): {}", unknown.join(", ")));
     }
-    let spec = experiment_from(&args)?;
-    let disks = spec.shape.total_disks();
+    let common = CommonArgs::from_args(&args)?;
+    let mut template = experiment_from(&args, &common)?;
+    let disks = template.shape.total_disks();
     eprintln!(
         "running: {} disk(s), {} stream(s)/disk, {}B requests, {:?} window {}+{}",
         disks,
-        spec.streams_per_disk,
-        spec.request_bytes,
-        frontend_name(&spec),
-        spec.warmup,
-        spec.duration
+        template.streams_per_disk,
+        template.request_bytes,
+        frontend_name(&template),
+        template.warmup,
+        template.duration
     );
-    let r = spec.run();
+    // A single-node run is a 1-node scenario: the co-sim driver is the
+    // same one `cluster run` uses, kept bit-identical to the historical
+    // direct path by the equivalence oracle.
+    let plan = template.faults.take();
+    let mut b = seqio_cluster::Scenario::builder().template(template);
+    if let Some(plan) = plan {
+        b = b.faults(plan);
+    }
+    if let Some(j) = common.jobs {
+        b = b.jobs(j);
+    }
+    let r = b.build().map_err(|e| e.to_string())?.run_node().map_err(|e| e.to_string())?;
     print_report(&r, disks);
     if let Some(path) = args.get("trace") {
         let trace = r.trace.as_ref().expect("tracing was enabled");
@@ -65,34 +81,14 @@ fn cmd_run(rest: Vec<String>) -> Result<(), String> {
             .map_err(|e| format!("--trace {path}: {e}"))?;
         println!("trace:           {} records -> {path}", trace.len());
     }
-    write_obs_outputs(&args, &r)?;
+    common.write_outputs(r.spans.as_ref(), r.metrics.as_ref())?;
     Ok(())
 }
 
-/// Writes `--trace-out` (lifecycle spans; JSONL when the path ends in
-/// `.jsonl`, CSV otherwise) and `--metrics-out` (metric time series CSV).
-fn write_obs_outputs(args: &Args, r: &RunResult) -> Result<(), String> {
-    if let Some(path) = args.get("trace-out") {
-        let spans = r.spans.as_ref().expect("span recording was enabled");
-        let rendered = if path.ends_with(".jsonl") {
-            seqio_node::span::spans_to_jsonl(spans)
-        } else {
-            seqio_node::span::spans_to_csv(spans)
-        };
-        std::fs::write(path, rendered).map_err(|e| format!("--trace-out {path}: {e}"))?;
-        println!("spans:           {} spans -> {path}", spans.len());
-    }
-    if let Some(path) = args.get("metrics-out") {
-        let series = r.metrics.as_ref().expect("metric sampling was enabled");
-        std::fs::write(path, series.to_csv()).map_err(|e| format!("--metrics-out {path}: {e}"))?;
-        println!(
-            "metrics:         {} samples x {} series (every {}) -> {path}",
-            series.len(),
-            series.names().len(),
-            series.interval()
-        );
-    }
-    Ok(())
+/// `true` when the user asked for a recording file a tabular subcommand
+/// has nowhere to put.
+fn common_output_requested(args: &Args) -> bool {
+    args.get("trace-out").is_some() || args.get("metrics-out").is_some()
 }
 
 fn frontend_name(spec: &seqio_node::Experiment) -> &'static str {
@@ -153,16 +149,18 @@ fn cmd_cluster(rest: Vec<String>) -> Result<(), String> {
     }
     let args = Args::parse(rest)?;
     let mut known = EXPERIMENT_FLAGS.to_vec();
-    known.extend_from_slice(&["nodes", "shard", "fault-node", "jobs", "base-seed"]);
+    known.extend_from_slice(COMMON_FLAGS);
+    known.extend_from_slice(&["nodes", "shard", "fault-node", "base-seed", "rebalance"]);
     let unknown = args.unknown_flags(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown flag(s): {}", unknown.join(", ")));
     }
-    if args.get("trace").is_some() || args.get("trace-out").is_some() {
+    let common = CommonArgs::from_args(&args)?;
+    if args.get("trace").is_some() || common.trace_out.is_some() {
         return Err("cluster runs do not support per-request trace output yet".into());
     }
 
-    let mut template = experiment_from(&args)?;
+    let mut template = experiment_from(&args, &common)?;
     // `experiment_from` installs --faults on the template; the cluster
     // layer wants them on one node instead.
     let plan = template.faults.take();
@@ -174,10 +172,8 @@ fn cmd_cluster(rest: Vec<String>) -> Result<(), String> {
         return Err(format!("--fault-node: node {fault_node} past cluster size {nodes}"));
     }
 
-    let mut b = seqio_cluster::ClusterExperiment::builder()
-        .template(template.clone())
-        .nodes(nodes)
-        .policy(policy);
+    let disks = template.shape.total_disks();
+    let mut b = seqio_cluster::Scenario::builder().template(template).nodes(nodes).policy(policy);
     if let Some(plan) = plan {
         b = b.node_fault(fault_node, plan);
     }
@@ -185,19 +181,23 @@ fn cmd_cluster(rest: Vec<String>) -> Result<(), String> {
         let s: u64 = seed.parse().map_err(|_| format!("--base-seed: bad integer {seed:?}"))?;
         b = b.base_seed(s);
     }
-    if let Some(j) = args.get("jobs") {
-        let j: usize = j.parse().map_err(|_| format!("--jobs: bad integer {j:?}"))?;
+    if let Some(j) = common.jobs {
         b = b.jobs(j);
     }
-    let spec = b.build();
+    if let Some(interval) = args.get("rebalance") {
+        let d = args::parse_duration(interval).map_err(|e| format!("--rebalance: {e}"))?;
+        b = b.rebalance(seqio_cluster::RebalanceConfig::new(d));
+    }
+    let scenario = b.build().map_err(|e| e.to_string())?;
     eprintln!(
-        "cluster: {} node(s) x {} disk(s), {} global stream(s), {} routing",
+        "cluster: {} node(s) x {} disk(s), {} global stream(s), {} routing{}",
         nodes,
-        template.shape.total_disks(),
-        spec.total_streams(),
-        policy.name()
+        disks,
+        scenario.cluster().total_streams(),
+        policy.name(),
+        if scenario.cluster().rebalance.is_some() { ", mid-run rebalancing" } else { "" }
     );
-    let c = spec.run().map_err(|e| e.to_string())?;
+    let c = scenario.run().map_err(|e| e.to_string())?;
 
     println!("{:>6} {:>9} {:>12} {:>10} {:>10}", "node", "streams", "MB/s", "mean ms", "window");
     for n in &c.nodes {
@@ -225,30 +225,35 @@ fn cmd_cluster(rest: Vec<String>) -> Result<(), String> {
         c.requests_completed,
         c.bytes_delivered >> 20
     );
-    if let Some(path) = args.get("metrics-out") {
-        let series = c.metrics.as_ref().expect("metric sampling was enabled");
-        std::fs::write(path, series.to_csv()).map_err(|e| format!("--metrics-out {path}: {e}"))?;
-        println!(
-            "metrics:         {} samples x {} series -> {path}",
-            series.len(),
-            series.names().len()
-        );
+    if !c.migrations.is_empty() {
+        println!("migrations:      {} stream move(s):", c.migrations.len());
+        for m in &c.migrations {
+            println!("    t={} stream {} node {} -> {}", m.at, m.stream, m.from, m.to);
+        }
     }
+    common.write_outputs(None, c.metrics.as_ref())?;
     Ok(())
 }
 
 fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     let args = Args::parse(rest)?;
     let mut known = EXPERIMENT_FLAGS.to_vec();
+    known.extend_from_slice(COMMON_FLAGS);
     known.push("trace-in");
     let unknown = args.unknown_flags(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown flag(s): {}", unknown.join(", ")));
     }
+    if args.get("jobs").is_some() {
+        return Err("--jobs: replay is a single open-loop run".into());
+    }
+    let common = CommonArgs::from_args(&args)?;
     let path = args.get("trace-in").ok_or("replay needs --trace-in FILE")?;
     let csv = std::fs::read_to_string(path).map_err(|e| format!("--trace-in {path}: {e}"))?;
     let trace = seqio_node::trace::from_csv(&csv)?;
-    let mut spec = experiment_from(&args)?;
+    // Replay stays on the direct single-node path: an open-loop replay
+    // has no live streams the cluster driver could route or migrate.
+    let mut spec = experiment_from(&args, &common)?;
     spec.replay = Some(trace);
     spec.validate()?;
     let disks = spec.shape.total_disks();
@@ -261,6 +266,7 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
             .map_err(|e| format!("--trace {out}: {e}"))?;
         println!("trace:           {} records -> {out}", t.len());
     }
+    common.write_outputs(r.spans.as_ref(), r.metrics.as_ref())?;
     Ok(())
 }
 
@@ -320,11 +326,18 @@ fn cmd_report(rest: Vec<String>) -> Result<(), String> {
 fn cmd_sweep(rest: Vec<String>) -> Result<(), String> {
     let args = Args::parse(rest)?;
     let mut known = EXPERIMENT_FLAGS.to_vec();
-    known.extend_from_slice(&["param", "values", "jobs", "progress"]);
+    known.extend_from_slice(COMMON_FLAGS);
+    known.extend_from_slice(&["param", "values", "progress"]);
     let unknown = args.unknown_flags(&known);
     if !unknown.is_empty() {
         return Err(format!("unknown flag(s): {}", unknown.join(", ")));
     }
+    if common_output_requested(&args) {
+        return Err(
+            "--trace-out/--metrics-out: sweeps print a table; record one point with `run`".into()
+        );
+    }
+    let common = CommonArgs::from_args(&args)?;
     let param = args.get("param").ok_or("sweep needs --param streams|readahead|request")?;
     let values: Vec<&str> = args
         .get("values")
@@ -346,7 +359,8 @@ fn cmd_sweep(rest: Vec<String>) -> Result<(), String> {
         // Re-parse with the swept flag overridden.
         let mut items: Vec<String> = Vec::new();
         items.push(format!("--{param}={v}"));
-        // Carry every other original flag through.
+        // Carry every other original flag through; the shared flags are
+        // already parsed in `common` and apply to every point.
         for k in EXPERIMENT_FLAGS {
             if *k == param {
                 continue;
@@ -358,12 +372,11 @@ fn cmd_sweep(rest: Vec<String>) -> Result<(), String> {
             }
         }
         let sub = Args::parse(items)?;
-        specs.push(experiment_from(&sub)?);
+        specs.push(experiment_from(&sub, &common)?);
     }
 
     let mut sweep = seqio_node::Sweep::builder().points(specs).progress(args.switch("progress"));
-    if let Some(j) = args.get("jobs") {
-        let j: usize = j.parse().map_err(|_| format!("--jobs: bad integer {j:?}"))?;
+    if let Some(j) = common.jobs {
         sweep = sweep.jobs(j);
     }
     let report = sweep.run();
@@ -404,7 +417,7 @@ USAGE:
   seqio report --spans FILE [--phases]     # per-phase latency breakdown
   seqio info
 
-FLAGS (run & sweep):
+EXPERIMENT FLAGS (run, sweep, cluster run, replay):
   --shape single|eight|sixty     node layout             [single]
   --streams N                    streams per disk        [10]
   --request SIZE                 client request size     [64K]
@@ -420,18 +433,22 @@ FLAGS (run & sweep):
   --seed N                       deterministic seed      [1]
   --local-costs                  local (xdd-style) client cost model
   --trace FILE                   write a per-request CSV trace
-  --trace-out FILE               record request-lifecycle spans
-                                 (.jsonl for JSON lines, CSV otherwise)
-  --metrics-out FILE             record a metric time series CSV
-  --sample-interval DUR          metric sampling period  [10ms]
+
+SHARED FLAGS (one grammar across run, sweep and cluster run):
   --faults SPEC                  deterministic fault plan; `;`-separated:
                                    straggler:disk=D,factor=F[,from=DUR][,for=DUR]
                                    errors:disk=D,rate=P
                                    badregion:disk=D,start=LBA,blocks=N[,penalty=DUR]
                                    retry:[max=N][,backoff=DUR][,timeout=DUR]
+                                 (whole run; on a cluster, lands on --fault-node)
+  --trace-out FILE               record request-lifecycle spans
+                                 (.jsonl for JSON lines, CSV otherwise)
+  --metrics-out FILE             record a metric time series CSV
+  --sample-interval DUR          metric sampling period  [10ms]
+  --jobs N                       worker threads          [SEQIO_JOBS, then #cpus]
 
 FLAGS (sweep only):
-  --jobs N                       parallel worker threads   [SEQIO_JOBS, then #cpus]
+  --param streams|readahead|request --values a,b,c  the swept knob
   --progress                     per-point progress lines on stderr
 
 FLAGS (cluster run):
@@ -439,7 +456,8 @@ FLAGS (cluster run):
   --shard identity|hash|range|straggler-aware              [hash]
   --fault-node I                 node receiving --faults   [0]
   --base-seed N                  derive per-node seeds from (N, node)
-  --jobs N                       node fan-out workers      [SEQIO_JOBS, then #cpus]
+  --rebalance DUR                migrate live streams off degraded nodes,
+                                 checking health every DUR of sim time
   (experiment flags above describe each node's template; --faults applies
    to --fault-node only and drives straggler-aware health)
 
@@ -453,6 +471,9 @@ EXAMPLES:
   seqio report --spans spans.csv --phases
   seqio cluster run --nodes 4 --shard straggler-aware --streams 100 \\
         --frontend stream --requests 16 --warmup 0s --duration 60s \\
-        --faults straggler:disk=0,factor=4 --fault-node 1 --base-seed 7"
+        --faults straggler:disk=0,factor=4 --fault-node 1 --base-seed 7
+  seqio cluster run --nodes 2 --shard hash --streams 16 --requests 16 \\
+        --warmup 0s --duration 300s --faults straggler:disk=0,factor=8,from=2s \\
+        --fault-node 1 --base-seed 7 --rebalance 250ms"
     );
 }

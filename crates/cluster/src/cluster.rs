@@ -1,10 +1,14 @@
-//! Cluster composition: per-node experiment construction, deterministic
-//! fan-out over the sweep worker pool, and result merging.
+//! Cluster composition: per-node experiment construction, shared-clock
+//! co-simulation with optional mid-run rebalancing, and result merging.
 
-use seqio_node::sweep::derive_seed;
-use seqio_node::{Experiment, RunResult, Sweep};
-use seqio_simcore::{FaultPlan, LatencyHistogram, MetricSeries, SeqioError, SimDuration};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use seqio_node::sweep::{derive_seed, resolve_jobs};
+use seqio_node::{Experiment, NodeSim, RunResult};
+use seqio_simcore::{FaultPlan, LatencyHistogram, MetricSeries, SeqioError, SimDuration, SimTime};
+
+use crate::rebalance::{MigratableStream, MigrationRecord, NodeView, RebalanceConfig, Rebalancer};
 use crate::router::{NodeHealth, Router, ShardPolicy};
 
 /// A multi-node cluster experiment: `K` copies of a per-node
@@ -12,14 +16,23 @@ use crate::router::{NodeHealth, Router, ShardPolicy};
 ///
 /// The client population is `K * template.total_streams()` global
 /// streams. The router assigns each global stream to a node before
-/// anything runs; each node then simulates its share as a full
-/// single-node DES, and the per-node [`RunResult`]s merge into one
-/// [`ClusterResult`] on a shared clock.
+/// anything runs; each node then becomes a steppable [`NodeSim`]
+/// component, and one shared-clock driver advances every node in
+/// deterministic lockstep epochs before merging the per-node
+/// [`RunResult`]s into one [`ClusterResult`].
 ///
-/// All three in-tree disciplines carry over: node simulations fan out
-/// over the [`Sweep`] worker pool and stay bit-identical at any worker
-/// count; faults are opt-in per node; observability is opt-in via the
-/// template's `ObsConfig` and never perturbs results.
+/// With [`rebalance`](ClusterExperimentBuilder::rebalance) set, a
+/// cluster-level [`Rebalancer`] inspects every node's health at each
+/// epoch boundary and migrates live streams off disks degraded past the
+/// rotate threshold, mid-run. Decisions derive only from the shared
+/// clock and the seeds, so results stay bit-identical at any
+/// `SEQIO_JOBS` count; without a rebalancer the per-node simulations are
+/// bit-identical to running each node standalone.
+///
+/// All three in-tree disciplines carry over: node epochs are advanced by
+/// a worker pool sized like the sweep pool and stay bit-identical at any
+/// worker count; faults are opt-in per node; observability is opt-in via
+/// the template's `ObsConfig` and never perturbs results.
 #[derive(Debug, Clone)]
 pub struct ClusterExperiment {
     /// Per-node experiment template (shape, workload, frontend, clock).
@@ -44,11 +57,21 @@ pub struct ClusterExperiment {
     pub degraded_threshold: f64,
     /// Per-node stream capacity for the straggler-aware deal.
     pub capacity_per_node: Option<usize>,
+    /// Mid-run rebalancing: when set, the shared-clock driver checks
+    /// node health every `check_interval` and migrates live streams off
+    /// degraded disks. `None` runs the cluster statically.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl ClusterExperiment {
     /// Starts a builder: 1 node, identity routing, healthy, template
     /// defaults from [`Experiment::builder`].
+    ///
+    /// Note: new call sites should prefer [`Scenario`](crate::Scenario),
+    /// which wraps this specification with flat setters for the template
+    /// knobs and moves every validation failure to `build()` time. This
+    /// builder remains supported for code that assembles the
+    /// `ClusterExperiment` struct directly.
     pub fn builder() -> ClusterExperimentBuilder {
         ClusterExperimentBuilder {
             spec: ClusterExperiment {
@@ -61,6 +84,7 @@ impl ClusterExperiment {
                 degraded_threshold: seqio_core::ServerConfig::default_tuning()
                     .degraded_rotate_threshold,
                 capacity_per_node: None,
+                rebalance: None,
             },
         }
     }
@@ -97,9 +121,10 @@ impl ClusterExperiment {
                 "cluster faults are per node: use node_fault(k, plan), not the template".into(),
             ));
         }
-        if self.template.stream_counts.is_some() {
+        if self.template.stream_counts.is_some() && self.nodes > 1 {
             return Err(SeqioError::Experiment(
-                "the cluster owns per-disk stream layout; leave template.stream_counts unset"
+                "the cluster owns per-disk stream layout across nodes; \
+                 template.stream_counts is only honoured on a 1-node cluster"
                     .into(),
             ));
         }
@@ -126,6 +151,9 @@ impl ClusterExperiment {
                 }
             }
         }
+        if let Some(cfg) = &self.rebalance {
+            cfg.validate()?;
+        }
         self.router().validate()
     }
 
@@ -138,7 +166,12 @@ impl ClusterExperiment {
         }
         let mut spec = self.template.clone();
         let disks = spec.shape.total_disks();
-        if assigned.is_multiple_of(disks) {
+        if self.nodes == 1 && spec.stream_counts.is_some() {
+            // A 1-node cluster honours the template's explicit per-disk
+            // layout verbatim (identity routing assigns the whole
+            // population to this node anyway).
+            debug_assert_eq!(assigned, spec.total_streams());
+        } else if assigned.is_multiple_of(disks) {
             // An even share keeps the uniform layout, so a 1-node
             // identity cluster runs the template spec verbatim.
             spec.streams_per_disk = assigned / disks;
@@ -154,7 +187,15 @@ impl ClusterExperiment {
         Some(spec)
     }
 
-    /// Runs every node and merges the results.
+    /// Runs the shared-clock co-simulation and merges the results.
+    ///
+    /// Every populated node becomes a [`NodeSim`]; a worker pool (sized
+    /// by [`resolve_jobs`], same as a [`seqio_node::Sweep`]) advances
+    /// all of them to each epoch boundary. Without a rebalancer there is
+    /// a single epoch to the end of time, which is exactly each node's
+    /// standalone event loop; with one, nodes advance in
+    /// `check_interval` lockstep and live streams migrate off degraded
+    /// disks between epochs.
     ///
     /// # Errors
     ///
@@ -169,46 +210,158 @@ impl ClusterExperiment {
         // Node k serves its assigned global ids in ascending order,
         // mapped onto local slots 0..n_k (disk-major, the node's own
         // stream order).
-        let mut node_ids: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
-        for (g, &k) in assignment.iter().enumerate() {
-            node_ids[k].push(g);
-        }
+        let node_ids: Vec<Vec<usize>> = {
+            let mut ids = vec![Vec::new(); self.nodes];
+            for (g, &k) in assignment.iter().enumerate() {
+                ids[k].push(g);
+            }
+            ids
+        };
 
+        // Seeds are derived per node up front, so a skipped (empty)
+        // node never shifts its neighbours' seeds.
         let mut specs: Vec<Option<Experiment>> = Vec::with_capacity(self.nodes);
+        let mut sims: Vec<Option<NodeSim>> = Vec::with_capacity(self.nodes);
         for (k, ids) in node_ids.iter().enumerate() {
             let spec = self.node_spec(k, ids.len());
-            if let Some(s) = &spec {
-                s.validate()?;
-            }
+            sims.push(match &spec {
+                Some(s) => Some(NodeSim::new(s)?),
+                None => None,
+            });
             specs.push(spec);
         }
+        for sim in sims.iter_mut().flatten() {
+            sim.init();
+        }
+        let jobs = resolve_jobs(self.jobs);
 
-        // Fan the populated nodes over the sweep pool. Seeds were
-        // already derived per node, so no sweep-level base seed: a
-        // skipped (empty) node must not shift its neighbours' seeds.
-        let mut sweep = Sweep::builder();
-        for spec in specs.iter().flatten() {
-            sweep = sweep.point(spec.clone());
+        // The final local-slot -> global-stream map per node; grows on
+        // the target side as streams migrate in.
+        let mut slot_map = node_ids.clone();
+        let mut migrations: Vec<MigrationRecord> = Vec::new();
+
+        match &self.rebalance {
+            None => advance_all(&mut sims, SimTime::MAX, jobs),
+            Some(cfg) => {
+                // Current home of every global stream.
+                let mut location: Vec<(usize, usize)> = vec![(0, 0); total];
+                for (k, ids) in slot_map.iter().enumerate() {
+                    for (slot, &g) in ids.iter().enumerate() {
+                        location[g] = (k, slot);
+                    }
+                }
+                let rebalancer = Rebalancer::new(cfg.clone());
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += cfg.check_interval;
+                    advance_all(&mut sims, t, jobs);
+                    if sims.iter().flatten().all(|s| s.peek_next_time().is_none()) {
+                        break;
+                    }
+                    let views = build_views(&sims, &slot_map, cfg.threshold, t);
+                    for mv in rebalancer.plan(&views) {
+                        let (src_node, src_slot) = location[mv.global];
+                        debug_assert_eq!(src_node, mv.from, "planner and location map agree");
+                        let Some(handoff) =
+                            sims[mv.from].as_mut().and_then(|s| s.retire_stream(src_slot))
+                        else {
+                            continue;
+                        };
+                        let target =
+                            sims[mv.to].as_mut().expect("rebalancer only targets live nodes");
+                        let new_slot = target.inject_stream(t, handoff);
+                        debug_assert_eq!(new_slot, slot_map[mv.to].len());
+                        slot_map[mv.to].push(mv.global);
+                        location[mv.global] = (mv.to, new_slot);
+                        migrations.push(MigrationRecord {
+                            at: t,
+                            stream: mv.global,
+                            from: mv.from,
+                            to: mv.to,
+                        });
+                    }
+                }
+            }
         }
-        if let Some(j) = self.jobs {
-            sweep = sweep.jobs(j);
-        }
-        let mut results = sweep.run().into_results().into_iter();
 
         let disks = self.template.shape.total_disks();
         let mut outcomes = Vec::with_capacity(self.nodes);
-        for (k, spec) in specs.into_iter().enumerate() {
-            let result = spec.as_ref().map(|_| results.next().expect("one result per spec"));
+        for (k, (spec, sim)) in specs.into_iter().zip(sims).enumerate() {
             outcomes.push(NodeOutcome {
                 node: k,
                 assigned_streams: node_ids[k].len(),
                 health: NodeHealth::from_faults(self.node_faults[k].as_ref(), disks),
                 spec,
-                result,
+                result: sim.map(NodeSim::finish),
             });
         }
-        Ok(ClusterResult::merge(outcomes, assignment, node_ids))
+        Ok(ClusterResult::merge(outcomes, assignment, slot_map, migrations))
     }
+}
+
+/// Advances every live node to `limit` on a pool of `jobs` workers.
+///
+/// Nodes are dealt to workers by an atomic cursor; each node is advanced
+/// by exactly one worker per epoch, and its own event order is untouched,
+/// so the schedule cannot influence results.
+fn advance_all(sims: &mut [Option<NodeSim>], limit: SimTime, jobs: usize) {
+    let live: Vec<Mutex<&mut NodeSim>> = sims.iter_mut().flatten().map(Mutex::new).collect();
+    let n = live.len();
+    if n == 0 {
+        return;
+    }
+    let workers = jobs.clamp(1, n);
+    if workers == 1 {
+        for sim in live {
+            sim.into_inner().unwrap_or_else(|e| e.into_inner()).advance_to(limit);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                live[i].lock().unwrap_or_else(|e| e.into_inner()).advance_to(limit);
+            });
+        }
+    });
+}
+
+/// Snapshots every live node's health at epoch boundary `at` into the
+/// [`NodeView`]s the rebalancer plans from. Only live streams on disks at
+/// or past `threshold` become migration candidates.
+fn build_views(
+    sims: &[Option<NodeSim>],
+    slot_map: &[Vec<usize>],
+    threshold: f64,
+    at: SimTime,
+) -> Vec<NodeView> {
+    let mut views = Vec::new();
+    for (k, sim) in sims.iter().enumerate() {
+        let Some(sim) = sim else { continue };
+        let health = sim.health(at);
+        let mut migratable = Vec::new();
+        for (slot, &g) in slot_map[k].iter().enumerate() {
+            if !sim.stream_live(slot) {
+                continue;
+            }
+            let factor = health.straggler_factors[sim.stream_disk(slot)];
+            if factor >= threshold {
+                migratable.push(MigratableStream { global: g, factor });
+            }
+        }
+        views.push(NodeView {
+            node: k,
+            live_streams: health.live_streams,
+            worst_factor: health.worst_straggler_factor(),
+            migratable,
+        });
+    }
+    views
 }
 
 /// Builder for [`ClusterExperiment`].
@@ -274,6 +427,14 @@ impl ClusterExperimentBuilder {
         self
     }
 
+    /// Enables mid-run rebalancing: the shared-clock driver checks node
+    /// health every `cfg.check_interval` and migrates live streams off
+    /// degraded disks.
+    pub fn rebalance(mut self, cfg: RebalanceConfig) -> Self {
+        self.spec.rebalance = Some(cfg);
+        self
+    }
+
     /// Finalizes the specification without running it.
     pub fn build(self) -> ClusterExperiment {
         self.spec
@@ -315,12 +476,26 @@ pub struct NodeOutcome {
 /// time the slowest node needed. A straggling node therefore drags the
 /// whole cluster figure down exactly as it would a real batch of
 /// clients waiting for their slowest shard.
+///
+/// When streams migrated mid-run, a global stream's bytes are the exact
+/// integer sum of what it delivered on every node that hosted it, and
+/// its throughput is that sum over the shared window; without
+/// migrations the merge reduces to rescaling each node's own per-stream
+/// rates onto the shared window (bit-identical to the static merge).
 #[derive(Debug, Clone)]
 pub struct ClusterResult {
     /// Per-node outcomes, indexed by node.
     pub nodes: Vec<NodeOutcome>,
-    /// Global stream → node map the router produced.
+    /// Global stream → node map the router produced (the *initial*
+    /// placement; see [`migrations`](Self::migrations) for later moves).
     pub assignment: Vec<usize>,
+    /// Final local-slot → global-stream map per node: entry `[k][s]` is
+    /// the global id of node `k`'s local stream `s`, including slots
+    /// created by mid-run migration.
+    pub node_stream_ids: Vec<Vec<usize>>,
+    /// Every migration the rebalancer performed, in execution order
+    /// (empty for static runs).
+    pub migrations: Vec<MigrationRecord>,
     /// Per-stream throughput in MBytes/s over the cluster window, in
     /// global stream order.
     pub per_stream_mbs: Vec<f64>,
@@ -344,6 +519,7 @@ impl ClusterResult {
         nodes: Vec<NodeOutcome>,
         assignment: Vec<usize>,
         node_ids: Vec<Vec<usize>>,
+        migrations: Vec<MigrationRecord>,
     ) -> ClusterResult {
         let window = nodes
             .iter()
@@ -352,6 +528,40 @@ impl ClusterResult {
             .max()
             .unwrap_or(SimDuration::ZERO);
         let mut per_stream_mbs = vec![0.0; assignment.len()];
+        if migrations.is_empty() {
+            // Static runs rescale each node's own per-stream rates onto
+            // the shared window — bit-identical to the pre-migration
+            // merge (ratio 1.0 for the slowest node, so a 1-node cluster
+            // keeps its values bit-identical to a plain `Experiment`).
+            for outcome in &nodes {
+                let Some(result) = &outcome.result else { continue };
+                let ratio = if result.window == window || window == SimDuration::ZERO {
+                    1.0
+                } else {
+                    result.window.as_millis_f64() / window.as_millis_f64()
+                };
+                for (slot, &g) in node_ids[outcome.node].iter().enumerate() {
+                    per_stream_mbs[g] = result.per_stream_mbs[slot] * ratio;
+                }
+            }
+        } else {
+            // Migrated streams delivered bytes on several nodes: sum the
+            // exact integer byte counts per global stream, then express
+            // each over the shared window.
+            let mut stream_bytes = vec![0u64; assignment.len()];
+            for outcome in &nodes {
+                let Some(result) = &outcome.result else { continue };
+                for (slot, &g) in node_ids[outcome.node].iter().enumerate() {
+                    stream_bytes[g] += result.per_stream_bytes[slot];
+                }
+            }
+            let secs = window.as_secs_f64();
+            if secs > 0.0 {
+                for (g, &b) in stream_bytes.iter().enumerate() {
+                    per_stream_mbs[g] = b as f64 / (1024.0 * 1024.0) / secs;
+                }
+            }
+        }
         let mut response = LatencyHistogram::new();
         let mut bytes = 0u64;
         let mut requests = 0u64;
@@ -359,17 +569,6 @@ impl ClusterResult {
         let mut parts: Vec<(String, &MetricSeries)> = Vec::new();
         for outcome in &nodes {
             let Some(result) = &outcome.result else { continue };
-            // Rescale each stream's rate from its node's window to the
-            // shared cluster window (ratio 1.0 for the slowest node, so a
-            // 1-node cluster keeps its values bit-identical).
-            let ratio = if result.window == window || window == SimDuration::ZERO {
-                1.0
-            } else {
-                result.window.as_millis_f64() / window.as_millis_f64()
-            };
-            for (slot, &g) in node_ids[outcome.node].iter().enumerate() {
-                per_stream_mbs[g] = result.per_stream_mbs[slot] * ratio;
-            }
             response.merge(&result.response);
             bytes += result.bytes_delivered;
             requests += result.requests_completed;
@@ -391,6 +590,8 @@ impl ClusterResult {
         ClusterResult {
             nodes,
             assignment,
+            node_stream_ids: node_ids,
+            migrations,
             per_stream_mbs,
             window,
             response,
@@ -407,7 +608,9 @@ impl ClusterResult {
         self.per_stream_mbs.iter().sum()
     }
 
-    /// One node's share of the cluster throughput.
+    /// One node's share of the cluster throughput, attributing each
+    /// stream to the node it was *initially* assigned — a migrated
+    /// stream's whole rate counts toward its original home.
     pub fn node_throughput_mbs(&self, node: usize) -> f64 {
         self.assignment
             .iter()
@@ -467,8 +670,16 @@ mod tests {
         let mut c = ClusterExperiment::builder().template(quick_template()).build();
         c.template.faults = Some(FaultPlan::new().read_errors(0, 0.01));
         assert!(c.validate().is_err());
-        // Template-level stream_counts.
+        // Template-level stream_counts: fine on 1 node, rejected across
+        // several (the router owns the layout there).
         let mut c = ClusterExperiment::builder().template(quick_template()).build();
+        c.template.stream_counts = Some(vec![4]);
+        assert!(c.validate().is_ok());
+        let mut c = ClusterExperiment::builder()
+            .template(quick_template())
+            .nodes(2)
+            .policy(ShardPolicy::HashByStream)
+            .build();
         c.template.stream_counts = Some(vec![4]);
         assert!(c.validate().is_err());
         // Fault table length drift.

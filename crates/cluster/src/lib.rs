@@ -1,51 +1,67 @@
 //! # seqio-cluster
 //!
 //! Multi-node scale-out for the `seqio` storage-node simulation: `K`
-//! full node simulations behind a deterministic front-end router, run in
-//! parallel and merged onto one cluster clock.
+//! full node simulations behind a deterministic front-end router,
+//! co-simulated on one shared clock with mid-run stream migration.
 //!
 //! The paper's stream scheduler is a per-node building block; this crate
 //! models the layer above it. A [`ClusterExperiment`] takes a per-node
-//! [`Experiment`](seqio_node::Experiment) template, shards the global
+//! [`Experiment`](seqio_node::Experiment) template and shards the global
 //! client streams across nodes with a [`ShardPolicy`] (hash, range, or
 //! straggler-aware steering driven by per-node [`NodeHealth`] derived
-//! from fault plans), fans the node simulations over the existing sweep
-//! worker pool, and merges the per-node results into a [`ClusterResult`]
-//! whose throughput is summed over the cluster **makespan** — the window
-//! of the slowest node.
+//! from fault plans). The driver then runs every node as a steppable
+//! [`SimComponent`](seqio_simcore::SimComponent) on a single simulated
+//! clock: statically to completion, or — with a [`RebalanceConfig`] — in
+//! deterministic lockstep epochs, where a [`Rebalancer`] watches each
+//! node's health and migrates live streams off degraded nodes, carrying
+//! each stream's exact remainder to its new home. Per-node results merge
+//! into a [`ClusterResult`] over the cluster **makespan** (exactly, per
+//! global stream, when migrations occurred).
 //!
 //! Everything stays bit-deterministic at any worker count, faults are
-//! opt-in per node, and observability is opt-in via the template.
+//! opt-in per node, observability is opt-in via the template and never
+//! feeds the rebalancer, and a 1-node scenario is bit-identical to
+//! running the template [`Experiment`](seqio_node::Experiment) directly.
 //!
 //! # Examples
 //!
-//! ```
-//! use seqio_cluster::{ClusterExperiment, ShardPolicy};
-//! use seqio_node::Experiment;
-//! use seqio_simcore::SimDuration;
+//! Build through [`Scenario`], the unified single-node/cluster surface:
 //!
-//! let template = Experiment::builder()
-//!     .streams_per_disk(4)
-//!     .requests_per_stream(8)
+//! ```
+//! use seqio_cluster::{RebalanceConfig, Scenario, ShardPolicy};
+//! use seqio_simcore::{FaultPlan, SimDuration};
+//!
+//! let result = Scenario::builder()
+//!     .streams_per_disk(12)
+//!     .requests_per_stream(12)
 //!     .warmup(SimDuration::ZERO)
-//!     .duration(SimDuration::from_secs(30))
-//!     .build();
-//! let result = ClusterExperiment::builder()
-//!     .template(template)
+//!     .duration(SimDuration::from_secs(120))
 //!     .nodes(2)
 //!     .policy(ShardPolicy::HashByStream)
-//!     .base_seed(42)
+//!     .base_seed(7)
+//!     // Node 1's only disk slows down 8x mid-run; check health every
+//!     // 50 ms of simulated time and migrate its live streams away.
+//!     .node_fault(1, FaultPlan::new().straggler(0, 8.0, SimDuration::from_millis(300), None))
+//!     .rebalance(RebalanceConfig::new(SimDuration::from_millis(50)))
+//!     .build()
+//!     .unwrap()
 //!     .run()
 //!     .unwrap();
-//! assert_eq!(result.per_stream_mbs.len(), 8);
-//! assert!(result.total_throughput_mbs() > 0.0);
+//! assert_eq!(result.per_stream_mbs.len(), 24);
+//! assert!(!result.migrations.is_empty());
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cluster;
+mod rebalance;
 mod router;
+mod scenario;
 
 pub use cluster::{ClusterExperiment, ClusterExperimentBuilder, ClusterResult, NodeOutcome};
+pub use rebalance::{
+    MigratableStream, MigrationRecord, MoveDecision, NodeView, RebalanceConfig, Rebalancer,
+};
 pub use router::{NodeHealth, Router, ShardPolicy};
+pub use scenario::{Scenario, ScenarioBuilder};

@@ -1,0 +1,302 @@
+//! Mid-run stream rebalancing for the shared-clock co-simulation.
+//!
+//! At every epoch boundary the cluster driver snapshots each live node's
+//! health ([`seqio_node::HealthSnapshot`], assembled purely from model
+//! state) and hands the [`Rebalancer`] a list of [`NodeView`]s. The
+//! rebalancer returns [`MoveDecision`]s — which global streams to migrate
+//! off disks degraded past the rotate threshold, and to which node. The
+//! planning function is pure: decisions depend only on the views (which are
+//! themselves deterministic functions of the shared clock and the seeds),
+//! never on worker count, wall-clock time, or recorder state — so a
+//! rebalanced run is bit-identical at any `SEQIO_JOBS` count.
+
+use seqio_simcore::{SeqioError, SimDuration, SimTime};
+
+/// Configuration of the mid-run rebalancer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// Epoch length: how often all nodes synchronize on the shared clock
+    /// and the rebalancer looks for streams to migrate.
+    pub check_interval: SimDuration,
+    /// A disk whose straggler factor meets this threshold is degraded;
+    /// live streams on it become migration candidates. Defaults to the
+    /// stream scheduler's `degraded_rotate_threshold`.
+    pub threshold: f64,
+    /// Upper bound on migrations per epoch (`usize::MAX` = unbounded).
+    pub max_moves_per_check: usize,
+}
+
+impl RebalanceConfig {
+    /// A rebalancer checking every `check_interval`, with the stream
+    /// scheduler's default degraded threshold and unbounded moves.
+    pub fn new(check_interval: SimDuration) -> Self {
+        RebalanceConfig {
+            check_interval,
+            threshold: seqio_core::ServerConfig::default_tuning().degraded_rotate_threshold,
+            max_moves_per_check: usize::MAX,
+        }
+    }
+
+    /// Overrides the degraded threshold.
+    pub fn threshold(mut self, t: f64) -> Self {
+        self.threshold = t;
+        self
+    }
+
+    /// Caps migrations per epoch.
+    pub fn max_moves_per_check(mut self, n: usize) -> Self {
+        self.max_moves_per_check = n;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`SeqioError`].
+    pub fn validate(&self) -> Result<(), SeqioError> {
+        if self.check_interval == SimDuration::ZERO {
+            return Err(SeqioError::Experiment("rebalance check interval must be positive".into()));
+        }
+        if !self.threshold.is_finite() || self.threshold <= 1.0 {
+            return Err(SeqioError::Experiment(format!(
+                "degraded threshold must be a finite factor above 1.0, got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One live node as the rebalancer sees it at an epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeView {
+    /// Node index.
+    pub node: usize,
+    /// Streams on the node that still have requests to issue.
+    pub live_streams: usize,
+    /// The node's worst per-disk straggler factor right now.
+    pub worst_factor: f64,
+    /// Live streams sitting on degraded disks, each with the straggler
+    /// factor of its disk. Empty on healthy nodes.
+    pub migratable: Vec<MigratableStream>,
+}
+
+/// A live stream on a degraded disk, eligible for migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigratableStream {
+    /// Global stream id.
+    pub global: usize,
+    /// Straggler factor of the disk the stream sits on.
+    pub factor: f64,
+}
+
+/// One planned migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveDecision {
+    /// Global stream id to move.
+    pub global: usize,
+    /// Source node.
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+}
+
+/// One executed migration, recorded in the [`ClusterResult`](crate::ClusterResult).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// Shared-clock instant of the migration (an epoch boundary).
+    pub at: SimTime,
+    /// Global stream id that moved.
+    pub stream: usize,
+    /// Source node.
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+}
+
+/// Plans migrations off degraded disks (see module docs).
+#[derive(Debug, Clone)]
+pub struct Rebalancer {
+    cfg: RebalanceConfig,
+}
+
+impl Rebalancer {
+    /// Builds a rebalancer from its configuration.
+    pub fn new(cfg: RebalanceConfig) -> Self {
+        Rebalancer { cfg }
+    }
+
+    /// The configuration this rebalancer plans with.
+    pub fn config(&self) -> &RebalanceConfig {
+        &self.cfg
+    }
+
+    /// Plans this epoch's migrations. Pure: the same views always produce
+    /// the same moves, in the same order.
+    ///
+    /// For every migratable stream whose disk factor meets the threshold
+    /// (taken in ascending node order, then the node's own stream order),
+    /// the target is the least-loaded node that is not degraded and is
+    /// strictly healthier than the stream's disk — ties broken by lowest
+    /// node index. Streams with no eligible target stay put: the
+    /// rebalancer never moves a stream to a node it knows to be at least
+    /// as degraded as the stream's source disk.
+    pub fn plan(&self, views: &[NodeView]) -> Vec<MoveDecision> {
+        let mut loads: Vec<usize> = views.iter().map(|v| v.live_streams).collect();
+        let mut moves = Vec::new();
+        for (vi, v) in views.iter().enumerate() {
+            for m in &v.migratable {
+                if moves.len() >= self.cfg.max_moves_per_check {
+                    return moves;
+                }
+                if m.factor < self.cfg.threshold {
+                    continue;
+                }
+                let target = views
+                    .iter()
+                    .enumerate()
+                    .filter(|(wi, w)| {
+                        *wi != vi
+                            && w.worst_factor < self.cfg.threshold
+                            && w.worst_factor < m.factor
+                    })
+                    .min_by(|(ai, a), (bi, b)| {
+                        loads[*ai].cmp(&loads[*bi]).then(a.node.cmp(&b.node)).then(ai.cmp(bi))
+                    });
+                if let Some((wi, w)) = target {
+                    moves.push(MoveDecision { global: m.global, from: v.node, to: w.node });
+                    loads[wi] += 1;
+                    loads[vi] = loads[vi].saturating_sub(1);
+                }
+            }
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> RebalanceConfig {
+        RebalanceConfig::new(SimDuration::from_millis(100)).threshold(2.0)
+    }
+
+    fn view(node: usize, live: usize, worst: f64, migratable: &[(usize, f64)]) -> NodeView {
+        NodeView {
+            node,
+            live_streams: live,
+            worst_factor: worst,
+            migratable: migratable
+                .iter()
+                .map(|&(global, factor)| MigratableStream { global, factor })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn config_validates() {
+        assert!(cfg().validate().is_ok());
+        assert!(RebalanceConfig::new(SimDuration::ZERO).validate().is_err());
+        assert!(cfg().threshold(1.0).validate().is_err());
+        assert!(cfg().threshold(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn degraded_streams_move_to_the_least_loaded_healthy_node() {
+        let views = vec![
+            view(0, 10, 8.0, &[(3, 8.0), (7, 8.0)]),
+            view(1, 6, 1.0, &[]),
+            view(2, 4, 1.0, &[]),
+        ];
+        let moves = Rebalancer::new(cfg()).plan(&views);
+        assert_eq!(
+            moves,
+            vec![
+                MoveDecision { global: 3, from: 0, to: 2 },
+                MoveDecision { global: 7, from: 0, to: 2 }, // loads now 5 vs 6: node 2 again
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_node_index() {
+        let views = vec![view(0, 5, 1.0, &[]), view(1, 2, 4.0, &[(9, 4.0)]), view(2, 5, 1.0, &[])];
+        let moves = Rebalancer::new(cfg()).plan(&views);
+        assert_eq!(moves, vec![MoveDecision { global: 9, from: 1, to: 0 }]);
+    }
+
+    #[test]
+    fn no_healthy_target_means_no_move() {
+        // Every other node is itself at or past the threshold.
+        let views = vec![view(0, 5, 8.0, &[(1, 8.0)]), view(1, 5, 2.0, &[])];
+        assert!(Rebalancer::new(cfg()).plan(&views).is_empty());
+        // A lone node has nowhere to go.
+        let views = vec![view(0, 5, 8.0, &[(1, 8.0)])];
+        assert!(Rebalancer::new(cfg()).plan(&views).is_empty());
+    }
+
+    #[test]
+    fn move_cap_is_respected() {
+        let views =
+            vec![view(0, 10, 8.0, &[(0, 8.0), (1, 8.0), (2, 8.0), (3, 8.0)]), view(1, 0, 1.0, &[])];
+        let r = Rebalancer::new(cfg().max_moves_per_check(2));
+        assert_eq!(r.plan(&views).len(), 2);
+    }
+
+    proptest! {
+        /// The rebalancer never migrates a stream to a node it knows to be
+        /// more degraded than the stream's source disk — for any mix of
+        /// node factors, loads and candidate streams.
+        #[test]
+        fn prop_never_moves_to_a_worse_node(
+            factors in proptest::collection::vec(0.5f64..32.0, 2..8),
+            loads in proptest::collection::vec(0usize..100, 2..8),
+            threshold in 1.1f64..16.0,
+            cap in 0usize..12,
+        ) {
+            let n = factors.len().min(loads.len());
+            let mut next_global = 0;
+            let views: Vec<NodeView> = (0..n)
+                .map(|k| {
+                    let worst = factors[k];
+                    let migratable: Vec<MigratableStream> = (0..loads[k].min(5))
+                        .map(|_| {
+                            next_global += 1;
+                            // Candidate factors never exceed the node's worst.
+                            MigratableStream { global: next_global - 1, factor: worst }
+                        })
+                        .collect();
+                    NodeView { node: k, live_streams: loads[k], worst_factor: worst, migratable }
+                })
+                .collect();
+            let cfg = RebalanceConfig::new(SimDuration::from_millis(50))
+                .threshold(threshold)
+                .max_moves_per_check(cap);
+            let moves = Rebalancer::new(cfg).plan(&views);
+            prop_assert!(moves.len() <= cap);
+            for mv in &moves {
+                prop_assert!(mv.from != mv.to, "self-moves are meaningless");
+                let src = &views[mv.from];
+                let dst = &views[mv.to];
+                let stream = src.migratable.iter().find(|m| m.global == mv.global)
+                    .expect("moved stream was a candidate on its source");
+                prop_assert!(stream.factor >= threshold, "only degraded streams move");
+                prop_assert!(dst.worst_factor < threshold, "target must be healthy");
+                prop_assert!(
+                    dst.worst_factor < stream.factor,
+                    "target ({}) must be strictly healthier than the source disk ({})",
+                    dst.worst_factor,
+                    stream.factor
+                );
+            }
+            // Decisions are pure: replanning the same views is identical.
+            let cfg = RebalanceConfig::new(SimDuration::from_millis(50))
+                .threshold(threshold)
+                .max_moves_per_check(cap);
+            prop_assert_eq!(Rebalancer::new(cfg).plan(&views), moves);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! One typed construction surface for single-node and cluster runs.
+//!
+//! Historically a single-node study was set up through
+//! [`Experiment::builder`](seqio_node::Experiment::builder) and a cluster
+//! study through [`ClusterExperiment::builder`](crate::ClusterExperiment::builder),
+//! with the fault / observability / layout / seed knobs spelled slightly
+//! differently on each. [`ScenarioBuilder`] unifies them: every scenario
+//! is a cluster, a single-node study is literally a 1-node cluster (which
+//! the equivalence oracle keeps bit-identical to a plain `Experiment`
+//! run), and **all** validation happens at [`build`](ScenarioBuilder::build)
+//! time as a typed [`SeqioError`] instead of a panic mid-run.
+//!
+//! The two historical builders remain supported entry points for code
+//! that drives one layer directly, but new call sites should prefer
+//! `Scenario` — the examples and the CLI construct everything through it.
+
+use seqio_node::{CostModel, Experiment, Frontend, NodeShape, RunResult};
+use seqio_simcore::{FaultPlan, ObsConfig, SeqioError, SimDuration};
+
+use crate::cluster::{ClusterExperiment, ClusterResult};
+use crate::rebalance::RebalanceConfig;
+use crate::router::ShardPolicy;
+
+/// A validated, ready-to-run scenario. Build with [`Scenario::builder`].
+///
+/// Internally every scenario is a [`ClusterExperiment`]; a single-node
+/// scenario is a 1-node identity cluster, so the single-node and cluster
+/// code paths are one and the same.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    cluster: ClusterExperiment,
+}
+
+impl Scenario {
+    /// Starts a builder: one healthy node, identity routing, template
+    /// defaults from [`Experiment::builder`].
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder { cluster: ClusterExperiment::builder().build(), faults: None }
+    }
+
+    /// The underlying cluster specification.
+    pub fn cluster(&self) -> &ClusterExperiment {
+        &self.cluster
+    }
+
+    /// Consumes the scenario, yielding the cluster specification.
+    pub fn into_cluster(self) -> ClusterExperiment {
+        self.cluster
+    }
+
+    /// Number of storage nodes.
+    pub fn nodes(&self) -> usize {
+        self.cluster.nodes
+    }
+
+    /// Runs the scenario through the shared-clock cluster driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first specification error ([`ScenarioBuilder::build`]
+    /// already validated, so this only fails if the specification was
+    /// mutated afterwards).
+    pub fn run(&self) -> Result<ClusterResult, SeqioError> {
+        self.cluster.run()
+    }
+
+    /// Runs the scenario and unwraps the single node's own
+    /// [`RunResult`] — the convenience path for 1-node studies that
+    /// read node-level detail (traces, spans, disk counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SeqioError`] if the scenario has more than one node,
+    /// or the first specification error.
+    pub fn run_node(&self) -> Result<RunResult, SeqioError> {
+        if self.cluster.nodes != 1 {
+            return Err(SeqioError::Experiment(format!(
+                "run_node() is for 1-node scenarios; this one has {} nodes (use run())",
+                self.cluster.nodes
+            )));
+        }
+        let mut result = self.cluster.run()?;
+        result
+            .nodes
+            .remove(0)
+            .result
+            .ok_or_else(|| SeqioError::Experiment("the single node received no streams".into()))
+    }
+}
+
+/// Builder for [`Scenario`] — the one construction surface shared by
+/// single-node and cluster studies (see module docs).
+///
+/// # Examples
+///
+/// A single-node study with faults and observability, as a 1-node
+/// cluster:
+///
+/// ```
+/// use seqio_cluster::Scenario;
+/// use seqio_simcore::{FaultPlan, SimDuration};
+///
+/// let result = Scenario::builder()
+///     .streams_per_disk(4)
+///     .requests_per_stream(8)
+///     .warmup(SimDuration::ZERO)
+///     .duration(SimDuration::from_secs(30))
+///     .seed(7)
+///     .faults(FaultPlan::new().read_errors(0, 0.01))
+///     .build()
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert_eq!(result.per_stream_mbs.len(), 4);
+/// ```
+///
+/// The same surface scales out; invalid combinations surface at build
+/// time as typed errors, not mid-run panics:
+///
+/// ```
+/// use seqio_cluster::{Scenario, ShardPolicy};
+///
+/// let err = Scenario::builder()
+///     .nodes(2)
+///     .policy(ShardPolicy::HashByStream)
+///     .stream_counts(vec![3])
+///     .build()
+///     .unwrap_err();
+/// assert!(err.to_string().contains("1-node"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    cluster: ClusterExperiment,
+    /// Whole-scenario fault plan, only legal on a 1-node scenario where
+    /// it is exactly "node 0's plan". Kept separate until `build` so the
+    /// nodes() knob can be applied in any order.
+    faults: Option<FaultPlan>,
+}
+
+impl ScenarioBuilder {
+    // ---- per-node template ------------------------------------------
+
+    /// Replaces the whole per-node template — the escape hatch for
+    /// knobs without a dedicated setter (access pattern, writes, trace
+    /// replay). Template-level faults/layout still validate at build.
+    pub fn template(mut self, t: Experiment) -> Self {
+        self.cluster.template = t;
+        self
+    }
+
+    /// Sets the node hardware shape.
+    pub fn shape(mut self, shape: NodeShape) -> Self {
+        self.cluster.template.shape = shape;
+        self
+    }
+
+    /// Sets a uniform per-disk stream count (per node).
+    pub fn streams_per_disk(mut self, n: usize) -> Self {
+        self.cluster.template.streams_per_disk = n;
+        self
+    }
+
+    /// Sets an explicit per-disk stream layout. Only valid on a 1-node
+    /// scenario — across nodes the router owns the layout — and checked
+    /// at [`build`](Self::build).
+    pub fn stream_counts(mut self, counts: Vec<usize>) -> Self {
+        self.cluster.template.stream_counts = Some(counts);
+        self
+    }
+
+    /// Sets the client request size in bytes.
+    pub fn request_size(mut self, bytes: u64) -> Self {
+        self.cluster.template.request_bytes = bytes;
+        self
+    }
+
+    /// Bounds each stream to a finite request batch.
+    pub fn requests_per_stream(mut self, n: u64) -> Self {
+        self.cluster.template.requests_per_stream = Some(n);
+        self
+    }
+
+    /// Selects the per-node front end.
+    pub fn frontend(mut self, f: Frontend) -> Self {
+        self.cluster.template.frontend = f;
+        self
+    }
+
+    /// Overrides the device cost model.
+    pub fn costs(mut self, c: CostModel) -> Self {
+        self.cluster.template.costs = c;
+        self
+    }
+
+    /// Sets the measurement warmup.
+    pub fn warmup(mut self, d: SimDuration) -> Self {
+        self.cluster.template.warmup = d;
+        self
+    }
+
+    /// Sets the measured duration after warmup.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.cluster.template.duration = d;
+        self
+    }
+
+    /// Sets the RNG seed (per node; multi-node scenarios usually derive
+    /// per-node seeds from [`base_seed`](Self::base_seed) instead).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cluster.template.seed = s;
+        self
+    }
+
+    /// Enables per-request completion tracing on every node.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.cluster.template.record_trace = on;
+        self
+    }
+
+    /// Enables opt-in observability (spans, metric sampling) on every
+    /// node.
+    pub fn observe(mut self, cfg: ObsConfig) -> Self {
+        self.cluster.template.obs = Some(cfg);
+        self
+    }
+
+    // ---- faults ------------------------------------------------------
+
+    /// Installs the scenario's fault plan. On a 1-node scenario this is
+    /// node 0's plan; on a multi-node scenario faults are per node, so
+    /// [`build`](Self::build) rejects this in favour of
+    /// [`node_fault`](Self::node_fault).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Installs a fault plan on one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is past the configured node count (call
+    /// [`nodes`](Self::nodes) first).
+    pub fn node_fault(mut self, node: usize, plan: FaultPlan) -> Self {
+        assert!(node < self.cluster.nodes, "node {node} past cluster size {}", self.cluster.nodes);
+        self.cluster.node_faults[node] = Some(plan);
+        self
+    }
+
+    // ---- cluster shape ----------------------------------------------
+
+    /// Sets the node count (resizes the per-node fault table).
+    pub fn nodes(mut self, k: usize) -> Self {
+        self.cluster.nodes = k;
+        self.cluster.node_faults.resize(k, None);
+        self
+    }
+
+    /// Sets the stream sharding policy.
+    pub fn policy(mut self, p: ShardPolicy) -> Self {
+        self.cluster.policy = p;
+        self
+    }
+
+    /// Derives per-node seeds from a cluster base seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.cluster.base_seed = Some(seed);
+        self
+    }
+
+    /// Overrides the co-simulation worker count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.cluster.jobs = Some(jobs);
+        self
+    }
+
+    /// Overrides the degraded threshold for straggler-aware routing.
+    pub fn degraded_threshold(mut self, t: f64) -> Self {
+        self.cluster.degraded_threshold = t;
+        self
+    }
+
+    /// Caps the streams any single node accepts under the
+    /// straggler-aware deal.
+    pub fn capacity_per_node(mut self, cap: usize) -> Self {
+        self.cluster.capacity_per_node = Some(cap);
+        self
+    }
+
+    /// Enables mid-run stream rebalancing.
+    pub fn rebalance(mut self, cfg: RebalanceConfig) -> Self {
+        self.cluster.rebalance = Some(cfg);
+        self
+    }
+
+    // ---- finish ------------------------------------------------------
+
+    /// Validates the whole specification and seals it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint — template, fault table,
+    /// layout, router and rebalancer are all checked here, so a built
+    /// [`Scenario`] always runs to completion.
+    pub fn build(mut self) -> Result<Scenario, SeqioError> {
+        if let Some(plan) = self.faults.take() {
+            if self.cluster.nodes != 1 {
+                return Err(SeqioError::Experiment(format!(
+                    "faults(plan) names the whole scenario and needs exactly 1 node; \
+                     this one has {} — use node_fault(k, plan)",
+                    self.cluster.nodes
+                )));
+            }
+            if self.cluster.node_faults[0].is_some() {
+                return Err(SeqioError::Experiment(
+                    "both faults(plan) and node_fault(0, plan) were set; pick one".into(),
+                ));
+            }
+            self.cluster.node_faults[0] = Some(plan);
+        }
+        self.cluster.validate()?;
+        Ok(Scenario { cluster: self.cluster })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rebalance::RebalanceConfig;
+
+    fn quick() -> ScenarioBuilder {
+        Scenario::builder()
+            .streams_per_disk(4)
+            .requests_per_stream(8)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(30))
+            .seed(7)
+    }
+
+    #[test]
+    fn one_node_scenario_matches_the_plain_experiment() {
+        let scenario = quick().build().unwrap();
+        assert_eq!(scenario.nodes(), 1);
+        let cluster = scenario.run().unwrap();
+        let plain = Experiment::builder()
+            .streams_per_disk(4)
+            .requests_per_stream(8)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(30))
+            .seed(7)
+            .run();
+        let cluster_bits: Vec<u64> = cluster.per_stream_mbs.iter().map(|m| m.to_bits()).collect();
+        let plain_bits: Vec<u64> = plain.per_stream_mbs.iter().map(|m| m.to_bits()).collect();
+        assert_eq!(cluster_bits, plain_bits);
+        assert_eq!(cluster.bytes_delivered, plain.bytes_delivered);
+    }
+
+    #[test]
+    fn run_node_unwraps_the_single_result() {
+        let r = quick().build().unwrap().run_node().unwrap();
+        assert_eq!(r.per_stream_mbs.len(), 4);
+        let err = quick()
+            .nodes(2)
+            .policy(ShardPolicy::HashByStream)
+            .build()
+            .unwrap()
+            .run_node()
+            .unwrap_err();
+        assert!(err.to_string().contains("1-node"));
+    }
+
+    #[test]
+    fn stream_counts_work_on_one_node_only() {
+        let r = quick().stream_counts(vec![3]).build().unwrap().run_node().unwrap();
+        assert_eq!(r.per_stream_mbs.len(), 3);
+        let err = quick()
+            .nodes(2)
+            .policy(ShardPolicy::HashByStream)
+            .stream_counts(vec![3])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("1-node cluster"));
+    }
+
+    #[test]
+    fn whole_scenario_faults_need_one_node() {
+        let plan = FaultPlan::new().read_errors(0, 0.01);
+        assert!(quick().faults(plan.clone()).build().is_ok());
+        let err = quick().nodes(2).policy(ShardPolicy::HashByStream).faults(plan.clone()).build();
+        assert!(err.is_err());
+        let err = quick().faults(plan.clone()).node_fault(0, plan).build().unwrap_err();
+        assert!(err.to_string().contains("pick one"));
+    }
+
+    #[test]
+    fn build_time_validation_is_typed() {
+        // Zero-byte requests: caught at build, not run.
+        let err = quick().request_size(0).build().unwrap_err();
+        assert!(!err.to_string().is_empty());
+        // Bad rebalance config too.
+        let err = quick().rebalance(RebalanceConfig::new(SimDuration::ZERO)).build().unwrap_err();
+        assert!(err.to_string().contains("interval"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Determinism of the shared-clock co-simulation with mid-run stream
+//! migration: bit-identical results at any worker count — healthy or
+//! faulted, rebalancer on or off, observability recorder on or off — and
+//! exact conservation of the workload and span invariants across a
+//! migrated stream. (The "never migrate to a more degraded node"
+//! property lives as a proptest next to the planner in
+//! `src/rebalance.rs`.)
+
+use seqio_cluster::{ClusterExperiment, ClusterResult, RebalanceConfig, ShardPolicy};
+use seqio_node::span::spans_to_csv;
+use seqio_node::{Experiment, ObsConfig};
+use seqio_simcore::units::KIB;
+use seqio_simcore::{FaultPlan, SimDuration};
+
+/// 2 single-disk nodes, 12 streams each under the hash deal, finite
+/// batches so every run has an exact, conserved amount of work.
+const STREAMS_PER_NODE: usize = 12;
+const REQUESTS: u64 = 12;
+
+fn template() -> Experiment {
+    Experiment::builder()
+        .streams_per_disk(STREAMS_PER_NODE)
+        .request_size(64 * KIB)
+        .requests_per_stream(REQUESTS)
+        .warmup(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(120))
+        .build()
+}
+
+/// A straggler on node 1's only disk, from 300 ms to the end of time.
+fn straggler() -> FaultPlan {
+    FaultPlan::new().straggler(0, 8.0, SimDuration::from_millis(300), None)
+}
+
+fn cluster(faulted: bool, rebalance: bool, obs: bool, jobs: usize) -> ClusterExperiment {
+    let mut t = template();
+    if obs {
+        t.obs = Some(ObsConfig::all().sample_every(SimDuration::from_millis(10)));
+    }
+    let mut b = ClusterExperiment::builder()
+        .template(t)
+        .nodes(2)
+        .policy(ShardPolicy::HashByStream)
+        .base_seed(7)
+        .jobs(jobs);
+    if faulted {
+        b = b.node_fault(1, straggler());
+    }
+    if rebalance {
+        b = b.rebalance(RebalanceConfig::new(SimDuration::from_millis(50)));
+    }
+    b.build()
+}
+
+/// Every observable bit of a cluster run, including each node's raw
+/// per-slot byte counters and the migration log.
+fn fingerprint(r: &ClusterResult) -> String {
+    let per_node: Vec<_> = r
+        .nodes
+        .iter()
+        .map(|n| {
+            n.result.as_ref().map(|res| {
+                (
+                    res.per_stream_bytes.clone(),
+                    res.per_stream_mbs.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+                    res.window,
+                    res.events_simulated,
+                )
+            })
+        })
+        .collect();
+    format!(
+        "{:?} {:?} {:?} {:?} {} {} {} {:?} {:?}",
+        r.per_stream_mbs.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+        r.assignment,
+        r.node_stream_ids,
+        r.migrations,
+        r.bytes_delivered,
+        r.requests_completed,
+        r.events_simulated,
+        r.window,
+        per_node,
+    )
+}
+
+const TOTAL_BYTES: u64 = 2 * STREAMS_PER_NODE as u64 * REQUESTS * 64 * KIB;
+
+#[test]
+fn faulted_rebalanced_run_is_bit_identical_across_worker_counts() {
+    let one = cluster(true, true, false, 1).run().unwrap();
+    let eight = cluster(true, true, false, 8).run().unwrap();
+    assert!(!one.migrations.is_empty(), "the straggler must trigger migrations");
+    assert_eq!(fingerprint(&one), fingerprint(&eight));
+    // The full batch completes despite the straggler.
+    assert_eq!(one.bytes_delivered, TOTAL_BYTES);
+    assert_eq!(one.requests_completed, 2 * STREAMS_PER_NODE as u64 * REQUESTS);
+}
+
+#[test]
+fn faulted_static_run_is_bit_identical_across_worker_counts() {
+    let one = cluster(true, false, false, 1).run().unwrap();
+    let four = cluster(true, false, false, 4).run().unwrap();
+    assert!(one.migrations.is_empty());
+    assert_eq!(fingerprint(&one), fingerprint(&four));
+    assert_eq!(one.bytes_delivered, TOTAL_BYTES);
+}
+
+#[test]
+fn healthy_rebalancer_is_exactly_the_static_cluster() {
+    // With nothing degraded the rebalancer plans nothing, and the epoch
+    // lockstep itself must not perturb a single bit relative to the
+    // one-shot static run.
+    let balanced = cluster(false, true, false, 2).run().unwrap();
+    let static_ = cluster(false, false, false, 2).run().unwrap();
+    assert!(balanced.migrations.is_empty());
+    assert_eq!(fingerprint(&balanced), fingerprint(&static_));
+}
+
+#[test]
+fn recorder_never_perturbs_a_rebalanced_run() {
+    let dark = cluster(true, true, false, 2).run().unwrap();
+    let lit = cluster(true, true, true, 2).run().unwrap();
+    // Same migrations, same simulation outputs, bit for bit.
+    assert_eq!(format!("{:?}", dark.migrations), format!("{:?}", lit.migrations));
+    let mbs = |r: &ClusterResult| r.per_stream_mbs.iter().map(|m| m.to_bits()).collect::<Vec<_>>();
+    assert_eq!(mbs(&dark), mbs(&lit));
+    assert_eq!(dark.bytes_delivered, lit.bytes_delivered);
+    assert_eq!(dark.events_simulated, lit.events_simulated);
+    assert_eq!(dark.window, lit.window);
+    // And the recordings themselves are deterministic across workers.
+    let lit8 = cluster(true, true, true, 8).run().unwrap();
+    for (a, b) in lit.nodes.iter().zip(&lit8.nodes) {
+        let sa = a.result.as_ref().unwrap().spans.as_ref().expect("spans recorded");
+        let sb = b.result.as_ref().unwrap().spans.as_ref().expect("spans recorded");
+        assert_eq!(spans_to_csv(sa), spans_to_csv(sb));
+    }
+}
+
+#[test]
+fn span_lifecycle_survives_migration_exactly() {
+    let result = cluster(true, true, true, 2).run().unwrap();
+    assert!(!result.migrations.is_empty());
+
+    // Gather every span of every global stream across all nodes.
+    let mut requests_per_global = vec![0u64; result.assignment.len()];
+    let mut bytes_per_global = vec![0u64; result.assignment.len()];
+    for (k, node) in result.nodes.iter().enumerate() {
+        let res = node.result.as_ref().unwrap();
+        let spans = res.spans.as_ref().expect("spans recorded");
+        for span in spans {
+            let global = result.node_stream_ids[k][span.stream];
+            requests_per_global[global] += 1;
+            // Phase durations always sum exactly to the end-to-end
+            // latency, on both sides of a migration.
+            let total: SimDuration = span.phase_durations().iter().copied().sum();
+            assert_eq!(total, span.total(), "span phase sum broke for stream {global}");
+        }
+        for (slot, &bytes) in res.per_stream_bytes.iter().enumerate() {
+            bytes_per_global[result.node_stream_ids[k][slot]] += bytes;
+        }
+    }
+
+    // A migrated stream's spans split across nodes but nothing is lost
+    // or double-counted: every global stream completes its exact batch.
+    for (g, &n) in requests_per_global.iter().enumerate() {
+        assert_eq!(n, REQUESTS, "stream {g} completed {n} of {REQUESTS} requests");
+        assert_eq!(bytes_per_global[g], REQUESTS * 64 * KIB);
+    }
+    // And at least one migrated stream really did deliver on both nodes.
+    let split_stream = result.migrations.iter().find(|m| {
+        let from = result.nodes[m.from].result.as_ref().unwrap();
+        let slot = result.node_stream_ids[m.from].iter().position(|&g| g == m.stream).unwrap();
+        from.per_stream_bytes[slot] > 0
+    });
+    assert!(split_stream.is_some(), "some stream should deliver on both its homes");
+}

@@ -37,7 +37,7 @@ pub enum SchedDecision {
 /// The driver calls [`add`](Self::add) on arrival, [`next`](Self::next)
 /// whenever the disk is free, and [`on_complete`](Self::on_complete) when a
 /// dispatched request finishes.
-pub trait IoScheduler: std::fmt::Debug {
+pub trait IoScheduler: std::fmt::Debug + Send {
     /// Queues a request.
     fn add(&mut self, req: BlockRequest, now: SimTime);
     /// Picks the next action for a free disk.

@@ -175,6 +175,14 @@ impl Experiment {
     /// Starts a builder with the paper's defaults: single disk, 10 streams,
     /// 64 KiB requests, direct path, uniform placement, open-ended streams,
     /// 2 s warm-up + 6 s measurement.
+    ///
+    /// Note: new call sites should prefer `seqio_cluster::Scenario`, the
+    /// unified construction surface for single-node *and* cluster
+    /// studies — it shares this builder's knobs, validates everything at
+    /// build time as a typed error, and a 1-node scenario is
+    /// bit-identical to running the `Experiment` directly. This builder
+    /// remains supported for code driving the node layer on its own
+    /// (sweep grids, trace replay).
     pub fn builder() -> ExperimentBuilder {
         ExperimentBuilder {
             spec: Experiment {
@@ -451,6 +459,10 @@ pub struct RunResult {
     pub response: LatencyHistogram,
     /// Bytes delivered inside the window.
     pub bytes_delivered: u64,
+    /// Bytes each stream delivered inside the window (the exact integer
+    /// numerators behind `per_stream_mbs`; the cluster layer sums these
+    /// across nodes when a stream migrates mid-run).
+    pub per_stream_bytes: Vec<u64>,
     /// Length of the realized measurement window.
     pub window: SimDuration,
     /// Stream-scheduler counters, when that frontend was used.

@@ -33,6 +33,7 @@
 
 mod calibration;
 mod experiment;
+mod sim;
 pub mod span;
 pub mod sweep;
 mod system;
@@ -42,7 +43,10 @@ pub use calibration::CostModel;
 pub use experiment::{
     run_node, Experiment, ExperimentBuilder, Frontend, NodeShape, Placement, RunResult,
 };
-pub use seqio_simcore::{FaultPlan, MetricSeries, ObsConfig, RetryPolicy, SeqioError, SpanPhase};
+pub use seqio_simcore::{
+    FaultPlan, MetricSeries, ObsConfig, RetryPolicy, SeqioError, SimComponent, SpanPhase,
+};
+pub use sim::{HealthSnapshot, NodeSim, StreamHandoff};
 pub use span::{PhaseBreakdown, SpanRecord};
 pub use sweep::{PointOutcome, Sweep, SweepBuilder, SweepReport};
 pub use trace::TraceRecord;

@@ -1,0 +1,278 @@
+//! Steppable storage-node simulation.
+//!
+//! [`NodeSim`] exposes the storage-node engine behind the
+//! [`SimComponent`] contract (`init / peek_next_time / advance_to`), so an
+//! outer driver — the cluster co-simulation — can advance several nodes on
+//! one shared clock, observe their health at epoch boundaries, and migrate
+//! live streams between them mid-run. [`Experiment::run`] itself is a thin
+//! `init + advance_to(MAX) + finish` over the same engine, so stepping a
+//! node in epochs is bit-identical to running it standalone.
+
+use seqio_simcore::{SeqioError, SimComponent, SimDuration, SimTime};
+use seqio_workload::StreamSpec;
+
+use crate::experiment::{Experiment, RunResult};
+use crate::system::StorageNode;
+
+/// The unissued tail of a live stream, captured by
+/// [`NodeSim::retire_stream`] on the source node and adopted by
+/// [`NodeSim::inject_stream`] on the target. Opaque to the carrier: the
+/// cluster layer moves handoffs between nodes without inspecting them.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamHandoff {
+    pub(crate) remainder: StreamSpec,
+}
+
+impl StreamHandoff {
+    /// The (node-local) disk index the stream targets. Homogeneous nodes
+    /// keep the same index on the target.
+    pub fn disk(&self) -> usize {
+        self.remainder.disk
+    }
+
+    /// Requests left to issue after the handoff point.
+    pub fn remaining_requests(&self) -> u64 {
+        self.remainder.num_requests
+    }
+}
+
+/// A point-in-time view of one node's load and degradation, assembled
+/// purely from simulation model state (disk queues, cumulative busy time,
+/// the fault plan) — never from the opt-in observability recorder. A
+/// rebalancer polling this at every epoch therefore cannot perturb the
+/// simulation or couple its decisions to whether recording is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Requests queued at each disk, in global disk order.
+    pub queue_depths: Vec<usize>,
+    /// Cumulative mechanism busy time of each disk.
+    pub busy_time: Vec<SimDuration>,
+    /// Each disk's straggler service-time factor at the snapshot instant
+    /// (1.0 = healthy).
+    pub straggler_factors: Vec<f64>,
+    /// Streams on the node that still have requests to issue.
+    pub live_streams: usize,
+}
+
+impl HealthSnapshot {
+    /// The worst per-disk straggler factor (1.0 when fully healthy).
+    pub fn worst_straggler_factor(&self) -> f64 {
+        self.straggler_factors.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// Total requests queued across all disks.
+    pub fn total_queue_depth(&self) -> usize {
+        self.queue_depths.iter().sum()
+    }
+}
+
+/// A steppable storage-node simulation (see module docs).
+///
+/// # Examples
+///
+/// Drive a node in 50 ms epochs; the result is bit-identical to
+/// [`Experiment::run`]:
+///
+/// ```
+/// use seqio_node::{Experiment, NodeSim};
+/// use seqio_simcore::{SimComponent, SimDuration, SimTime};
+///
+/// let spec = Experiment::builder()
+///     .streams_per_disk(4)
+///     .warmup(SimDuration::from_millis(100))
+///     .duration(SimDuration::from_millis(400))
+///     .build();
+/// let mut sim = NodeSim::new(&spec).unwrap();
+/// sim.init();
+/// let mut t = SimTime::ZERO;
+/// while sim.peek_next_time().is_some() {
+///     t += SimDuration::from_millis(50);
+///     sim.advance_to(t);
+/// }
+/// let stepped = sim.finish();
+/// let plain = spec.run();
+/// assert_eq!(stepped.bytes_delivered, plain.bytes_delivered);
+/// assert_eq!(stepped.events_simulated, plain.events_simulated);
+/// ```
+#[derive(Debug)]
+pub struct NodeSim {
+    inner: StorageNode,
+}
+
+impl NodeSim {
+    /// Validates `spec` and builds the steppable node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint of the specification.
+    pub fn new(spec: &Experiment) -> Result<NodeSim, SeqioError> {
+        spec.validate()?;
+        Ok(NodeSim { inner: StorageNode::new(spec.clone()) })
+    }
+
+    /// Schedules the node's initial events (see [`SimComponent::init`]).
+    pub fn init(&mut self) {
+        self.inner.init();
+    }
+
+    /// When the node next wants to run, or `None` once it is drained or
+    /// past its stop time.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.inner.peek_next_time()
+    }
+
+    /// Handles every pending event with timestamp `<= limit`.
+    pub fn advance_to(&mut self, limit: SimTime) {
+        self.inner.advance_to(limit);
+    }
+
+    /// Consumes the node and assembles its [`RunResult`].
+    pub fn finish(self) -> RunResult {
+        self.inner.finish()
+    }
+
+    /// Retires local stream `stream` for migration: captures its unissued
+    /// tail and exhausts the local generator, so the stream issues nothing
+    /// further here (an in-flight request still completes, and counts, on
+    /// this node). Returns `None` when nothing is left to migrate.
+    pub fn retire_stream(&mut self, stream: usize) -> Option<StreamHandoff> {
+        self.inner.retire_stream(stream).map(|remainder| StreamHandoff { remainder })
+    }
+
+    /// Adopts a migrated stream at time `at` and returns its new local
+    /// slot. The injected stream restarts its closed loop immediately;
+    /// its RNG derives from the node seed and an injection counter, so
+    /// runs that perform no injections are unperturbed.
+    pub fn inject_stream(&mut self, at: SimTime, handoff: StreamHandoff) -> usize {
+        self.inner.inject_stream(at, handoff.remainder)
+    }
+
+    /// `true` while local stream `stream` still has requests to issue.
+    pub fn stream_live(&self, stream: usize) -> bool {
+        self.inner.stream_live(stream)
+    }
+
+    /// The (node-local) disk index local stream `stream` targets.
+    pub fn stream_disk(&self, stream: usize) -> usize {
+        self.inner.stream_disk(stream)
+    }
+
+    /// Streams on the node that still have requests to issue.
+    pub fn live_streams(&self) -> usize {
+        self.inner.live_streams()
+    }
+
+    /// Assembles a [`HealthSnapshot`] at time `at` from model state only.
+    pub fn health(&self, at: SimTime) -> HealthSnapshot {
+        self.inner.health(at)
+    }
+}
+
+impl SimComponent for NodeSim {
+    fn init(&mut self) {
+        NodeSim::init(self);
+    }
+    fn peek_next_time(&self) -> Option<SimTime> {
+        NodeSim::peek_next_time(self)
+    }
+    fn advance_to(&mut self, limit: SimTime) {
+        NodeSim::advance_to(self, limit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqio_simcore::FaultPlan;
+
+    fn spec() -> Experiment {
+        Experiment::builder()
+            .streams_per_disk(6)
+            .requests_per_stream(20)
+            .warmup(SimDuration::ZERO)
+            .duration(SimDuration::from_secs(30))
+            .seed(5)
+            .build()
+    }
+
+    fn fingerprint(r: &RunResult) -> (Vec<u64>, u64, u64, u64, Vec<u64>) {
+        (
+            r.per_stream_mbs.iter().map(|m| m.to_bits()).collect(),
+            r.bytes_delivered,
+            r.requests_completed,
+            r.events_simulated,
+            r.per_stream_bytes.clone(),
+        )
+    }
+
+    #[test]
+    fn stepping_is_bit_identical_to_running() {
+        let plain = spec().run();
+        for epoch_ms in [1u64, 7, 50, 1_000] {
+            let mut sim = NodeSim::new(&spec()).unwrap();
+            sim.init();
+            let mut t = SimTime::ZERO;
+            while sim.peek_next_time().is_some() {
+                t += SimDuration::from_millis(epoch_ms);
+                sim.advance_to(t);
+            }
+            let stepped = sim.finish();
+            assert_eq!(
+                fingerprint(&stepped),
+                fingerprint(&plain),
+                "epoch {epoch_ms}ms diverged from the one-shot run"
+            );
+            assert_eq!(stepped.window, plain.window);
+        }
+    }
+
+    #[test]
+    fn migration_conserves_the_workload() {
+        // Two 1-disk nodes; move every live stream from B to A mid-run.
+        let mut a = NodeSim::new(&spec()).unwrap();
+        let mut b = NodeSim::new(&spec()).unwrap();
+        a.init();
+        b.init();
+        let cut = SimTime::ZERO + SimDuration::from_millis(200);
+        a.advance_to(cut);
+        b.advance_to(cut);
+        let mut moved = 0;
+        for s in 0..6 {
+            if let Some(h) = b.retire_stream(s) {
+                assert_eq!(h.disk(), 0);
+                assert!(h.remaining_requests() > 0);
+                a.inject_stream(cut, h);
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "mid-run streams should have work left");
+        a.advance_to(SimTime::MAX);
+        b.advance_to(SimTime::MAX);
+        let ra = a.finish();
+        let rb = b.finish();
+        // Every one of the 2 x 6 x 20 requests completes somewhere.
+        assert_eq!(ra.requests_completed + rb.requests_completed, 2 * 6 * 20);
+        assert_eq!(ra.per_stream_bytes.len(), 6 + moved);
+        let total: u64 = ra.bytes_delivered + rb.bytes_delivered;
+        assert_eq!(total, 2 * 6 * 20 * 64 * 1024);
+    }
+
+    #[test]
+    fn health_reads_the_fault_plan_at_the_given_instant() {
+        let mut e = spec();
+        e.faults = Some(FaultPlan::new().straggler(
+            0,
+            8.0,
+            SimDuration::from_millis(500),
+            Some(SimDuration::from_millis(500)),
+        ));
+        let sim = NodeSim::new(&e).unwrap();
+        let healthy = sim.health(SimTime::ZERO);
+        assert_eq!(healthy.worst_straggler_factor(), 1.0);
+        let degraded = sim.health(SimTime::ZERO + SimDuration::from_millis(700));
+        assert_eq!(degraded.worst_straggler_factor(), 8.0);
+        let recovered = sim.health(SimTime::ZERO + SimDuration::from_millis(1_100));
+        assert_eq!(recovered.worst_straggler_factor(), 1.0);
+        assert_eq!(healthy.queue_depths.len(), 1);
+    }
+}

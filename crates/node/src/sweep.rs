@@ -56,8 +56,9 @@ pub fn derive_seed(base_seed: u64, index: usize) -> u64 {
 
 /// Resolves the worker count: an explicit override wins, then the
 /// `SEQIO_JOBS` environment variable, then the host's available
-/// parallelism (at least 1).
-fn resolve_jobs(explicit: Option<usize>) -> usize {
+/// parallelism (at least 1). Shared by the sweep pool and the cluster
+/// co-simulation's epoch driver.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
     if let Some(j) = explicit {
         return j.max(1);
     }

@@ -198,6 +198,13 @@ pub(crate) struct StorageNode {
     cpu_free: SimTime,
     warmup_at: SimTime,
     stop_at: SimTime,
+    /// Set once an event past `stop_at` is reached; the node then refuses
+    /// to advance further (the steppable equivalent of the run loop's
+    /// `break`).
+    stopped: bool,
+    /// Streams adopted from another node so far (salts the per-injection
+    /// RNG derivation).
+    migrations: u64,
     stream_bytes: Vec<u64>,
     response: LatencyHistogram,
     last_delivery: SimTime,
@@ -373,6 +380,8 @@ impl StorageNode {
             cpu_free: SimTime::ZERO,
             warmup_at,
             stop_at,
+            stopped: false,
+            migrations: 0,
             stream_bytes: vec![0; n_streams],
             response: LatencyHistogram::new(),
             last_delivery: SimTime::ZERO,
@@ -383,10 +392,25 @@ impl StorageNode {
     }
 
     /// Runs to the stop time (or workload exhaustion) and reports.
+    ///
+    /// Expressed entirely on the steppable surface ([`init`](Self::init),
+    /// [`advance_to`](Self::advance_to), [`finish`](Self::finish)), so a
+    /// node driven in epochs by the cluster co-simulation executes the
+    /// exact same code path — and therefore the exact same event order —
+    /// as a standalone run.
     pub(crate) fn run(mut self) -> RunResult {
-        // Kick off. Closed loop: every stream sends its first request,
-        // slightly staggered so arrival ties do not all land on one instant.
-        // Replay: schedule every recorded request at its send time.
+        self.init();
+        self.advance_to(SimTime::MAX);
+        self.finish()
+    }
+
+    /// Schedules the node's initial events: the kickoff burst (closed
+    /// loop) or the recorded arrivals (replay), the stream scheduler's GC
+    /// tick, and the observability sampler.
+    ///
+    /// Closed loop: every stream sends its first request, slightly
+    /// staggered so arrival ties do not all land on one instant.
+    pub(crate) fn init(&mut self) {
         match &mut self.drive {
             Drive::Closed(clients) => {
                 let initial = clients.initial_requests();
@@ -425,14 +449,40 @@ impl StorageNode {
                 obs.pushes += 1;
             }
         }
+    }
 
-        while let Some((now, ev)) = self.q.pop() {
+    /// When the node next wants to run: the timestamp of its earliest
+    /// pending event, or `None` once it is drained or every remaining
+    /// event lies past the stop time (the steppable form of the run
+    /// loop's `now > stop_at` break).
+    pub(crate) fn peek_next_time(&self) -> Option<SimTime> {
+        if self.stopped {
+            return None;
+        }
+        self.q.peek_time().filter(|&t| t <= self.stop_at)
+    }
+
+    /// Handles every pending event with timestamp `<= limit`, in queue
+    /// order. Chunked calls with non-decreasing limits pop the exact same
+    /// event sequence as one call with `limit = SimTime::MAX`, so epoch
+    /// driving is bit-identical to a standalone run.
+    pub(crate) fn advance_to(&mut self, limit: SimTime) {
+        while !self.stopped {
+            let Some(t) = self.q.peek_time() else { break };
+            if t > limit {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked event exists");
             if now > self.stop_at {
+                self.stopped = true;
                 break;
             }
             self.handle(now, ev);
         }
+    }
 
+    /// Assembles the [`RunResult`] from the node's final state.
+    pub(crate) fn finish(self) -> RunResult {
         let effective_end = self.last_delivery.min(self.stop_at).max(self.warmup_at);
         let window = effective_end.duration_since(self.warmup_at);
         let secs = window.as_secs_f64();
@@ -480,6 +530,7 @@ impl StorageNode {
             per_stream_mbs,
             response: self.response,
             bytes_delivered: self.stream_bytes.iter().sum(),
+            per_stream_bytes: self.stream_bytes,
             window,
             server_metrics,
             disk_seeks,
@@ -607,6 +658,120 @@ impl StorageNode {
             }
         }
         obs.scratch = scratch;
+    }
+
+    // ----- migration & health (cluster co-simulation) -----------------
+
+    /// Retires `stream` for migration: splits off its unissued tail as a
+    /// fresh spec and exhausts the local generator. A request already in
+    /// flight still completes — and is counted — on this node. Returns
+    /// `None` for exhausted streams and replay (open-loop) drives.
+    pub(crate) fn retire_stream(&mut self, stream: usize) -> Option<StreamSpec> {
+        match &mut self.drive {
+            Drive::Closed(clients) => clients.retire_stream(stream),
+            Drive::Replay => None,
+        }
+    }
+
+    /// Adopts a migrated stream at time `at`: appends a generator for
+    /// `spec`, grows every per-stream table, and restarts the closed loop
+    /// by scheduling the stream's first arrival. Returns the local slot.
+    ///
+    /// The injection RNG is derived from the node seed and an injection
+    /// counter — never drawn from the node's main RNG stream — so a run
+    /// that performs no injections stays bit-identical to one on a build
+    /// without migration support.
+    ///
+    /// # Panics
+    ///
+    /// Panics on replay (open-loop) drives and if `spec` names a disk the
+    /// node does not have.
+    pub(crate) fn inject_stream(&mut self, at: SimTime, spec: StreamSpec) -> usize {
+        let disks = self.spec.shape.total_disks();
+        assert!(spec.disk < disks, "injected stream names disk {} of {disks}", spec.disk);
+        let seq = self.migrations;
+        self.migrations += 1;
+        // SplitMix64 finalizer over (node seed, injection index), salted so
+        // it cannot collide with the disk or fault seed streams.
+        let mut z =
+            self.spec.seed ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6d69_6772_6174_6531;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let rng = SimRng::seed_from(z ^ (z >> 31));
+        let slot = {
+            let Drive::Closed(clients) = &mut self.drive else {
+                panic!("stream migration requires closed-loop clients")
+            };
+            clients.inject_stream(spec, rng)
+        };
+        debug_assert_eq!(slot, self.stream_bytes.len());
+        self.stream_bytes.push(0);
+        if let Fe::Linux(disks) = &mut self.fe {
+            for d in disks {
+                d.ra.push(None);
+                d.waiters.push(Vec::new());
+            }
+        }
+        let kick = {
+            let Drive::Closed(clients) = &mut self.drive else { unreachable!() };
+            clients.kickoff(slot)
+        };
+        if let Some(r) = kick {
+            let net = self.net();
+            let id = self.alloc_client_id(r.stream, r.disk, r.lba, r.blocks, at);
+            self.q.push(at + net, Ev::Arrive(id));
+        }
+        slot
+    }
+
+    /// `true` while `stream` still has requests to issue.
+    pub(crate) fn stream_live(&self, stream: usize) -> bool {
+        match &self.drive {
+            Drive::Closed(c) => c.stream_live(stream),
+            Drive::Replay => false,
+        }
+    }
+
+    /// The disk local stream `stream` targets.
+    pub(crate) fn stream_disk(&self, stream: usize) -> usize {
+        match &self.drive {
+            Drive::Closed(c) => c.stream_spec(stream).disk,
+            Drive::Replay => 0,
+        }
+    }
+
+    /// Streams that still have requests to issue.
+    pub(crate) fn live_streams(&self) -> usize {
+        match &self.drive {
+            Drive::Closed(c) => c.live_count(),
+            Drive::Replay => 0,
+        }
+    }
+
+    /// A model-state health view at time `at`. Reads only simulation
+    /// state — disk queues, cumulative busy time, the fault plan — never
+    /// the opt-in recorder, so polling it cannot perturb results or
+    /// depend on whether observability is enabled.
+    pub(crate) fn health(&self, at: SimTime) -> crate::sim::HealthSnapshot {
+        let disks = self.spec.shape.total_disks();
+        let mut queue_depths = Vec::with_capacity(disks);
+        let mut busy_time = Vec::with_capacity(disks);
+        for c in &self.controllers {
+            for p in 0..self.dpc {
+                let d = c.disk(p);
+                queue_depths.push(d.queue_len());
+                busy_time.push(d.metrics().busy_time);
+            }
+        }
+        let straggler_factors = (0..disks)
+            .map(|d| self.spec.faults.as_ref().map_or(1.0, |pl| pl.straggler_factor(d, at)))
+            .collect();
+        crate::sim::HealthSnapshot {
+            queue_depths,
+            busy_time,
+            straggler_factors,
+            live_streams: self.live_streams(),
+        }
     }
 
     // ----- client side ------------------------------------------------

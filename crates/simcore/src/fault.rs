@@ -283,8 +283,9 @@ impl FaultPlan {
             let (kind, rest) = clause
                 .split_once(':')
                 .ok_or_else(|| fail(format!("clause `{clause}` is missing `kind:`")))?;
-            let mut fields = Fields::parse(rest).map_err(&fail)?;
-            match kind.trim() {
+            let kind = kind.trim();
+            let mut fields = Fields::parse(kind, rest).map_err(&fail)?;
+            match kind {
                 "straggler" => {
                     let disk = fields.index("disk")?;
                     let factor = fields.float("factor")?;
@@ -307,81 +308,86 @@ impl FaultPlan {
                 "retry" => {
                     let mut policy = RetryPolicy::default();
                     if let Some(m) = fields.take("max") {
-                        policy.max_retries = m
-                            .parse()
-                            .map_err(|_| fail(format!("retry max `{m}` is not an integer")))?;
+                        policy.max_retries =
+                            m.parse().map_err(|_| fail(format!("`max={m}` is not an integer")))?;
                     }
                     if let Some(b) = fields.take("backoff") {
-                        policy.backoff = parse_duration(&b).map_err(&fail)?;
+                        policy.backoff = parse_duration(&b)
+                            .map_err(|reason| fail(format!("`backoff={b}`: {reason}")))?;
                     }
                     if let Some(t) = fields.take("timeout") {
-                        policy.timeout = parse_duration(&t).map_err(&fail)?;
+                        policy.timeout = parse_duration(&t)
+                            .map_err(|reason| fail(format!("`timeout={t}`: {reason}")))?;
                     }
                     plan = plan.retry(policy);
                 }
                 other => return Err(fail(format!("unknown fault kind `{other}`"))),
             }
-            fields.finish(kind.trim())?;
+            fields.finish()?;
         }
         plan.validate()?;
         Ok(plan)
     }
 }
 
-/// `key=value` field list for one spec clause.
-struct Fields(Vec<(String, String)>);
+/// `key=value` field list for one spec clause. Every error names the
+/// offending token and the clause it sits in, never the whole spec.
+struct Fields {
+    kind: String,
+    pairs: Vec<(String, String)>,
+}
 
 impl Fields {
-    fn parse(rest: &str) -> Result<Fields, String> {
-        let mut out = Vec::new();
+    fn parse(kind: &str, rest: &str) -> Result<Fields, String> {
+        let mut pairs = Vec::new();
         for pair in rest.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            let (k, v) =
-                pair.split_once('=').ok_or_else(|| format!("field `{pair}` is not `key=value`"))?;
-            out.push((k.trim().to_string(), v.trim().to_string()));
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("field `{pair}` in `{kind}` clause is not `key=value`"))?;
+            pairs.push((k.trim().to_string(), v.trim().to_string()));
         }
-        Ok(Fields(out))
+        Ok(Fields { kind: kind.to_string(), pairs })
+    }
+
+    fn fail(&self, reason: String) -> SeqioError {
+        SeqioError::Component {
+            component: "faults",
+            reason: format!("{reason} in `{}` clause", self.kind),
+        }
     }
 
     fn take(&mut self, key: &str) -> Option<String> {
-        let i = self.0.iter().position(|(k, _)| k == key)?;
-        Some(self.0.remove(i).1)
+        let i = self.pairs.iter().position(|(k, _)| k == key)?;
+        Some(self.pairs.remove(i).1)
     }
 
     fn required(&mut self, key: &str) -> Result<String, SeqioError> {
         self.take(key).ok_or_else(|| SeqioError::Component {
             component: "faults",
-            reason: format!("missing required field `{key}`"),
+            reason: format!("`{}` clause is missing required field `{key}`", self.kind),
         })
     }
 
     fn index(&mut self, key: &str) -> Result<usize, SeqioError> {
         let v = self.required(key)?;
-        v.parse().map_err(|_| SeqioError::Component {
-            component: "faults",
-            reason: format!("`{key}={v}` is not a disk index"),
-        })
+        v.parse().map_err(|_| self.fail(format!("`{key}={v}` is not a disk index")))
     }
 
     fn count(&mut self, key: &str) -> Result<u64, SeqioError> {
         let v = self.required(key)?;
-        v.parse().map_err(|_| SeqioError::Component {
-            component: "faults",
-            reason: format!("`{key}={v}` is not a block count"),
-        })
+        v.parse().map_err(|_| self.fail(format!("`{key}={v}` is not a block count")))
     }
 
     fn float(&mut self, key: &str) -> Result<f64, SeqioError> {
         let v = self.required(key)?;
-        v.parse().map_err(|_| SeqioError::Component {
-            component: "faults",
-            reason: format!("`{key}={v}` is not a number"),
-        })
+        v.parse().map_err(|_| self.fail(format!("`{key}={v}` is not a number")))
     }
 
     fn duration_or(&mut self, key: &str, default: SimDuration) -> Result<SimDuration, SeqioError> {
         match self.take(key) {
-            Some(v) => parse_duration(&v)
-                .map_err(|reason| SeqioError::Component { component: "faults", reason }),
+            Some(v) => {
+                parse_duration(&v).map_err(|reason| self.fail(format!("`{key}={v}`: {reason}")))
+            }
             None => Ok(default),
         }
     }
@@ -390,18 +396,18 @@ impl Fields {
         match self.take(key) {
             Some(v) => parse_duration(&v)
                 .map(Some)
-                .map_err(|reason| SeqioError::Component { component: "faults", reason }),
+                .map_err(|reason| self.fail(format!("`{key}={v}`: {reason}"))),
             None => Ok(None),
         }
     }
 
-    fn finish(self, kind: &str) -> Result<(), SeqioError> {
-        match self.0.first() {
+    fn finish(self) -> Result<(), SeqioError> {
+        match self.pairs.first() {
             None => Ok(()),
-            Some((k, _)) => Err(SeqioError::Component {
-                component: "faults",
-                reason: format!("unknown field `{k}` in `{kind}` clause"),
-            }),
+            Some((k, _)) => {
+                let reason = format!("unknown field `{k}`");
+                Err(self.fail(reason))
+            }
         }
     }
 }
@@ -544,6 +550,38 @@ mod tests {
         assert!(FaultPlan::parse("straggler:disk=0,factor=2,bogus=1").is_err());
         assert!(FaultPlan::parse("errors:disk=0,rate=7").is_err());
         assert!(FaultPlan::parse("straggler:disk=0,factor=2,for=-1s").is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_token() {
+        // Each message pinpoints the bad token and its clause — never
+        // just echoes the whole spec back.
+        let msg = |spec: &str| FaultPlan::parse(spec).unwrap_err().to_string();
+
+        let m = msg("straggler:disk=0,factor=4; errors:disk=zero,rate=0.01");
+        assert!(m.contains("`disk=zero`"), "{m}");
+        assert!(m.contains("`errors` clause"), "{m}");
+
+        let m = msg("straggler:factor=4");
+        assert!(m.contains("`straggler` clause"), "{m}");
+        assert!(m.contains("`disk`"), "{m}");
+
+        let m = msg("straggler:disk=0,factor=4,from=never");
+        assert!(m.contains("`from=never`"), "{m}");
+
+        let m = msg("straggler:disk=0,factor=4,wobble=1");
+        assert!(m.contains("unknown field `wobble`"), "{m}");
+        assert!(m.contains("`straggler` clause"), "{m}");
+
+        let m = msg("retry:max=many");
+        assert!(m.contains("`max=many`"), "{m}");
+
+        let m = msg("retry:backoff=soon");
+        assert!(m.contains("`backoff=soon`"), "{m}");
+
+        let m = msg("badregion:disk=0,start=4096 blocks=8");
+        assert!(m.contains("`start=4096 blocks=8`"), "{m}");
+        assert!(m.contains("`badregion` clause"), "{m}");
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   O(1) push/pop. [`HeapEventQueue`] is the `BinaryHeap` reference
 //!   implementation with identical semantics, kept for differential testing;
 //! * [`SimRng`] — explicitly seeded randomness with per-component forking;
+//! * [`SimComponent`] — the steppable-simulation contract
+//!   (`init / peek_next_time / advance_to`) that lets a co-simulation
+//!   driver advance several independent simulations on one shared clock;
 //! * measurement: [`OnlineStats`], [`LatencyHistogram`], [`ThroughputMeter`];
 //! * [`FaultPlan`] — deterministic, seeded per-disk fault schedules
 //!   (stragglers, transient read errors, bad regions) consumed by the
@@ -50,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 mod calendar;
+mod component;
 mod error;
 mod event;
 mod fault;
@@ -60,6 +64,7 @@ mod time;
 pub mod units;
 
 pub use calendar::EventQueue;
+pub use component::SimComponent;
 pub use error::SeqioError;
 pub use event::HeapEventQueue;
 pub use fault::{BadRegion, DiskFaults, FaultPlan, RetryPolicy, Straggler};

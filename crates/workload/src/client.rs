@@ -107,6 +107,52 @@ impl ClientSet {
         self.completed[stream]
     }
 
+    /// The static description of `stream`.
+    pub fn stream_spec(&self, stream: StreamIdx) -> &StreamSpec {
+        self.streams[stream].spec()
+    }
+
+    /// `true` while `stream` still has requests to issue.
+    pub fn stream_live(&self, stream: StreamIdx) -> bool {
+        !self.streams[stream].exhausted()
+    }
+
+    /// Streams that still have requests to issue.
+    pub fn live_count(&self) -> usize {
+        self.streams.iter().filter(|s| !s.exhausted()).count()
+    }
+
+    /// Retires `stream` for migration: splits off its unissued tail (see
+    /// [`StreamState::split_remainder`]) and exhausts the local generator,
+    /// so the stream issues nothing further here. A request already in
+    /// flight still completes — and is counted — on this client set.
+    /// Returns `None` when the stream has nothing left to migrate.
+    pub fn retire_stream(&mut self, stream: StreamIdx) -> Option<StreamSpec> {
+        self.streams[stream].split_remainder()
+    }
+
+    /// Adopts a migrated stream: appends a fresh generator for `spec`
+    /// (typically a [`retire_stream`](Self::retire_stream) remainder from
+    /// another node) seeded by `rng`, and returns its local index. The new
+    /// stream issues nothing until [`kickoff`](Self::kickoff) is called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid.
+    pub fn inject_stream(&mut self, spec: StreamSpec, rng: SimRng) -> StreamIdx {
+        self.streams.push(StreamState::new(spec, rng));
+        self.outstanding.push(0);
+        self.completed.push(0);
+        self.streams.len() - 1
+    }
+
+    /// Issues the first request of an injected stream (closed-loop restart
+    /// after migration). Returns `None` if the stream is exhausted or its
+    /// window is already full.
+    pub fn kickoff(&mut self, stream: StreamIdx) -> Option<ClientRequest> {
+        self.try_issue(stream)
+    }
+
     /// Total requests still in flight.
     pub fn total_outstanding(&self) -> u64 {
         self.outstanding.iter().map(|&o| o as u64).sum()
@@ -188,6 +234,51 @@ mod tests {
             }
         }
         assert!(c.finished());
+    }
+
+    #[test]
+    fn retire_and_inject_conserve_the_workload() {
+        // Two client sets model a source and a target node.
+        let mut src = set(2, 10, 1);
+        let mut dst = set(1, 10, 1);
+        let mut inflight = src.initial_requests();
+        assert_eq!(inflight.len(), 2);
+        // Complete one request on stream 0, leaving 1 in flight + 8 unissued.
+        let r = inflight.remove(0);
+        let refill = src.on_complete(r.stream).unwrap();
+        assert_eq!(refill.stream, 0);
+
+        let rem = src.retire_stream(0).expect("8 requests left to migrate");
+        assert_eq!(rem.num_requests, 8);
+        assert!(!src.stream_live(0), "donor stream is exhausted in place");
+        assert_eq!(src.live_count(), 1);
+        // The in-flight request still completes at the source, then stops.
+        assert!(src.on_complete(0).is_none());
+        assert_eq!(src.completed(0), 2);
+
+        // The target adopts the remainder and restarts the closed loop.
+        let slot = dst.inject_stream(rem, SimRng::seed_from(9));
+        assert_eq!(slot, 1);
+        assert!(dst.stream_live(slot));
+        let first = dst.kickoff(slot).expect("injected stream issues");
+        assert_eq!(first.stream, slot);
+        assert_eq!(first.lba, rem.start);
+        // Window of 1: a second kickoff is refused until completion.
+        assert!(dst.kickoff(slot).is_none());
+        // Drain the migrated stream: exactly the 8 migrated requests run.
+        let mut served = 1;
+        while dst.on_complete(slot).is_some() {
+            served += 1;
+        }
+        assert_eq!(served, 8);
+        assert_eq!(dst.completed(slot), 8);
+    }
+
+    #[test]
+    fn retire_exhausted_stream_is_none() {
+        let mut c = set(1, 1, 1);
+        let _ = c.initial_requests();
+        assert!(c.retire_stream(0).is_none(), "no unissued requests left");
     }
 
     #[test]

@@ -99,6 +99,45 @@ impl StreamState {
         self.issued
     }
 
+    /// Requests the stream has yet to issue.
+    pub fn remaining(&self) -> u64 {
+        self.spec.num_requests.saturating_sub(self.issued)
+    }
+
+    /// The block the next request would start at (for sequential and
+    /// near-sequential patterns; random streams draw fresh positions).
+    pub fn position(&self) -> Lba {
+        self.next_lba
+    }
+
+    /// Splits off the unissued tail of the stream as a fresh spec and
+    /// exhausts this generator in place, so the stream can be handed to
+    /// another node mid-run (live migration).
+    ///
+    /// The remainder resumes exactly where this generator stopped:
+    /// sequential and near-sequential streams continue from the current
+    /// position, random streams keep their original span. Any request
+    /// already issued (including one still in flight) stays accounted to
+    /// this generator. Returns `None` when nothing is left to split.
+    pub fn split_remainder(&mut self) -> Option<StreamSpec> {
+        if self.exhausted() {
+            return None;
+        }
+        let start = match self.spec.pattern {
+            Pattern::Random { .. } => self.spec.start,
+            Pattern::Sequential | Pattern::NearSequential { .. } => self.next_lba,
+        };
+        let remainder = StreamSpec {
+            disk: self.spec.disk,
+            start,
+            request_blocks: self.spec.request_blocks,
+            num_requests: self.remaining(),
+            pattern: self.spec.pattern,
+        };
+        self.spec.num_requests = self.issued;
+        Some(remainder)
+    }
+
     /// `true` once the stream has generated all its requests.
     pub fn exhausted(&self) -> bool {
         self.issued >= self.spec.num_requests
@@ -193,6 +232,49 @@ mod tests {
             assert!(lba >= 5_000);
             assert!(lba + blocks <= 6_000);
         }
+    }
+
+    #[test]
+    fn split_remainder_resumes_where_the_stream_stopped() {
+        let mut s = StreamState::new(StreamSpec::sequential(2, 1_000, 128, 10), rng());
+        for _ in 0..4 {
+            s.next_request();
+        }
+        let rem = s.split_remainder().expect("6 requests left");
+        assert_eq!(rem.disk, 2);
+        assert_eq!(rem.start, 1_000 + 4 * 128);
+        assert_eq!(rem.num_requests, 6);
+        assert_eq!(rem.request_blocks, 128);
+        // The donor is exhausted in place and issues nothing further.
+        assert!(s.exhausted());
+        assert_eq!(s.next_request(), None);
+        assert_eq!(s.split_remainder(), None);
+        // The remainder covers exactly the unissued tail.
+        let mut r = StreamState::new(rem, rng());
+        let mut expect = 1_000 + 4 * 128;
+        let mut count = 0;
+        while let Some((lba, blocks)) = r.next_request() {
+            assert_eq!(lba, expect);
+            expect += blocks;
+            count += 1;
+        }
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn split_remainder_of_random_stream_keeps_the_span() {
+        let spec = StreamSpec {
+            disk: 0,
+            start: 5_000,
+            request_blocks: 16,
+            num_requests: 20,
+            pattern: Pattern::Random { span_blocks: 1_000 },
+        };
+        let mut s = StreamState::new(spec, rng());
+        s.next_request();
+        let rem = s.split_remainder().unwrap();
+        assert_eq!(rem.start, 5_000, "random remainder anchors at the original span");
+        assert_eq!(rem.num_requests, 19);
     }
 
     #[test]

@@ -32,26 +32,32 @@ fn main() {
         let warmup = SimDuration::from_secs(8);
         let duration = SimDuration::from_secs(8);
 
-        let direct = Experiment::builder()
+        let direct = Scenario::builder()
             .shape(shape.clone())
             .streams_per_disk(viewers_per_disk)
             .warmup(warmup)
             .duration(duration)
             .seed(42)
-            .run();
+            .build()
+            .expect("valid scenario")
+            .run_node()
+            .expect("single node");
 
         // Static auto-tuning from node memory and disk count (paper §7:
         // the system "adjusts statically to different storage node
         // configurations").
         let cfg = ServerConfig::auto_tune(node_memory, disks);
-        let sched = Experiment::builder()
+        let sched = Scenario::builder()
             .shape(shape.clone())
             .streams_per_disk(viewers_per_disk)
             .frontend(Frontend::StreamScheduler(cfg))
             .warmup(warmup)
             .duration(duration)
             .seed(42)
-            .run();
+            .build()
+            .expect("valid scenario")
+            .run_node()
+            .expect("single node");
 
         let per_dir = direct.total_throughput_mbs() / total as f64;
         let per_sched = sched.total_throughput_mbs() / total as f64;

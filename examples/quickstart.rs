@@ -18,13 +18,17 @@ fn main() {
 
     println!("single disk, {streams} sequential streams, 64 KiB requests\n");
 
-    // Baseline: requests flow straight to the disk.
-    let direct = Experiment::builder()
+    // Baseline: requests flow straight to the disk. A single-node study
+    // is a 1-node `Scenario`; the builder validates everything up front.
+    let direct = Scenario::builder()
         .streams_per_disk(streams)
         .warmup(warmup)
         .duration(duration)
         .seed(7)
-        .run();
+        .build()
+        .expect("valid scenario")
+        .run_node()
+        .expect("single node");
     println!(
         "direct path:       {:6.1} MB/s   mean response {:7.1} ms",
         direct.total_throughput_mbs(),
@@ -33,13 +37,16 @@ fn main() {
 
     // The paper's scheduler: detect streams, dispatch them with 4 MiB
     // read-ahead, stage the data in host memory.
-    let sched = Experiment::builder()
+    let sched = Scenario::builder()
         .streams_per_disk(streams)
         .frontend(Frontend::stream_scheduler_with_readahead(4 * MIB))
         .warmup(warmup)
         .duration(duration)
         .seed(7)
-        .run();
+        .build()
+        .expect("valid scenario")
+        .run_node()
+        .expect("single node");
     println!(
         "stream scheduler:  {:6.1} MB/s   mean response {:7.1} ms",
         sched.total_throughput_mbs(),

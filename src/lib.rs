@@ -14,23 +14,32 @@
 //!   buffered set ([`core`]);
 //! * workload generation ([`workload`]) and a full storage-node simulation
 //!   with an experiment runner ([`node`]);
-//! * a multi-node cluster layer with deterministic stream routing and
-//!   result merging ([`cluster`]).
+//! * a multi-node cluster layer running every node on a shared simulated
+//!   clock, with deterministic stream routing and mid-run stream
+//!   migration off degraded nodes ([`cluster`]).
 //!
 //! # Quick start
+//!
+//! Single-node and cluster studies share one construction surface,
+//! [`cluster::Scenario`] — a single-node study is a 1-node scenario, and
+//! every specification problem surfaces at `build()` as a typed
+//! [`SeqioError`]:
 //!
 //! ```
 //! use seqio::prelude::*;
 //!
 //! // 30 sequential streams on one disk, serviced through the paper's
 //! // stream scheduler with 1 MiB read-ahead.
-//! let result = Experiment::builder()
+//! let result = Scenario::builder()
 //!     .shape(NodeShape::single_disk())
 //!     .streams_per_disk(30)
 //!     .request_size(64 * 1024)
 //!     .frontend(Frontend::stream_scheduler_with_readahead(1024 * 1024))
 //!     .seed(7)
-//!     .run();
+//!     .build()
+//!     .unwrap()
+//!     .run_node()
+//!     .unwrap();
 //! assert!(result.total_throughput_mbs() > 10.0);
 //! ```
 //!
@@ -57,7 +66,9 @@ pub use seqio_simcore::SeqioError;
 /// use seqio::prelude::*;
 /// ```
 pub mod prelude {
-    pub use seqio_cluster::{ClusterExperiment, ClusterResult, ShardPolicy};
+    pub use seqio_cluster::{
+        ClusterExperiment, ClusterResult, RebalanceConfig, Scenario, ScenarioBuilder, ShardPolicy,
+    };
     pub use seqio_core::ServerConfig;
     pub use seqio_node::{
         Experiment, ExperimentBuilder, Frontend, NodeShape, RunResult, Sweep, SweepBuilder,
