@@ -1,0 +1,91 @@
+//! End-to-end session SLO vs offered load: open-loop arrivals over a
+//! shared fair-share link.
+//!
+//! No counterpart figure exists in the paper — the paper's experiments
+//! are all closed-loop — but this is the curve its streaming-media
+//! motivation cares about: hold the cluster and the client link fixed,
+//! sweep the session arrival rate, and watch the latency percentiles
+//! degrade as first the disks and then the shared link saturate. The
+//! p99.9 tail separates from the median long before the mean moves —
+//! the usual open-loop saturation signature.
+
+use seqio_bench::{quick_mode, Figure, Series};
+use seqio_client::{ArrivalConfig, ClientExperiment, LinkConfig};
+use seqio_cluster::SessionSlo;
+use seqio_node::Experiment;
+use seqio_simcore::units::MIB;
+use seqio_simcore::SimDuration;
+
+const BASE_SEED: u64 = 2026;
+
+fn run(rate: f64, horizon_secs: u64) -> SessionSlo {
+    let template = Experiment::builder()
+        .warmup(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(horizon_secs))
+        .build();
+    ClientExperiment::builder()
+        .template(template)
+        .nodes(2)
+        .base_seed(BASE_SEED)
+        .arrivals(ArrivalConfig {
+            rate_per_sec: rate,
+            requests_per_session: 2,
+            titles: 512,
+            ..ArrivalConfig::default()
+        })
+        .link(LinkConfig { capacity_bps: 40.0 * MIB as f64, ..LinkConfig::default() })
+        .run()
+        .expect("slo figure point")
+        .slo
+        .expect("sessions completed")
+}
+
+fn main() {
+    let horizon: u64 = if quick_mode() { 10 } else { 30 };
+    let rates: &[f64] =
+        if quick_mode() { &[50.0, 200.0, 400.0] } else { &[50.0, 100.0, 200.0, 300.0, 400.0] };
+
+    let mut fig = Figure::new(
+        "SLO",
+        "Session latency percentiles vs offered load: 2 nodes behind a 40 MiB/s link",
+        "Arrival rate (sessions/s)",
+        "Session latency (ms)",
+    );
+    let mut p50 = Series::new("p50");
+    let mut p95 = Series::new("p95");
+    let mut p99 = Series::new("p99");
+    let mut p999 = Series::new("p99.9");
+    let mut low_load_p999 = f64::NAN;
+    let mut high_load_p999 = f64::NAN;
+    for &rate in rates {
+        let slo = run(rate, horizon);
+        let label = format!("{rate:.0}");
+        p50.push(label.clone(), slo.p50_ms);
+        p95.push(label.clone(), slo.p95_ms);
+        p99.push(label.clone(), slo.p99_ms);
+        p999.push(label, slo.p999_ms);
+        if rate == rates[0] {
+            low_load_p999 = slo.p999_ms;
+        }
+        if rate == rates[rates.len() - 1] {
+            high_load_p999 = slo.p999_ms;
+        }
+        assert!(
+            slo.p50_ms <= slo.p95_ms && slo.p95_ms <= slo.p99_ms && slo.p99_ms <= slo.p999_ms,
+            "percentile chain out of order at rate {rate}"
+        );
+    }
+    fig.add(p50);
+    fig.add(p95);
+    fig.add(p99);
+    fig.add(p999);
+    fig.report("fig_slo");
+
+    // The saturation signature the figure exists to show: driving the
+    // offered load from well under to at/over the link's capacity must
+    // stretch the extreme tail by an order of magnitude.
+    assert!(
+        high_load_p999 >= 10.0 * low_load_p999,
+        "p99.9 grew only {low_load_p999:.2} -> {high_load_p999:.2} ms from light to heavy load"
+    );
+}

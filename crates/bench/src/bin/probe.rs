@@ -26,6 +26,12 @@
 //! rebalancer's live migration is compared against the best static
 //! routings. Writes `bench_results/migrate_probe.json` and asserts the
 //! >= 1.3x migration win.
+//!
+//! `probe slo` runs the user-scale open-loop point: a million diurnally
+//! modulated sessions (override with `SEQIO_SLO_SESSIONS`) against a
+//! 4-node cluster behind a 250 MiB/s fair-share link, writing end-to-end
+//! session SLO percentiles to `bench_results/slo_probe.json` alongside a
+//! closed-loop companion run for contrast.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -489,6 +495,151 @@ fn migrate_mode() {
     }
 }
 
+/// Runs the user-scale open-loop point: a diurnally modulated million-
+/// session day against a 4-node cluster behind a shared fair-share link,
+/// plus a closed-loop companion for contrast, and writes the end-to-end
+/// session SLO percentiles to `bench_results/slo_probe.json`.
+fn slo_mode() {
+    use seqio_client::{ArrivalConfig, ClientExperiment, LinkConfig, RateModulation};
+
+    let target: u64 =
+        std::env::var("SEQIO_SLO_SESSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000_000);
+    let nodes = 4usize;
+    let rate = 1600.0;
+    // 5% horizon margin over target/rate: Poisson count noise is a few
+    // thousand sessions at the million-session scale.
+    let duration = SimDuration::from_secs_f64((target as f64 / rate) * 1.05);
+    // Eight-disk nodes: the title placement spreads the catalogue over
+    // all 32 disks, keeping per-disk concurrency low enough that the
+    // storage tier sustains the 200 MiB/s mean demand — the *link* is the
+    // contended resource in this probe, not the disks.
+    let template = || {
+        Experiment::builder()
+            .shape(NodeShape::eight_disk())
+            .request_size(64 * KIB)
+            .warmup(SimDuration::ZERO)
+            .duration(duration)
+            .build()
+    };
+    let arrivals = ArrivalConfig {
+        rate_per_sec: rate,
+        // One full diurnal cycle across the horizon: the mean factor is 1,
+        // so the session volume still tracks `rate`, but the peak runs 30%
+        // hot — the tail percentiles have to survive the busy hour.
+        modulation: RateModulation::Diurnal { period: duration, depth: 0.3 },
+        titles: 8192,
+        zipf_exponent: 0.8,
+        requests_per_session: 2,
+        session_lifetime: Some(SimDuration::from_secs(10)),
+    };
+    // 250 MiB/s shared across all live sessions: ~25% headroom over the
+    // mean demand of rate x 128 KiB = 200 MiB/s, so the diurnal peak
+    // genuinely contends for the link.
+    let link = LinkConfig { capacity_bps: 250.0 * MIB as f64, ..LinkConfig::default() };
+
+    let start = Instant::now();
+    let open = ClientExperiment::builder()
+        .template(template())
+        .nodes(nodes)
+        .base_seed(2026)
+        .arrivals(arrivals)
+        .link(link)
+        .run()
+        .expect("open-loop slo point");
+    let wall = start.elapsed().as_secs_f64();
+    let slo = open.slo.clone().expect("sessions completed");
+
+    // Closed-loop companion: the same cluster and link with a fixed
+    // 32-streams/disk population pinned from t = 0. Its "sessions" all
+    // start together, so the latency spread reflects batch drain, not
+    // user-perceived arrival-to-delivery time — the contrast the open
+    // loop exists to fix.
+    let mut closed_template = template();
+    closed_template.streams_per_disk = 32;
+    closed_template.requests_per_stream = Some(2);
+    let closed = ClientExperiment::builder()
+        .template(closed_template)
+        .nodes(nodes)
+        .policy(seqio_cluster::ShardPolicy::HashByStream)
+        .base_seed(2026)
+        .link(link)
+        .run()
+        .expect("closed-loop slo companion");
+    let closed_slo = closed.slo.clone().expect("finite streams complete");
+
+    println!(
+        "-- slo probe: {} sessions/s open loop, {nodes} nodes, link 250 MiB/s, {} horizon --",
+        rate, duration
+    );
+    println!(
+        "  open loop    {:>9} arrived  {:>9} completed ({:.2}%)  {:.1}s wall",
+        slo.sessions,
+        slo.completed,
+        100.0 * slo.completion_ratio(),
+        wall
+    );
+    println!(
+        "               p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  p99.9 {:.2} ms  max {:.2} ms",
+        slo.p50_ms, slo.p95_ms, slo.p99_ms, slo.p999_ms, slo.max_ms
+    );
+    println!(
+        "  closed loop  {:>9} streams  p50 {:.2} ms  p99.9 {:.2} ms (batch drain, not arrivals)",
+        closed_slo.sessions, closed_slo.p50_ms, closed_slo.p999_ms
+    );
+
+    // Acceptance bars: the full-scale probe must admit the target session
+    // count, nearly all of them must finish inside the 10 s lifetime, and
+    // the percentile chain must be coherent.
+    assert!(slo.sessions >= target, "only {} sessions admitted, wanted >= {target}", slo.sessions);
+    assert!(
+        slo.completion_ratio() >= 0.98,
+        "completion ratio {:.4} below 0.98",
+        slo.completion_ratio()
+    );
+    assert!(slo.p50_ms <= slo.p95_ms && slo.p95_ms <= slo.p99_ms && slo.p99_ms <= slo.p999_ms);
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"nodes\": {nodes},\n  \"rate_per_sec\": {rate},\n  \
+         \"horizon_secs\": {:.3},\n  \"link_mibs\": 250,\n  \
+         \"requests_per_session\": 2,\n  \"request_kib\": 64,\n  \
+         \"titles\": 8192,\n  \"zipf_exponent\": 0.8,\n  \"diurnal_depth\": 0.3,\n  \
+         \"lifetime_secs\": 10,\n  \"wall_secs\": {wall:.3},\n  \
+         \"open_loop\": {{\"sessions\": {}, \"completed\": {}, \
+         \"completion_ratio\": {:.6}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+         \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \"mean_ms\": {:.4}, \"max_ms\": {:.4}, \
+         \"aggregate_mbs\": {:.4}}},\n  \
+         \"closed_loop\": {{\"sessions\": {}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+         \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \"mean_ms\": {:.4}}}\n}}\n",
+        duration.as_secs_f64(),
+        slo.sessions,
+        slo.completed,
+        slo.completion_ratio(),
+        slo.p50_ms,
+        slo.p95_ms,
+        slo.p99_ms,
+        slo.p999_ms,
+        slo.mean_ms,
+        slo.max_ms,
+        open.total_throughput_mbs(),
+        closed_slo.sessions,
+        closed_slo.p50_ms,
+        closed_slo.p95_ms,
+        closed_slo.p99_ms,
+        closed_slo.p999_ms,
+        closed_slo.mean_ms,
+    );
+
+    let dir = seqio_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("slo_probe.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("   -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("perf") => {
@@ -509,6 +660,10 @@ fn main() {
         }
         Some("migrate") => {
             migrate_mode();
+            return;
+        }
+        Some("slo") => {
+            slo_mode();
             return;
         }
         _ => {}

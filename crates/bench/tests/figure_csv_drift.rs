@@ -5,17 +5,20 @@
 //! from low-throughput corners so the simulated event count stays small.
 //!
 //! Covered figures: fig01 (direct-path collapse, 60 disks), fig12 (8-disk
-//! D = S configuration) and fig13 (small dispatch set vs D = S).
+//! D = S configuration), fig13 (small dispatch set vs D = S) and fig_slo
+//! (open-loop session latency vs offered load).
 //!
-//! The final test re-derives one cell of each figure through the
-//! shared-clock cluster driver (a 1-node identity [`Scenario`]) — the
-//! committed figure data must be reachable through the cluster path too,
-//! bit for bit, pinning the single-node/cluster equivalence to the same
+//! The last two tests re-derive one cell of each figure through the wider
+//! drivers — the shared-clock cluster driver (a 1-node identity
+//! [`Scenario`]) and the client front end's closed-loop identity mode —
+//! the committed figure data must be reachable through those paths too,
+//! bit for bit, pinning the layer-equivalence guarantees to the same
 //! goldens the figures use.
 
+use seqio_client::{ArrivalConfig, ClientExperiment, LinkConfig};
 use seqio_cluster::Scenario;
 use seqio_node::{Experiment, Frontend, NodeShape};
-use seqio_simcore::units::KIB;
+use seqio_simcore::units::{KIB, MIB};
 use seqio_simcore::SimDuration;
 
 /// Loads a cell of a committed CSV by row label and column header.
@@ -126,6 +129,42 @@ fn fig13_committed_csv_matches_current_build() {
     );
 }
 
+#[test]
+fn fig_slo_committed_csv_matches_current_build() {
+    // The lightest point of the open-loop SLO figure: 50 sessions/s over
+    // 30 s against 2 nodes behind a 40 MiB/s link (about 1500 sessions,
+    // far below saturation, so the re-simulation is cheap).
+    let template = Experiment::builder()
+        .warmup(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(30))
+        .build();
+    let slo = ClientExperiment::builder()
+        .template(template)
+        .nodes(2)
+        .base_seed(2026)
+        .arrivals(ArrivalConfig {
+            rate_per_sec: 50.0,
+            requests_per_session: 2,
+            titles: 512,
+            ..ArrivalConfig::default()
+        })
+        .link(LinkConfig { capacity_bps: 40.0 * MIB as f64, ..LinkConfig::default() })
+        .run()
+        .expect("slo figure point")
+        .slo
+        .expect("sessions completed");
+    for (column, value) in
+        [("p50", slo.p50_ms), ("p95", slo.p95_ms), ("p99", slo.p99_ms), ("p99.9", slo.p999_ms)]
+    {
+        assert_eq!(
+            cell(value),
+            committed_cell("fig_slo", "50", column),
+            "bench_results/fig_slo.csv cell (50, {column}) drifted from the current \
+             build; regenerate with `SEQIO_BENCH_FULL=1 cargo bench` and commit the result"
+        );
+    }
+}
+
 /// Runs a figure template through the shared-clock cluster driver as a
 /// 1-node identity scenario and renders the aggregate the way
 /// `Figure::report` does.
@@ -186,4 +225,33 @@ fn cluster_path_reproduces_committed_figure_cells() {
         committed_cell("fig13_dispatch_staged", "10", "D = S (from Fig. 12)"),
         "the cluster path no longer reproduces fig13 (10, D = S)"
     );
+}
+
+#[test]
+fn client_identity_path_reproduces_committed_figure_cells() {
+    // The client front end's identity configuration — closed loop, the
+    // default unconstrained link — must reduce bit-identically to the
+    // plain run, pinned to the same committed fig01 golden the other
+    // equivalence tests use. Any drift here means the client tier
+    // perturbed the storage simulation it claims to only observe.
+    let fig01 = Experiment::builder()
+        .shape(NodeShape::sixty_disk())
+        .streams_per_disk(2)
+        .request_size(256 * KIB)
+        .warmup(SimDuration::from_secs(4))
+        .duration(SimDuration::from_secs(8))
+        .seed(11)
+        .build();
+    let c =
+        ClientExperiment::builder().template(fig01).run().expect("1-node closed-loop identity run");
+    assert_eq!(
+        cell(c.total_throughput_mbs()),
+        committed_cell("fig01_collapse", "256K", "120 Streams"),
+        "the client identity path no longer reproduces fig01 (256K, 120 Streams)"
+    );
+    // The one permitted difference: the identity run carries the SLO the
+    // plain path cannot compute (open-ended streams never complete, so it
+    // stays None here — the field exists, the reduction just has nothing
+    // to fill it with on an open-ended figure template).
+    assert!(c.slo.is_none(), "open-ended streams have no session completions");
 }

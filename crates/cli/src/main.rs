@@ -25,6 +25,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
         "cluster" => cmd_cluster(rest),
+        "client" => cmd_client(rest),
         "replay" => cmd_replay(rest),
         "report" => cmd_report(rest),
         "info" | "help" | "--help" | "-h" => {
@@ -235,6 +236,172 @@ fn cmd_cluster(rest: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `seqio client run [--nodes K] [--rate R --titles N --zipf S ...]
+/// [experiment flags]` — an open-loop client/network run: sessions arrive
+/// at `--rate` per second (optionally bursty or diurnal), pick Zipf-
+/// popular titles, stream them from the cluster described by the
+/// experiment flags, and receive their bytes across a shared `--link`.
+/// Reports end-to-end session SLO percentiles. `--closed-loop` instead
+/// wraps the plain cluster run (identical results) and adds the SLO.
+fn cmd_client(rest: Vec<String>) -> Result<(), String> {
+    let mut rest = rest.into_iter();
+    match rest.next().as_deref() {
+        Some("run") => {}
+        other => {
+            return Err(format!(
+                "client: expected `client run [flags]`, got {:?}",
+                other.unwrap_or("nothing")
+            ))
+        }
+    }
+    let args = Args::parse(rest)?;
+    let mut known = EXPERIMENT_FLAGS.to_vec();
+    known.extend_from_slice(COMMON_FLAGS);
+    known.extend_from_slice(&[
+        "nodes",
+        "shard",
+        "base-seed",
+        "rate",
+        "titles",
+        "zipf",
+        "session-requests",
+        "lifetime",
+        "link",
+        "burst",
+        "diurnal",
+        "closed-loop",
+    ]);
+    let unknown = args.unknown_flags(&known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag(s): {}", unknown.join(", ")));
+    }
+    let common = CommonArgs::from_args(&args)?;
+    if args.get("trace").is_some() {
+        return Err("client runs do not support per-request trace output; use --trace-out".into());
+    }
+
+    let template = experiment_from(&args, &common)?;
+    let nodes = args.u64_or("nodes", 1)? as usize;
+    let policy = seqio_cluster::ShardPolicy::parse(args.get("shard").unwrap_or("hash"))
+        .map_err(|e| format!("--shard: {e}"))?;
+
+    let modulation = match (args.get("burst"), args.get("diurnal")) {
+        (Some(_), Some(_)) => return Err("--burst and --diurnal are mutually exclusive".into()),
+        (Some(spec), None) => {
+            let p: Vec<&str> = spec.split(',').collect();
+            let [period, duty, on_factor] = p[..] else {
+                return Err(format!("--burst: expected PERIOD,DUTY,FACTOR, got {spec:?}"));
+            };
+            seqio_client::RateModulation::Bursty {
+                period: args::parse_duration(period).map_err(|e| format!("--burst: {e}"))?,
+                duty: duty.parse().map_err(|_| format!("--burst: bad duty {duty:?}"))?,
+                on_factor: on_factor
+                    .parse()
+                    .map_err(|_| format!("--burst: bad factor {on_factor:?}"))?,
+            }
+        }
+        (None, Some(spec)) => {
+            let p: Vec<&str> = spec.split(',').collect();
+            let [period, depth] = p[..] else {
+                return Err(format!("--diurnal: expected PERIOD,DEPTH, got {spec:?}"));
+            };
+            seqio_client::RateModulation::Diurnal {
+                period: args::parse_duration(period).map_err(|e| format!("--diurnal: {e}"))?,
+                depth: depth.parse().map_err(|_| format!("--diurnal: bad depth {depth:?}"))?,
+            }
+        }
+        (None, None) => seqio_client::RateModulation::Constant,
+    };
+    let arrivals = seqio_client::ArrivalConfig {
+        rate_per_sec: match args.get("rate") {
+            Some(v) => v.parse().map_err(|_| format!("--rate: bad number {v:?}"))?,
+            None => 100.0,
+        },
+        modulation,
+        titles: args.u64_or("titles", 1024)? as usize,
+        zipf_exponent: match args.get("zipf") {
+            Some(v) => v.parse().map_err(|_| format!("--zipf: bad number {v:?}"))?,
+            None => 0.8,
+        },
+        requests_per_session: args.u64_or("session-requests", 4)?,
+        session_lifetime: match args.get("lifetime") {
+            Some(v) => Some(args::parse_duration(v).map_err(|e| format!("--lifetime: {e}"))?),
+            None => None,
+        },
+    };
+    let link = match args.get("link") {
+        None | Some("inf") => seqio_client::LinkConfig::default(),
+        Some(v) => seqio_client::LinkConfig {
+            capacity_bps: args::parse_size(v).map_err(|e| format!("--link: {e}"))? as f64,
+            ..seqio_client::LinkConfig::default()
+        },
+    };
+
+    let open_loop = !args.switch("closed-loop");
+    let mut b = seqio_client::ClientExperiment::builder()
+        .template(template)
+        .nodes(nodes)
+        .policy(policy)
+        .link(link);
+    if open_loop {
+        b = b.arrivals(arrivals.clone());
+    }
+    if let Some(seed) = args.get("base-seed") {
+        let s: u64 = seed.parse().map_err(|_| format!("--base-seed: bad integer {seed:?}"))?;
+        b = b.base_seed(s);
+    }
+    if let Some(j) = common.jobs {
+        b = b.jobs(j);
+    }
+    if open_loop {
+        eprintln!(
+            "client: {} session(s)/s open loop over {} node(s), {} titles (zipf {}), link {}",
+            arrivals.rate_per_sec,
+            nodes,
+            arrivals.titles,
+            arrivals.zipf_exponent,
+            args.get("link").unwrap_or("unconstrained"),
+        );
+    } else {
+        eprintln!("client: closed loop over {nodes} node(s) (identity reduction + SLO)");
+    }
+    let c = b.run().map_err(|e| e.to_string())?;
+
+    println!("throughput:      {:>9.2} MB/s aggregate over {}", c.total_throughput_mbs(), c.window);
+    println!(
+        "requests:        {} completed, {} MiB delivered",
+        c.requests_completed,
+        c.bytes_delivered >> 20
+    );
+    match &c.slo {
+        Some(slo) => {
+            println!(
+                "sessions:        {} arrived, {} completed ({:.1}% within lifetime)",
+                slo.sessions,
+                slo.completed,
+                100.0 * slo.completion_ratio()
+            );
+            println!(
+                "session SLO:     p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms   p99.9 {:.2} ms",
+                slo.p50_ms, slo.p95_ms, slo.p99_ms, slo.p999_ms
+            );
+            println!("                 mean {:.2} ms   max {:.2} ms", slo.mean_ms, slo.max_ms);
+        }
+        None => println!("sessions:        none completed inside the run window"),
+    }
+    let merged_spans: Option<Vec<seqio_node::SpanRecord>> = common.trace_out.as_ref().map(|_| {
+        c.nodes
+            .iter()
+            .filter_map(|n| n.result.as_ref())
+            .filter_map(|r| r.spans.as_ref())
+            .flatten()
+            .copied()
+            .collect()
+    });
+    common.write_outputs(merged_spans.as_ref(), c.metrics.as_ref())?;
+    Ok(())
+}
+
 fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     let args = Args::parse(rest)?;
     let mut known = EXPERIMENT_FLAGS.to_vec();
@@ -270,17 +437,24 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `seqio report --spans FILE [--phases]` — summarizes a span file written
-/// by `run --trace-out`, optionally with a per-phase latency breakdown.
+/// `seqio report --spans FILE [--phases] [--slo]` — summarizes a span
+/// file written by `run --trace-out`, optionally with a per-phase latency
+/// breakdown and (for files recorded through the client front end) the
+/// network-inclusive SLO percentiles.
 fn cmd_report(rest: Vec<String>) -> Result<(), String> {
     let args = Args::parse(rest)?;
-    let unknown = args.unknown_flags(&["spans", "phases"]);
+    let unknown = args.unknown_flags(&["spans", "phases", "slo"]);
     if !unknown.is_empty() {
         return Err(format!("unknown flag(s): {}", unknown.join(", ")));
     }
     let path = args.get("spans").ok_or("report needs --spans FILE (from `run --trace-out`)")?;
     let csv = std::fs::read_to_string(path).map_err(|e| format!("--spans {path}: {e}"))?;
     let spans = seqio_node::span::spans_from_csv(&csv)?;
+    if spans.is_empty() && (args.switch("phases") || args.switch("slo")) {
+        return Err(format!(
+            "--spans {path}: no spans to break down (the file has a header but no records)"
+        ));
+    }
     let breakdown = seqio_node::span::PhaseBreakdown::from_spans(&spans);
     let from_memory = spans.iter().filter(|s| s.from_memory).count();
     let faulted = spans.iter().filter(|s| s.retries > 0 || s.timed_out).count();
@@ -318,6 +492,30 @@ fn cmd_report(rest: Vec<String>) -> Result<(), String> {
             breakdown.total.mean().as_millis_f64(),
             breakdown.total.quantile(0.5).unwrap_or_default().as_millis_f64(),
             breakdown.total.quantile(0.99).unwrap_or_default().as_millis_f64()
+        );
+    }
+    if args.switch("slo") {
+        // Network-inclusive latency exists only on spans the client tier
+        // stamped: each completed session's final request.
+        let latencies: Vec<_> = spans
+            .iter()
+            .filter(|s| s.stamp(seqio_node::SpanPhase::NetworkDelivered).is_some())
+            .map(seqio_node::SpanRecord::total)
+            .collect();
+        if latencies.is_empty() {
+            return Err(format!(
+                "--slo: no span in {path} carries a network_delivered stamp; record one with \
+                 `seqio client run --link RATE --trace-out {path}` (an unconstrained link \
+                 stamps nothing)"
+            ));
+        }
+        let sessions = latencies.len() as u64;
+        let slo = seqio_cluster::SessionSlo::from_latencies(sessions, latencies)
+            .expect("non-empty latency set");
+        println!(
+            "session SLO:     {} delivered sessions   p50 {:.2} ms   p95 {:.2} ms   \
+             p99 {:.2} ms   p99.9 {:.2} ms",
+            sessions, slo.p50_ms, slo.p95_ms, slo.p99_ms, slo.p999_ms
         );
     }
     Ok(())
@@ -413,8 +611,9 @@ USAGE:
   seqio run    [flags]
   seqio sweep  --param streams|readahead|request --values a,b,c [--jobs N] [flags]
   seqio cluster run --nodes K --shard POLICY [flags]   # multi-node cluster
+  seqio client run --nodes K --rate R [flags]  # open-loop sessions + link SLO
   seqio replay --trace-in FILE [flags]     # open-loop trace replay
-  seqio report --spans FILE [--phases]     # per-phase latency breakdown
+  seqio report --spans FILE [--phases] [--slo]  # per-phase latency breakdown
   seqio info
 
 EXPERIMENT FLAGS (run, sweep, cluster run, replay):
@@ -461,6 +660,20 @@ FLAGS (cluster run):
   (experiment flags above describe each node's template; --faults applies
    to --fault-node only and drives straggler-aware health)
 
+FLAGS (client run):
+  --nodes K --shard POLICY       cluster under the client tier  [1 / hash]
+  --rate R                       session arrivals per second    [100]
+  --burst PERIOD,DUTY,FACTOR     bursty rate modulation
+  --diurnal PERIOD,DEPTH         sinusoidal rate modulation
+  --titles N --zipf S            catalogue size and popularity  [1024 / 0.8]
+  --session-requests N           sequential requests per session  [4]
+  --lifetime DUR                 abandon sessions older than DUR
+  --link RATE                    shared client link, bytes/s (e.g. 125M)
+                                 [unconstrained]
+  --closed-loop                  wrap the plain cluster run instead
+                                 (bit-identical results, SLO added)
+  (experiment flags shape each node; --warmup + --duration bound arrivals)
+
 EXAMPLES:
   seqio run --streams 100 --frontend stream --readahead 4M
   seqio run --shape eight --frontend stream --d 8 --n 128 --readahead 512K
@@ -474,6 +687,11 @@ EXAMPLES:
         --faults straggler:disk=0,factor=4 --fault-node 1 --base-seed 7
   seqio cluster run --nodes 2 --shard hash --streams 16 --requests 16 \\
         --warmup 0s --duration 300s --faults straggler:disk=0,factor=8,from=2s \\
-        --fault-node 1 --base-seed 7 --rebalance 250ms"
+        --fault-node 1 --base-seed 7 --rebalance 250ms
+  seqio client run --nodes 4 --rate 400 --titles 4096 --zipf 0.8 \\
+        --link 250M --lifetime 30s --warmup 0s --duration 60s --base-seed 7
+  seqio client run --nodes 2 --rate 200 --burst 10s,0.3,3 --link 125M \\
+        --warmup 0s --duration 30s --trace-out spans.csv
+  seqio report --spans spans.csv --slo"
     );
 }

@@ -1,0 +1,135 @@
+//! Statistical sanity for the session generators at a fixed seed, plus
+//! the regression guard keeping the session RNG stream disjoint from
+//! every storage-side seed derivation.
+
+use seqio_client::{
+    generate_sessions, ArrivalConfig, ArrivalProcess, RateModulation, ZipfSampler,
+    SESSION_SEED_INDEX,
+};
+use seqio_node::sweep::derive_seed;
+use seqio_simcore::{SimDuration, SimRng};
+
+/// Poisson arrivals at a fixed seed: the empirical inter-arrival mean
+/// over a long horizon lands within 5 standard errors of `1 / rate`.
+#[test]
+fn poisson_interarrival_mean_matches_the_rate() {
+    let rate = 250.0;
+    let horizon = SimDuration::from_secs(400);
+    let mut process =
+        ArrivalProcess::new(rate, RateModulation::Constant, horizon, SimRng::seed_from(17))
+            .unwrap();
+    let mut arrivals = Vec::new();
+    while let Some(t) = process.next_arrival() {
+        arrivals.push(t);
+    }
+    let n = arrivals.len() as f64;
+    // Count check: N ~ Poisson(rate * horizon), sd = sqrt(mean).
+    let expected = rate * 400.0;
+    assert!(
+        (n - expected).abs() < 5.0 * expected.sqrt(),
+        "saw {n} arrivals, expected {expected} +/- {}",
+        5.0 * expected.sqrt()
+    );
+    // Inter-arrival mean check: exponential with mean 1/rate, sd 1/rate,
+    // so the sample mean has standard error 1/(rate * sqrt(n)).
+    let gaps: Vec<f64> =
+        arrivals.windows(2).map(|w| w[1].duration_since(w[0]).as_secs_f64()).collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let se = 1.0 / (rate * (gaps.len() as f64).sqrt());
+    assert!(
+        (mean - 1.0 / rate).abs() < 5.0 * se,
+        "inter-arrival mean {mean} strays from {} by more than 5 SE ({se})",
+        1.0 / rate
+    );
+}
+
+/// Zipf sampling at a fixed seed: regressing log-frequency on log-rank
+/// over the well-populated head recovers the configured exponent.
+#[test]
+fn zipf_rank_frequency_slope_matches_the_exponent() {
+    let exponent = 1.0;
+    let titles = 512;
+    let zipf = ZipfSampler::new(titles, exponent).unwrap();
+    let mut rng = SimRng::seed_from(23);
+    let mut counts = vec![0u64; titles];
+    let draws = 400_000;
+    for _ in 0..draws {
+        counts[zipf.sample(&mut rng)] += 1;
+    }
+    // Ranks 0..32 each expect >= draws * p(32) ~ thousands of hits; the
+    // tail is too sparse for a stable per-rank frequency.
+    let head = 32;
+    let points: Vec<(f64, f64)> = counts[..head]
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| (((k + 1) as f64).ln(), (c as f64 / draws as f64).ln()))
+        .collect();
+    let n = points.len() as f64;
+    let (sx, sy) = points.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (sxx, sxy) = points.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    assert!((slope + exponent).abs() < 0.05, "log-log slope {slope} should be about -{exponent}");
+}
+
+/// A modulated process hits its analytic volume: bursty modulation runs
+/// at `on_factor` for the duty fraction of each period and at the base
+/// rate otherwise, so total arrivals track the time-averaged factor.
+#[test]
+fn bursty_modulation_preserves_the_average_rate() {
+    let rate = 200.0;
+    let (duty, on_factor) = (0.5, 1.6);
+    let horizon = SimDuration::from_secs(200);
+    let modulation = RateModulation::Bursty { period: SimDuration::from_secs(4), duty, on_factor };
+    let mut process =
+        ArrivalProcess::new(rate, modulation, horizon, SimRng::seed_from(31)).unwrap();
+    let mut n = 0.0;
+    while process.next_arrival().is_some() {
+        n += 1.0;
+    }
+    let expected = rate * 200.0 * (duty * on_factor + (1.0 - duty));
+    assert!(
+        (n - expected).abs() < 6.0 * expected.sqrt(),
+        "bursty run saw {n} arrivals, expected about {expected}"
+    );
+}
+
+/// Regression guard: the dedicated session seed index maps to a seed
+/// stream disjoint from every storage-side derivation — per-node seeds
+/// (`derive_seed(base, k)`), each disk's rotational-phase seed, and each
+/// disk's fault-injection seed. A collision would couple the user
+/// population to storage randomness and silently change results when one
+/// side's draw count shifts.
+#[test]
+fn seed_streams_stay_independent() {
+    for base in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+        let session_seed = derive_seed(base, SESSION_SEED_INDEX);
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(session_seed));
+        for k in 0..4096usize {
+            let node_seed = derive_seed(base, k);
+            assert_ne!(session_seed, node_seed, "collides with node {k} seed (base {base})");
+            assert!(seen.insert(node_seed), "node seeds collide among themselves");
+            for disk in 0..64u64 {
+                // The exact derivations the node simulation applies per
+                // disk (see seqio-node system construction).
+                let rotational = node_seed ^ (disk << 8) | 1;
+                let fault = node_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (disk + 1);
+                assert_ne!(session_seed, rotational, "collides with a rotational-phase seed");
+                assert_ne!(session_seed, fault, "collides with a fault seed");
+            }
+        }
+    }
+}
+
+/// The schedule feeding the driver inherits all of the above: a fixed
+/// seed yields the same population whichever storage seeds are in play.
+#[test]
+fn session_schedule_ignores_storage_seed_churn() {
+    let cfg = ArrivalConfig { rate_per_sec: 150.0, titles: 128, ..ArrivalConfig::default() };
+    let horizon = SimDuration::from_secs(3);
+    let seed = derive_seed(7, SESSION_SEED_INDEX);
+    let a = generate_sessions(&cfg, 4, 1, 128, 1 << 22, horizon, seed).unwrap();
+    let b = generate_sessions(&cfg, 4, 1, 128, 1 << 22, horizon, seed).unwrap();
+    assert_eq!(a, b);
+    assert!(a.len() > 300, "3 s at 150/s should net hundreds of sessions, got {}", a.len());
+}

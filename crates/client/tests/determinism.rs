@@ -1,0 +1,233 @@
+//! Worker-count invariance and the identity reduction.
+//!
+//! The two contracts the front-end tier must keep:
+//!
+//! 1. an open-loop run with arrivals and a finite link enabled is
+//!    bit-identical at every worker count (nodes advance independently;
+//!    the link overlay is a single-threaded pass over a deterministic
+//!    order);
+//! 2. the identity configuration — closed loop, unconstrained link —
+//!    reduces bit-identically to the plain cluster driver on every
+//!    pre-existing output, span and metric recordings included; only the
+//!    new `slo` field is filled in.
+
+use seqio_client::{ArrivalConfig, ClientExperiment, DriveMode, LinkConfig, RateModulation};
+use seqio_cluster::{ClusterExperiment, ClusterResult, SessionSlo, ShardPolicy};
+use seqio_node::Experiment;
+use seqio_simcore::{ObsConfig, SimDuration};
+
+fn open_template() -> Experiment {
+    Experiment::builder().warmup(SimDuration::ZERO).duration(SimDuration::from_secs(8)).build()
+}
+
+fn arrivals() -> ArrivalConfig {
+    ArrivalConfig {
+        rate_per_sec: 120.0,
+        modulation: RateModulation::Bursty {
+            period: SimDuration::from_secs(2),
+            duty: 0.25,
+            on_factor: 4.0,
+        },
+        titles: 96,
+        zipf_exponent: 0.9,
+        requests_per_session: 3,
+        session_lifetime: Some(SimDuration::from_secs(4)),
+    }
+}
+
+fn fingerprint(r: &ClusterResult) -> (Vec<u64>, u64, u64, u64, u64, Option<SessionSlo>) {
+    (
+        r.per_stream_mbs.iter().map(|m| m.to_bits()).collect(),
+        r.bytes_delivered,
+        r.requests_completed,
+        r.events_simulated,
+        r.window.as_nanos(),
+        r.slo.clone(),
+    )
+}
+
+#[test]
+fn open_loop_is_bit_identical_at_any_worker_count() {
+    let run_with = |jobs: usize| {
+        ClientExperiment::builder()
+            .template(open_template())
+            .nodes(3)
+            .base_seed(11)
+            .jobs(jobs)
+            .arrivals(arrivals())
+            .link(LinkConfig { capacity_bps: 40.0 * 1024.0 * 1024.0, ..LinkConfig::default() })
+            .run()
+            .unwrap()
+    };
+    let one = run_with(1);
+    assert!(one.slo.is_some(), "the workload must complete sessions");
+    for jobs in [2, 3, 7] {
+        let other = run_with(jobs);
+        assert_eq!(
+            fingerprint(&one),
+            fingerprint(&other),
+            "SEQIO_JOBS={jobs} diverged from the single-worker run"
+        );
+        // Per-node detail must match too, spans included.
+        for (a, b) in one.nodes.iter().zip(&other.nodes) {
+            let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(ra.stream_done_at, rb.stream_done_at);
+            assert_eq!(ra.per_stream_bytes, rb.per_stream_bytes);
+        }
+    }
+}
+
+#[test]
+fn lifetime_bound_abandons_sessions_without_breaking_determinism() {
+    let mut cfg = arrivals();
+    cfg.session_lifetime = Some(SimDuration::from_millis(120));
+    let run = || {
+        ClientExperiment::builder()
+            .template(open_template())
+            .nodes(2)
+            .base_seed(5)
+            .arrivals(cfg.clone())
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    let slo = a.slo.expect("some sessions still complete inside 120 ms");
+    assert!(
+        slo.completed < slo.sessions,
+        "a tight lifetime must abandon some sessions ({} of {})",
+        slo.completed,
+        slo.sessions
+    );
+    // Every measured latency fits under the lifetime bound plus the
+    // final request's in-flight remainder — sanity-check the ceiling.
+    assert!(slo.max_ms < 1_000.0, "abandoned sessions leaked into the SLO: {}", slo.max_ms);
+}
+
+#[test]
+fn identity_configuration_reduces_to_the_plain_cluster_run() {
+    let template = Experiment::builder()
+        .streams_per_disk(6)
+        .requests_per_stream(40)
+        .warmup(SimDuration::from_millis(200))
+        .duration(SimDuration::from_secs(6))
+        .seed(11)
+        .observe(ObsConfig::all())
+        .build();
+    let plain = ClusterExperiment::builder()
+        .template(template.clone())
+        .nodes(2)
+        .policy(ShardPolicy::HashByStream)
+        .base_seed(11)
+        .run()
+        .unwrap();
+    let via_client = ClientExperiment::builder()
+        .template(template)
+        .nodes(2)
+        .policy(ShardPolicy::HashByStream)
+        .base_seed(11)
+        .run()
+        .unwrap();
+
+    let plain_bits: Vec<u64> = plain.per_stream_mbs.iter().map(|m| m.to_bits()).collect();
+    let client_bits: Vec<u64> = via_client.per_stream_mbs.iter().map(|m| m.to_bits()).collect();
+    assert_eq!(plain_bits, client_bits);
+    assert_eq!(plain.bytes_delivered, via_client.bytes_delivered);
+    assert_eq!(plain.requests_completed, via_client.requests_completed);
+    assert_eq!(plain.events_simulated, via_client.events_simulated);
+    assert_eq!(plain.window, via_client.window);
+    assert_eq!(plain.assignment, via_client.assignment);
+
+    // Spans and metrics are byte-identical: an unconstrained link stamps
+    // nothing.
+    for (a, b) in plain.nodes.iter().zip(&via_client.nodes) {
+        let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        assert_eq!(ra.spans, rb.spans, "identity mode must not touch spans");
+        assert_eq!(
+            ra.metrics.as_ref().map(seqio_simcore::MetricSeries::to_csv),
+            rb.metrics.as_ref().map(seqio_simcore::MetricSeries::to_csv),
+            "identity mode must not touch metrics"
+        );
+        assert_eq!(ra.stream_done_at, rb.stream_done_at);
+    }
+
+    // The only difference: the client tier fills in the SLO, and with no
+    // network in the way every latency equals the storage completion
+    // instant.
+    assert!(plain.slo.is_none());
+    let slo = via_client.slo.expect("finite streams all complete");
+    assert_eq!(slo.sessions, 12);
+    assert_eq!(slo.completed, 12);
+    assert!(slo.p50_ms > 0.0);
+}
+
+#[test]
+fn finite_link_stamps_the_network_phase_and_stretches_the_tail() {
+    let template = Experiment::builder()
+        .streams_per_disk(8)
+        .requests_per_stream(30)
+        .warmup(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(10))
+        .seed(3)
+        .observe(ObsConfig::new().with_spans())
+        .build();
+    let free = ClientExperiment::builder().template(template.clone()).run().unwrap();
+    // 2 MB/s shared across eight ~2 MB responses: a visible network tail.
+    let choked = ClientExperiment::builder()
+        .template(template)
+        .link(LinkConfig { capacity_bps: 2.0 * 1024.0 * 1024.0, ..LinkConfig::default() })
+        .run()
+        .unwrap();
+    let (f, c) = (free.slo.unwrap(), choked.slo.unwrap());
+    assert_eq!(f.completed, 8);
+    assert_eq!(c.completed, 8);
+    assert!(c.p99_ms > f.p99_ms, "a choked link must stretch the tail");
+    // Storage-side outputs are untouched by link configuration.
+    assert_eq!(free.bytes_delivered, choked.bytes_delivered);
+    assert_eq!(free.events_simulated, choked.events_simulated);
+
+    // Exactly one span per stream gained a network_delivered stamp: the
+    // session's final request.
+    let spans = choked.nodes[0].result.as_ref().unwrap().spans.as_ref().unwrap();
+    let stamped: Vec<_> = spans
+        .iter()
+        .filter(|s| s.stamp(seqio_simcore::SpanPhase::NetworkDelivered).is_some())
+        .collect();
+    assert_eq!(stamped.len(), 8, "one network stamp per completed session");
+    for s in &stamped {
+        assert!(s.stamp(seqio_simcore::SpanPhase::NetworkDelivered).unwrap() >= s.delivered());
+        assert!(s.total() >= s.delivered().duration_since(s.enqueued()));
+    }
+    let free_spans = free.nodes[0].result.as_ref().unwrap().spans.as_ref().unwrap();
+    assert!(
+        free_spans.iter().all(|s| s.stamp(seqio_simcore::SpanPhase::NetworkDelivered).is_none()),
+        "an unconstrained link stamps nothing"
+    );
+}
+
+#[test]
+fn open_loop_rejects_incompatible_templates() {
+    let mut template = open_template();
+    template.faults = Some(seqio_simcore::FaultPlan::new().read_errors(0, 0.01));
+    let err = ClientExperiment::builder()
+        .template(template)
+        .arrivals(ArrivalConfig::default())
+        .run()
+        .unwrap_err();
+    assert!(err.to_string().contains("fault"), "unexpected error: {err}");
+
+    let bad_link = ClientExperiment::builder()
+        .link(LinkConfig { capacity_bps: 0.0, ..LinkConfig::default() })
+        .run()
+        .unwrap_err();
+    assert!(bad_link.to_string().contains("capacity"));
+}
+
+#[test]
+fn drive_mode_is_inspectable() {
+    let e = ClientExperiment::builder().arrivals(ArrivalConfig::default()).build();
+    assert!(matches!(e.mode, DriveMode::OpenLoop(_)));
+    let e = ClientExperiment::builder().build();
+    assert!(matches!(e.mode, DriveMode::ClosedLoop));
+}

@@ -512,10 +512,25 @@ pub struct ClusterResult {
     /// Merged metric time series (`nodeK.`-prefixed columns), when the
     /// template enabled metric sampling.
     pub metrics: Option<MetricSeries>,
+    /// End-to-end session SLO percentiles, when a client front-end drove
+    /// the run (see [`crate::SessionSlo`]). Always `None` for plain cluster runs:
+    /// session latency is defined from arrival to network delivery, and
+    /// only the client tier knows both instants.
+    pub slo: Option<crate::SessionSlo>,
 }
 
 impl ClusterResult {
-    fn merge(
+    /// Merges per-node outcomes into one cluster result on the shared
+    /// clock (see the type docs for the makespan-window semantics).
+    /// `assignment` is the router's initial global-stream → node map,
+    /// `node_ids` the final local-slot → global-stream map per node, and
+    /// `migrations` the mid-run moves in execution order.
+    ///
+    /// [`ClusterExperiment::run`] calls this internally; it is public so
+    /// external drivers that advance [`NodeSim`]s themselves — the
+    /// open-loop client front-end — can fold their per-node results into
+    /// the same aggregate surface.
+    pub fn merge(
         nodes: Vec<NodeOutcome>,
         assignment: Vec<usize>,
         node_ids: Vec<Vec<usize>>,
@@ -599,6 +614,7 @@ impl ClusterResult {
             requests_completed: requests,
             events_simulated: events,
             metrics,
+            slo: None,
         }
     }
 

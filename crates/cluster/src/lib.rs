@@ -58,6 +58,7 @@ mod cluster;
 mod rebalance;
 mod router;
 mod scenario;
+mod slo;
 
 pub use cluster::{ClusterExperiment, ClusterExperimentBuilder, ClusterResult, NodeOutcome};
 pub use rebalance::{
@@ -65,3 +66,4 @@ pub use rebalance::{
 };
 pub use router::{NodeHealth, Router, ShardPolicy};
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use slo::SessionSlo;

@@ -1,0 +1,137 @@
+//! End-to-end session SLO summaries.
+//!
+//! The open-loop client front-end measures each session from its arrival
+//! instant to the moment its last response finishes crossing the shared
+//! client-facing link. [`SessionSlo`] condenses those end-to-end latencies
+//! into the percentiles an operator writes SLOs against. Percentiles are
+//! **exact** (computed over the full sorted latency vector by the
+//! nearest-rank rule), not bucketed: the power-of-two
+//! [`LatencyHistogram`](seqio_simcore::LatencyHistogram) is fine for mean
+//! response times but far too coarse to resolve a p99.9.
+
+use seqio_simcore::SimDuration;
+
+/// Exact end-to-end latency percentiles over one run's completed sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSlo {
+    /// Sessions the generator admitted (arrived before the horizon).
+    pub sessions: u64,
+    /// Sessions whose final byte reached the client before the horizon —
+    /// only these contribute latencies.
+    pub completed: u64,
+    /// Median end-to-end session latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency in milliseconds.
+    pub p999_ms: f64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Worst completed-session latency in milliseconds.
+    pub max_ms: f64,
+}
+
+impl SessionSlo {
+    /// Summarizes `latencies` (one entry per *completed* session, any
+    /// order) for a run that admitted `sessions` sessions in total.
+    /// Returns `None` when no session completed — there is no latency
+    /// distribution to summarize.
+    pub fn from_latencies(sessions: u64, mut latencies: Vec<SimDuration>) -> Option<SessionSlo> {
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_unstable();
+        let completed = latencies.len() as u64;
+        let sum_ns: u128 = latencies.iter().map(|d| d.as_nanos() as u128).sum();
+        let mean_ms = (sum_ns as f64 / completed as f64) / 1e6;
+        Some(SessionSlo {
+            sessions,
+            completed,
+            p50_ms: percentile_ms(&latencies, 0.50),
+            p95_ms: percentile_ms(&latencies, 0.95),
+            p99_ms: percentile_ms(&latencies, 0.99),
+            p999_ms: percentile_ms(&latencies, 0.999),
+            mean_ms,
+            max_ms: latencies.last().expect("non-empty").as_millis_f64(),
+        })
+    }
+
+    /// Fraction of admitted sessions that completed, in `[0, 1]`.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.sessions as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency vector, in
+/// milliseconds: the smallest element such that at least `q` of the
+/// distribution is at or below it.
+fn percentile_ms(sorted: &[SimDuration], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1].as_millis_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_latencies_give_no_summary() {
+        assert_eq!(SessionSlo::from_latencies(10, vec![]), None);
+    }
+
+    #[test]
+    fn percentiles_are_exact_over_a_known_distribution() {
+        // 1..=1000 ms: nearest-rank percentiles are exactly q * 1000.
+        let lats: Vec<SimDuration> = (1..=1000).map(ms).collect();
+        let slo = SessionSlo::from_latencies(1000, lats).unwrap();
+        assert_eq!(slo.sessions, 1000);
+        assert_eq!(slo.completed, 1000);
+        assert_eq!(slo.p50_ms, 500.0);
+        assert_eq!(slo.p95_ms, 950.0);
+        assert_eq!(slo.p99_ms, 990.0);
+        assert_eq!(slo.p999_ms, 999.0);
+        assert_eq!(slo.max_ms, 1000.0);
+        assert!((slo.mean_ms - 500.5).abs() < 1e-9);
+        assert_eq!(slo.completion_ratio(), 1.0);
+    }
+
+    #[test]
+    fn input_order_does_not_matter() {
+        let a = SessionSlo::from_latencies(4, vec![ms(4), ms(1), ms(3), ms(2)]).unwrap();
+        let b = SessionSlo::from_latencies(4, vec![ms(1), ms(2), ms(3), ms(4)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let slo = SessionSlo::from_latencies(3, vec![ms(7)]).unwrap();
+        assert_eq!(slo.completed, 1);
+        assert_eq!(slo.p50_ms, 7.0);
+        assert_eq!(slo.p999_ms, 7.0);
+        assert_eq!(slo.max_ms, 7.0);
+        assert!((slo.completion_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_percentiles_need_enough_samples_to_separate() {
+        // With 10,000 samples 0..10s, p99.9 lands in the top decile
+        // strictly above p99 — the resolution the bucketed histogram
+        // cannot provide.
+        let lats: Vec<SimDuration> = (1..=10_000).map(ms).collect();
+        let slo = SessionSlo::from_latencies(10_000, lats).unwrap();
+        assert_eq!(slo.p99_ms, 9_900.0);
+        assert_eq!(slo.p999_ms, 9_990.0);
+        assert!(slo.p999_ms > slo.p99_ms);
+    }
+}

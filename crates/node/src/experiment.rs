@@ -5,7 +5,7 @@ use seqio_core::{ServerConfig, ServerMetrics};
 use seqio_disk::{bytes_to_blocks, DiskConfig};
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
 use seqio_simcore::{
-    FaultPlan, LatencyHistogram, MetricSeries, ObsConfig, SeqioError, SimDuration,
+    FaultPlan, LatencyHistogram, MetricSeries, ObsConfig, SeqioError, SimDuration, SimTime,
 };
 use seqio_workload::Pattern;
 
@@ -146,6 +146,13 @@ pub struct Experiment {
     pub writes: bool,
     /// Requests per stream (`None` = open-ended until the clock stops).
     pub requests_per_stream: Option<u64>,
+    /// Open-session mode: the node may start with zero streams and adopt
+    /// sessions mid-run through the stream-injection surface (the client
+    /// front-end tier drives this). Leaves every closed-loop code path
+    /// untouched — a `false` value is bit-identical to builds without the
+    /// field. Incompatible with replay and the `AllDispatched` frontend
+    /// (which sizes its dispatch set from the static stream count).
+    pub open_sessions: bool,
     /// Record a [`TraceRecord`](crate::TraceRecord) per completed request
     /// inside the measured window.
     pub record_trace: bool,
@@ -195,6 +202,7 @@ impl Experiment {
                 pattern: Pattern::Sequential,
                 writes: false,
                 requests_per_stream: None,
+                open_sessions: false,
                 record_trace: false,
                 replay: None,
                 costs: CostModel::default(),
@@ -238,7 +246,7 @@ impl Experiment {
     pub fn validate(&self) -> Result<(), SeqioError> {
         self.shape.validate()?;
         self.costs.validate().map_err(SeqioError::component("cost model"))?;
-        if self.streams_per_disk == 0 {
+        if self.streams_per_disk == 0 && !self.open_sessions {
             return Err(SeqioError::Experiment("need at least one stream per disk".into()));
         }
         if let Some(counts) = &self.stream_counts {
@@ -249,9 +257,24 @@ impl Experiment {
                     self.shape.total_disks()
                 )));
             }
-            if counts.iter().sum::<usize>() == 0 {
+            if counts.iter().sum::<usize>() == 0 && !self.open_sessions {
                 return Err(SeqioError::Experiment(
                     "stream_counts must place at least one stream".into(),
+                ));
+            }
+        }
+        if self.open_sessions {
+            if self.replay.is_some() {
+                return Err(SeqioError::Experiment(
+                    "open-session mode is incompatible with trace replay".into(),
+                ));
+            }
+            if matches!(self.frontend, Frontend::AllDispatched { .. }) {
+                return Err(SeqioError::Experiment(
+                    "open-session mode cannot size an AllDispatched frontend \
+                     (its dispatch set derives from the static stream count); \
+                     use an explicit StreamScheduler configuration"
+                        .into(),
                 ));
             }
         }
@@ -401,6 +424,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables open-session mode: the node may start with zero streams
+    /// and adopt sessions mid-run via stream injection (see
+    /// [`Experiment::open_sessions`]).
+    pub fn open_sessions(mut self, on: bool) -> Self {
+        self.spec.open_sessions = on;
+        self
+    }
+
     /// Replaces the cost model.
     pub fn costs(mut self, c: CostModel) -> Self {
         self.spec.costs = c;
@@ -463,6 +494,11 @@ pub struct RunResult {
     /// numerators behind `per_stream_mbs`; the cluster layer sums these
     /// across nodes when a stream migrates mid-run).
     pub per_stream_bytes: Vec<u64>,
+    /// When each stream's final response reached the client — `Some` only
+    /// for streams that exhausted a finite request budget during the run.
+    /// The client front-end tier reads these instants to compute
+    /// per-session end-to-end latency.
+    pub stream_done_at: Vec<Option<SimTime>>,
     /// Length of the realized measurement window.
     pub window: SimDuration,
     /// Stream-scheduler counters, when that frontend was used.

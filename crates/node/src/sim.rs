@@ -24,6 +24,18 @@ pub struct StreamHandoff {
 }
 
 impl StreamHandoff {
+    /// Wraps a freshly generated stream as a handoff, so a client
+    /// front-end can attach brand-new sessions to a live node through the
+    /// same injection surface migration uses. The spec must be valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's first violated constraint.
+    pub fn fresh(spec: StreamSpec) -> Result<StreamHandoff, SeqioError> {
+        spec.validate().map_err(SeqioError::component("session stream"))?;
+        Ok(StreamHandoff { remainder: spec })
+    }
+
     /// The (node-local) disk index the stream targets. Homogeneous nodes
     /// keep the same index on the target.
     pub fn disk(&self) -> usize {
@@ -150,6 +162,13 @@ impl NodeSim {
     /// `true` while local stream `stream` still has requests to issue.
     pub fn stream_live(&self, stream: usize) -> bool {
         self.inner.stream_live(stream)
+    }
+
+    /// When local stream `stream`'s final response reached the client, if
+    /// it has finished (the instant the client front-end tier times a
+    /// session's storage completion from).
+    pub fn stream_done_at(&self, stream: usize) -> Option<SimTime> {
+        self.inner.stream_done_at(stream)
     }
 
     /// The (node-local) disk index local stream `stream` targets.

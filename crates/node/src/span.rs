@@ -5,9 +5,11 @@
 //! [`ObsConfig`](seqio_simcore::ObsConfig) and
 //! [`ExperimentBuilder::observe`](crate::ExperimentBuilder::observe)), the
 //! engine records one [`SpanRecord`] per client request completed inside
-//! the measured window. Each span carries up to seven phase timestamps
+//! the measured window. Each span carries up to eight phase timestamps
 //! ([`SpanPhase`]) plus the controller's fault-path annotations (retries,
-//! deadline overrun).
+//! deadline overrun). The final `network_delivered` phase is stamped only
+//! by the client front-end tier (`seqio-client`); storage-node runs leave
+//! it unset and older span CSVs without its column still parse.
 //!
 //! Phases a request skips (a direct-path request is never classified; a
 //! memory hit never waits on a disk) contribute zero duration, so
@@ -56,9 +58,12 @@ impl SpanRecord {
         self.stamps[SpanPhase::Delivered.index()].expect("finished spans carry a delivery stamp")
     }
 
-    /// End-to-end latency (delivery minus enqueue).
+    /// End-to-end latency: the final (maximal) stamp minus the enqueue.
+    /// Without a `network_delivered` stamp this is delivery minus enqueue,
+    /// exactly as before the front-end tier existed.
     pub fn total(&self) -> SimDuration {
-        self.delivered().duration_since(self.enqueued())
+        let end = self.stamps.iter().flatten().copied().fold(self.delivered(), SimTime::max);
+        end.duration_since(self.enqueued())
     }
 
     /// Time attributed to each phase, in [`SpanPhase::ALL`] order.
@@ -113,6 +118,9 @@ pub fn spans_to_csv(spans: &[SpanRecord]) -> String {
 /// Returns a message naming the first malformed line.
 pub fn spans_from_csv(csv: &str) -> Result<Vec<SpanRecord>, String> {
     let n_fields = 7 + SpanPhase::COUNT;
+    // Span CSVs written before the network_delivered phase existed carry
+    // one phase column fewer; accept them, leaving the final stamp unset.
+    let n_fields_legacy = n_fields - 1;
     let mut out = Vec::new();
     for (i, line) in csv.lines().enumerate() {
         if i == 0 && line.starts_with("stream,") {
@@ -122,7 +130,7 @@ pub fn spans_from_csv(csv: &str) -> Result<Vec<SpanRecord>, String> {
             continue;
         }
         let f: Vec<&str> = line.split(',').collect();
-        if f.len() != n_fields {
+        if f.len() != n_fields && f.len() != n_fields_legacy {
             return Err(format!("line {}: expected {n_fields} fields, got {}", i + 1, f.len()));
         }
         let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
@@ -136,7 +144,7 @@ pub fn spans_from_csv(csv: &str) -> Result<Vec<SpanRecord>, String> {
             }
         };
         let mut stamps = [None; SpanPhase::COUNT];
-        for (k, p) in SpanPhase::ALL.iter().enumerate() {
+        for (k, p) in SpanPhase::ALL.iter().enumerate().take(f.len() - 7) {
             let cell = f[7 + k].trim();
             if !cell.is_empty() {
                 stamps[k] = Some(SimTime::from_nanos(parse_u64(cell, p.name())?));
@@ -249,23 +257,37 @@ mod tests {
 
     #[test]
     fn durations_sum_to_total_with_all_phases() {
-        let s = span([Some(0), Some(10), Some(20), Some(30), Some(100), Some(100), Some(130)]);
+        let s = span([
+            Some(0),
+            Some(10),
+            Some(20),
+            Some(30),
+            Some(100),
+            Some(100),
+            Some(130),
+            Some(180),
+        ]);
         let d = s.phase_durations();
         assert_eq!(d[SpanPhase::Classified.index()], SimDuration::from_micros(10));
         assert_eq!(d[SpanPhase::DiskComplete.index()], SimDuration::from_micros(70));
         assert_eq!(d[SpanPhase::Staged.index()], SimDuration::ZERO);
+        assert_eq!(d[SpanPhase::NetworkDelivered.index()], SimDuration::from_micros(50));
+        assert_eq!(s.total(), SimDuration::from_micros(180));
         assert_eq!(d.iter().copied().sum::<SimDuration>(), s.total());
     }
 
     #[test]
     fn durations_sum_to_total_with_skipped_phases() {
-        // Direct path: no classification, no admission, no staging.
-        let s = span([Some(0), None, None, Some(15), Some(95), None, Some(120)]);
+        // Direct path without a front-end tier: no classification, no
+        // admission, no staging, no network hop.
+        let s = span([Some(0), None, None, Some(15), Some(95), None, Some(120), None]);
         let d = s.phase_durations();
         assert_eq!(d[SpanPhase::Classified.index()], SimDuration::ZERO);
         assert_eq!(d[SpanPhase::DiskIssued.index()], SimDuration::from_micros(15));
         assert_eq!(d[SpanPhase::DiskComplete.index()], SimDuration::from_micros(80));
         assert_eq!(d[SpanPhase::Delivered.index()], SimDuration::from_micros(25));
+        assert_eq!(d[SpanPhase::NetworkDelivered.index()], SimDuration::ZERO);
+        assert_eq!(s.total(), SimDuration::from_micros(120));
         assert_eq!(d.iter().copied().sum::<SimDuration>(), s.total());
     }
 
@@ -273,7 +295,7 @@ mod tests {
     fn out_of_order_stamps_still_sum_exactly() {
         // A re-announced DiskIssued stamped after DiskComplete must not
         // produce negative or double-counted time.
-        let s = span([Some(0), Some(5), Some(50), Some(40), Some(45), Some(45), Some(60)]);
+        let s = span([Some(0), Some(5), Some(50), Some(40), Some(45), Some(45), Some(60), None]);
         let d = s.phase_durations();
         assert_eq!(d.iter().copied().sum::<SimDuration>(), s.total());
     }
@@ -281,13 +303,34 @@ mod tests {
     #[test]
     fn csv_round_trips() {
         let spans = vec![
-            span([Some(0), Some(10), Some(20), Some(30), Some(100), Some(100), Some(130)]),
-            span([Some(5), None, None, Some(15), Some(95), None, Some(120)]),
+            span([
+                Some(0),
+                Some(10),
+                Some(20),
+                Some(30),
+                Some(100),
+                Some(100),
+                Some(130),
+                Some(175),
+            ]),
+            span([Some(5), None, None, Some(15), Some(95), None, Some(120), None]),
         ];
         let csv = spans_to_csv(&spans);
         assert!(csv.starts_with("stream,disk,lba,blocks,from_memory,retries,timed_out,enqueued_ns"));
+        assert!(csv.lines().next().unwrap().ends_with("network_delivered_ns"));
         let parsed = spans_from_csv(&csv).unwrap();
         assert_eq!(parsed, spans);
+    }
+
+    #[test]
+    fn csv_accepts_legacy_files_without_network_column() {
+        // A file written before the network_delivered phase existed: seven
+        // phase columns. The final stamp parses as "never visited".
+        let legacy = "0,0,4096,128,true,0,false,0,,,,,,130";
+        let parsed = spans_from_csv(legacy).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].stamp(SpanPhase::NetworkDelivered), None);
+        assert_eq!(parsed[0].total(), SimDuration::from_nanos(130));
     }
 
     #[test]
@@ -304,13 +347,14 @@ mod tests {
 
     #[test]
     fn jsonl_emits_one_object_per_span() {
-        let spans = vec![span([Some(0), None, None, Some(15), Some(95), None, Some(120)])];
+        let spans = vec![span([Some(0), None, None, Some(15), Some(95), None, Some(120), None])];
         let jsonl = spans_to_jsonl(&spans);
         assert_eq!(jsonl.lines().count(), 1);
         let line = jsonl.lines().next().unwrap();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"classified_ns\":null"));
         assert!(line.contains("\"delivered_ns\":120000"));
+        assert!(line.contains("\"network_delivered_ns\":null"));
     }
 
     #[test]
@@ -325,6 +369,7 @@ mod tests {
                     Some(k + 91),
                     Some(k + 91),
                     Some(k + 117),
+                    Some(k + 141),
                 ])
             })
             .collect();

@@ -206,6 +206,12 @@ pub(crate) struct StorageNode {
     /// RNG derivation).
     migrations: u64,
     stream_bytes: Vec<u64>,
+    /// When each stream's final response reached the client, `None` while
+    /// the stream still has requests (or never finished). Plain
+    /// bookkeeping off existing completions — no events, no RNG — so
+    /// recording it cannot perturb any run. The client front-end tier
+    /// reads it to time session completions.
+    stream_done_at: Vec<Option<SimTime>>,
     response: LatencyHistogram,
     last_delivery: SimTime,
     requests_completed: u64,
@@ -383,6 +389,7 @@ impl StorageNode {
             stopped: false,
             migrations: 0,
             stream_bytes: vec![0; n_streams],
+            stream_done_at: vec![None; n_streams],
             response: LatencyHistogram::new(),
             last_delivery: SimTime::ZERO,
             requests_completed: 0,
@@ -531,6 +538,7 @@ impl StorageNode {
             response: self.response,
             bytes_delivered: self.stream_bytes.iter().sum(),
             per_stream_bytes: self.stream_bytes,
+            stream_done_at: self.stream_done_at,
             window,
             server_metrics,
             disk_seeks,
@@ -706,6 +714,7 @@ impl StorageNode {
         };
         debug_assert_eq!(slot, self.stream_bytes.len());
         self.stream_bytes.push(0);
+        self.stream_done_at.push(None);
         if let Fe::Linux(disks) = &mut self.fe {
             for d in disks {
                 d.ra.push(None);
@@ -730,6 +739,11 @@ impl StorageNode {
             Drive::Closed(c) => c.stream_live(stream),
             Drive::Replay => false,
         }
+    }
+
+    /// When `stream`'s final response reached the client, if it has.
+    pub(crate) fn stream_done_at(&self, stream: usize) -> Option<SimTime> {
+        self.stream_done_at.get(stream).copied().flatten()
     }
 
     /// The disk local stream `stream` targets.
@@ -861,6 +875,10 @@ impl StorageNode {
             let sent = now + think;
             let cid = self.alloc_client_id(next.stream, next.disk, next.lba, next.blocks, sent);
             self.q.push(sent + self.net(), Ev::Arrive(cid));
+        } else if !clients.stream_live(meta.stream) {
+            // The stream's final response just reached the client: the
+            // session is complete end to end (at the storage tier).
+            self.stream_done_at[meta.stream] = Some(now);
         }
     }
 

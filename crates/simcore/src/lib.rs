@@ -20,6 +20,8 @@
 //! * [`FaultPlan`] — deterministic, seeded per-disk fault schedules
 //!   (stragglers, transient read errors, bad regions) consumed by the
 //!   device models;
+//! * [`FairShareLink`] — a shared-bandwidth client-facing network link
+//!   dividing its capacity max-min fairly among concurrent transfers;
 //! * observability: [`ObsConfig`], [`SpanPhase`], [`MetricsHub`] /
 //!   [`MetricSeries`] — strictly opt-in lifecycle-span and metric
 //!   time-series recording, guaranteed not to perturb simulation output;
@@ -57,6 +59,7 @@ mod component;
 mod error;
 mod event;
 mod fault;
+mod link;
 mod obs;
 mod rng;
 mod stats;
@@ -68,6 +71,7 @@ pub use component::SimComponent;
 pub use error::SeqioError;
 pub use event::HeapEventQueue;
 pub use fault::{BadRegion, DiskFaults, FaultPlan, RetryPolicy, Straggler};
+pub use link::{max_min_rates, FairShareLink, LinkDelivery};
 pub use obs::{MetricId, MetricKind, MetricSeries, MetricsHub, ObsConfig, SpanPhase};
 pub use rng::SimRng;
 pub use stats::{LatencyHistogram, OnlineStats, ThroughputMeter};

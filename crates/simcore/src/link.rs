@@ -1,0 +1,398 @@
+//! Shared-bandwidth network link with progressive max-min fair sharing.
+//!
+//! The paper's testbed serves every client over one 1 GbE link; the
+//! aggregate disk throughput a client *observes* is therefore capped by
+//! how the link divides its capacity among concurrent responses. A
+//! [`FairShareLink`] models that division: every active transfer gets a
+//! max-min fair share of the capacity (computed by the pure allocator
+//! [`max_min_rates`]), and rates are recomputed from scratch every time a
+//! transfer starts or finishes — the *progressive filling* interpretation
+//! of fairness.
+//!
+//! The link is a [`SimComponent`](crate::SimComponent) on the shared
+//! simulation clock, so a co-simulation driver can advance it in lockstep
+//! with storage nodes. Determinism: a transfer's rate depends only on its
+//! own demand and the multiset of active demands (never on insertion
+//! order), completions at equal instants are delivered sorted by caller
+//! tag, and all bookkeeping is settled at integer-nanosecond boundaries —
+//! so permuting the insertion order of simultaneous transfers cannot
+//! change any delivery time.
+//!
+//! # Examples
+//!
+//! ```
+//! use seqio_simcore::{FairShareLink, SimComponent, SimTime};
+//!
+//! // A 100 B/s link carrying two unbounded transfers of 100 B each:
+//! // both run at 50 B/s and finish together at t = 2 s.
+//! let mut link = FairShareLink::new(100.0).unwrap();
+//! link.init();
+//! link.start_transfer(SimTime::ZERO, 100, f64::INFINITY, 7);
+//! link.start_transfer(SimTime::ZERO, 100, f64::INFINITY, 3);
+//! link.advance_to(SimTime::MAX);
+//! let done = link.take_deliveries();
+//! assert_eq!(done.len(), 2);
+//! assert_eq!(done[0].tag, 3); // equal instants delivered in tag order
+//! assert_eq!(done[0].at, SimTime::from_nanos(2_000_000_000));
+//! ```
+
+use crate::component::SimComponent;
+use crate::error::SeqioError;
+use crate::time::SimTime;
+
+/// Max-min fair allocation of `capacity_bps` among `demands` (bytes/s).
+///
+/// Water-filling: demands are satisfied in ascending order, each transfer
+/// receiving `min(demand, remaining_capacity / transfers_left)`. The
+/// result is returned in input order but depends only on each entry's own
+/// value and the multiset of demands, so it is invariant under input
+/// permutation. Properties (verified by `tests/link_properties.rs`):
+///
+/// * conservation — granted rates sum to `min(capacity, sum of demands)`;
+/// * fairness — nobody is below `min(demand, capacity / n)`;
+/// * monotonicity — adding a demand never raises anyone else's rate.
+///
+/// An infinite capacity grants every demand in full; infinite demands are
+/// allowed and mean "take whatever the link offers".
+///
+/// # Panics
+///
+/// Panics if `capacity_bps` is NaN, zero or negative, or any demand is
+/// NaN, zero or negative.
+pub fn max_min_rates(capacity_bps: f64, demands: &[f64]) -> Vec<f64> {
+    assert!(!capacity_bps.is_nan() && capacity_bps > 0.0, "link capacity must be positive");
+    assert!(demands.iter().all(|d| !d.is_nan() && *d > 0.0), "transfer demands must be positive");
+    if capacity_bps.is_infinite() {
+        return demands.to_vec();
+    }
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| demands[a].total_cmp(&demands[b]).then(a.cmp(&b)));
+    let mut rates = vec![0.0; demands.len()];
+    let mut capacity = capacity_bps;
+    let mut left = demands.len();
+    for &i in &order {
+        let fair = capacity / left as f64;
+        let granted = demands[i].min(fair);
+        rates[i] = granted;
+        capacity = (capacity - granted).max(0.0);
+        left -= 1;
+    }
+    rates
+}
+
+/// One transfer that finished crossing the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDelivery {
+    /// The caller-supplied transfer tag (e.g. a session id).
+    pub tag: u64,
+    /// When the last byte left the link.
+    pub at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Transfer {
+    tag: u64,
+    /// Bytes still to move, settled up to `FairShareLink::now`.
+    remaining: f64,
+    /// The most the receiver can absorb, bytes/s.
+    demand_bps: f64,
+    /// Currently granted rate, bytes/s.
+    rate_bps: f64,
+    /// Planned completion instant under the current rate.
+    finish: SimTime,
+}
+
+/// A shared-bandwidth link dividing its capacity max-min fairly among
+/// concurrent transfers (see the module-level docs above).
+#[derive(Debug, Clone)]
+pub struct FairShareLink {
+    capacity_bps: f64,
+    now: SimTime,
+    active: Vec<Transfer>,
+    deliveries: Vec<LinkDelivery>,
+}
+
+impl FairShareLink {
+    /// Creates a link with the given capacity in bytes per second.
+    /// `f64::INFINITY` models an uncontended (zero-delay) network.
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, zero or negative capacities.
+    pub fn new(capacity_bps: f64) -> Result<Self, SeqioError> {
+        if capacity_bps.is_nan() || capacity_bps <= 0.0 {
+            return Err(SeqioError::Experiment(format!(
+                "link capacity must be positive, got {capacity_bps}"
+            )));
+        }
+        Ok(FairShareLink {
+            capacity_bps,
+            now: SimTime::ZERO,
+            active: Vec::new(),
+            deliveries: Vec::new(),
+        })
+    }
+
+    /// An infinite-capacity link: every transfer completes the instant it
+    /// starts, adding exactly zero delay (the identity configuration).
+    pub fn infinite() -> Self {
+        FairShareLink::new(f64::INFINITY).expect("infinity is a valid capacity")
+    }
+
+    /// The configured capacity, bytes per second.
+    pub fn capacity_bps(&self) -> f64 {
+        self.capacity_bps
+    }
+
+    /// The instant the link's bookkeeping is settled to.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of transfers currently in flight.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Begins moving `bytes` for `tag` at instant `at`, demanding at most
+    /// `demand_bps` (the receiver's own bottleneck; `f64::INFINITY` for
+    /// "as fast as the link allows"). Rates of every active transfer are
+    /// recomputed immediately. A zero-byte transfer completes at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the link's settled clock (starts must be
+    /// fed in non-decreasing time order) or `demand_bps` is not positive.
+    pub fn start_transfer(&mut self, at: SimTime, bytes: u64, demand_bps: f64, tag: u64) {
+        assert!(at >= self.now, "transfer starts must not precede the link clock");
+        assert!(!demand_bps.is_nan() && demand_bps > 0.0, "transfer demand must be positive");
+        // Deliver anything that finishes strictly before the new arrival,
+        // then settle the survivors' byte counts to `at`.
+        self.run_completions(at);
+        self.settle_to(at);
+        self.active.push(Transfer {
+            tag,
+            remaining: bytes as f64,
+            demand_bps,
+            rate_bps: 0.0,
+            finish: SimTime::MAX,
+        });
+        self.recompute_rates();
+    }
+
+    /// Drains the accumulated [`LinkDelivery`] records, in delivery order
+    /// (ties broken by ascending tag).
+    pub fn take_deliveries(&mut self) -> Vec<LinkDelivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Moves bytes for the interval `[self.now, to]` at current rates.
+    fn settle_to(&mut self, to: SimTime) {
+        if to <= self.now {
+            return;
+        }
+        let dt = to.duration_since(self.now).as_secs_f64();
+        for t in &mut self.active {
+            if t.rate_bps.is_infinite() {
+                t.remaining = 0.0;
+            } else {
+                t.remaining = (t.remaining - t.rate_bps * dt).max(0.0);
+            }
+        }
+        self.now = to;
+    }
+
+    /// Reassigns every active transfer its max-min fair rate and replans
+    /// its completion instant from the settled clock.
+    fn recompute_rates(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        let demands: Vec<f64> = self.active.iter().map(|t| t.demand_bps).collect();
+        let rates = max_min_rates(self.capacity_bps, &demands);
+        for (t, rate) in self.active.iter_mut().zip(rates) {
+            t.rate_bps = rate;
+            t.finish = if t.remaining <= 0.0 || rate.is_infinite() {
+                self.now
+            } else {
+                // Ceil to whole nanoseconds so the plan never undershoots;
+                // completion forces the residue to zero.
+                let ns = (t.remaining / rate * 1e9).ceil();
+                SimTime::from_nanos(self.now.as_nanos().saturating_add(ns as u64))
+            };
+        }
+    }
+
+    /// Delivers every planned completion at instants `<= limit`, in time
+    /// order, recomputing rates after each completion batch.
+    fn run_completions(&mut self, limit: SimTime) {
+        loop {
+            let Some(next) = self.active.iter().map(|t| t.finish).min() else {
+                return;
+            };
+            if next > limit {
+                return;
+            }
+            self.settle_to(next);
+            let mut done: Vec<u64> =
+                self.active.iter().filter(|t| t.finish == next).map(|t| t.tag).collect();
+            done.sort_unstable();
+            self.active.retain(|t| t.finish != next);
+            for tag in done {
+                self.deliveries.push(LinkDelivery { tag, at: next });
+            }
+            self.recompute_rates();
+        }
+    }
+}
+
+impl SimComponent for FairShareLink {
+    fn init(&mut self) {}
+
+    fn peek_next_time(&self) -> Option<SimTime> {
+        self.active.iter().map(|t| t.finish).min()
+    }
+
+    fn advance_to(&mut self, limit: SimTime) {
+        self.run_completions(limit);
+        self.settle_to(limit.max(self.now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn drained(link: &mut FairShareLink) -> Vec<LinkDelivery> {
+        link.advance_to(SimTime::MAX);
+        link.take_deliveries()
+    }
+
+    #[test]
+    fn single_transfer_runs_at_link_speed() {
+        let mut l = FairShareLink::new(1000.0).unwrap();
+        l.init();
+        l.start_transfer(SimTime::ZERO, 500, f64::INFINITY, 1);
+        let d = drained(&mut l);
+        assert_eq!(d, vec![LinkDelivery { tag: 1, at: SimTime::from_nanos(500_000_000) }]);
+        assert!(l.is_idle());
+    }
+
+    #[test]
+    fn demand_cap_limits_a_transfer() {
+        // 1000 B/s link, client can only take 100 B/s: 500 B takes 5 s.
+        let mut l = FairShareLink::new(1000.0).unwrap();
+        l.start_transfer(SimTime::ZERO, 500, 100.0, 9);
+        let d = drained(&mut l);
+        assert_eq!(d[0].at, SimTime::ZERO + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn rates_rise_progressively_as_transfers_finish() {
+        // Two 100 B transfers share 100 B/s: both at 50 B/s. One 50 B
+        // transfer joining at t=0 with demand 50 would change shares; use
+        // a staggered pair instead: A=150 B and B=50 B from t=0. Both run
+        // at 50 B/s; B finishes at 1 s; A then gets the full 100 B/s for
+        // its remaining 100 B, finishing at 2 s (not 3 s).
+        let mut l = FairShareLink::new(100.0).unwrap();
+        l.start_transfer(SimTime::ZERO, 150, f64::INFINITY, 0);
+        l.start_transfer(SimTime::ZERO, 50, f64::INFINITY, 1);
+        let d = drained(&mut l);
+        assert_eq!(d[0], LinkDelivery { tag: 1, at: SimTime::ZERO + SimDuration::from_secs(1) });
+        assert_eq!(d[1], LinkDelivery { tag: 0, at: SimTime::ZERO + SimDuration::from_secs(2) });
+    }
+
+    #[test]
+    fn late_arrival_slows_an_active_transfer() {
+        // A: 200 B from t=0 alone at 100 B/s. B: 100 B arrives at t=1
+        // when A has 100 B left; both then run at 50 B/s, finishing at 3 s.
+        let mut l = FairShareLink::new(100.0).unwrap();
+        l.start_transfer(SimTime::ZERO, 200, f64::INFINITY, 0);
+        l.start_transfer(SimTime::ZERO + SimDuration::from_secs(1), 100, f64::INFINITY, 1);
+        let d = drained(&mut l);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].at, SimTime::ZERO + SimDuration::from_secs(3));
+        assert_eq!(d[1].at, SimTime::ZERO + SimDuration::from_secs(3));
+        assert_eq!((d[0].tag, d[1].tag), (0, 1), "equal instants deliver in tag order");
+    }
+
+    #[test]
+    fn infinite_capacity_adds_zero_delay() {
+        let mut l = FairShareLink::infinite();
+        let t = SimTime::from_nanos(123_456);
+        l.start_transfer(t, u64::MAX / 2, f64::INFINITY, 4);
+        l.advance_to(t);
+        assert_eq!(l.take_deliveries(), vec![LinkDelivery { tag: 4, at: t }]);
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_at_start() {
+        let mut l = FairShareLink::new(10.0).unwrap();
+        let t = SimTime::from_nanos(5);
+        l.start_transfer(t, 0, 1.0, 2);
+        l.advance_to(t);
+        assert_eq!(l.take_deliveries(), vec![LinkDelivery { tag: 2, at: t }]);
+    }
+
+    #[test]
+    fn chunked_advance_is_bit_identical_to_one_shot() {
+        let runs: Vec<Vec<LinkDelivery>> = [1u64, 7, 1000]
+            .iter()
+            .map(|&step_ms| {
+                let mut l = FairShareLink::new(777.0).unwrap();
+                l.init();
+                for i in 0..20u64 {
+                    l.advance_to(SimTime::from_nanos(i * 50_000_000));
+                    l.start_transfer(
+                        SimTime::from_nanos(i * 50_000_000),
+                        100 + i * 37,
+                        if i % 3 == 0 { 250.0 } else { f64::INFINITY },
+                        i,
+                    );
+                }
+                let mut t = SimTime::from_nanos(20 * 50_000_000);
+                while l.peek_next_time().is_some() {
+                    t += SimDuration::from_millis(step_ms);
+                    l.advance_to(t);
+                }
+                l.take_deliveries()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        assert_eq!(runs[0].len(), 20);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(FairShareLink::new(0.0).is_err());
+        assert!(FairShareLink::new(-5.0).is_err());
+        assert!(FairShareLink::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not precede")]
+    fn starts_must_be_time_ordered() {
+        let mut l = FairShareLink::new(10.0).unwrap();
+        l.start_transfer(SimTime::from_nanos(100), 10, 1.0, 0);
+        l.advance_to(SimTime::from_nanos(50_000_000_000));
+        l.start_transfer(SimTime::from_nanos(10), 10, 1.0, 1);
+    }
+
+    #[test]
+    fn allocator_waterfills() {
+        let r = max_min_rates(90.0, &[10.0, 100.0, 100.0]);
+        // Small demand fully served; the rest split the remainder evenly.
+        assert!((r[0] - 10.0).abs() < 1e-9);
+        assert!((r[1] - 40.0).abs() < 1e-9);
+        assert!((r[2] - 40.0).abs() < 1e-9);
+        assert!(max_min_rates(f64::INFINITY, &[5.0, f64::INFINITY])[1].is_infinite());
+        assert!(max_min_rates(10.0, &[]).is_empty());
+    }
+}

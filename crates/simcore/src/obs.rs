@@ -54,11 +54,14 @@ pub enum SpanPhase {
     Staged,
     /// The response reached the client.
     Delivered,
+    /// The response finished crossing the client-facing network link
+    /// (stamped by the front-end tier; storage-node runs leave it unset).
+    NetworkDelivered,
 }
 
 impl SpanPhase {
     /// Every phase, in lifecycle order.
-    pub const ALL: [SpanPhase; 7] = [
+    pub const ALL: [SpanPhase; 8] = [
         SpanPhase::Enqueued,
         SpanPhase::Classified,
         SpanPhase::DispatchAdmitted,
@@ -66,6 +69,7 @@ impl SpanPhase {
         SpanPhase::DiskComplete,
         SpanPhase::Staged,
         SpanPhase::Delivered,
+        SpanPhase::NetworkDelivered,
     ];
 
     /// Number of phases.
@@ -86,6 +90,7 @@ impl SpanPhase {
             SpanPhase::DiskComplete => "disk_complete",
             SpanPhase::Staged => "staged",
             SpanPhase::Delivered => "delivered",
+            SpanPhase::NetworkDelivered => "network_delivered",
         }
     }
 }
@@ -443,13 +448,15 @@ mod tests {
 
     #[test]
     fn phases_are_ordered_and_named() {
-        assert_eq!(SpanPhase::COUNT, 7);
+        assert_eq!(SpanPhase::COUNT, 8);
         for (i, p) in SpanPhase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
             assert!(!p.name().is_empty());
         }
         assert_eq!(SpanPhase::Enqueued.index(), 0);
         assert_eq!(SpanPhase::Delivered.index(), 6);
+        assert_eq!(SpanPhase::NetworkDelivered.index(), 7);
+        assert_eq!(SpanPhase::NetworkDelivered.name(), "network_delivered");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Property tests for the fair-share link: conservation, max-min
+//! fairness, monotonicity of the pure allocator, and insertion-order
+//! determinism of the full progressive-filling link simulation.
+
+use proptest::prelude::*;
+use seqio_simcore::{max_min_rates, FairShareLink, LinkDelivery, SimComponent, SimTime};
+
+/// Builds a positive, finite demand vector from raw generator output.
+fn demands_from(raw: &[u16]) -> Vec<f64> {
+    raw.iter().map(|&d| f64::from(d) + 1.0).collect()
+}
+
+/// Runs `n` transfers through a link, inserting the starts of each
+/// simultaneous batch in the order given by `perm`, and returns the
+/// deliveries.
+fn run_link(capacity: f64, transfers: &[(u64, u64, f64)], order: &[usize]) -> Vec<LinkDelivery> {
+    let mut link = FairShareLink::new(capacity).expect("positive capacity");
+    link.init();
+    // Starts must be fed in time order; the stable sort keeps `order`'s
+    // relative arrangement within each simultaneous batch (the property
+    // under test).
+    let mut idx: Vec<usize> = order.to_vec();
+    idx.sort_by_key(|&i| transfers[i].0);
+    for &i in &idx {
+        let (start_ns, bytes, demand) = transfers[i];
+        link.start_transfer(SimTime::from_nanos(start_ns), bytes, demand, i as u64);
+    }
+    link.advance_to(SimTime::MAX);
+    link.take_deliveries()
+}
+
+proptest! {
+    /// Conservation: granted rates sum to `min(capacity, sum demands)`
+    /// (up to fp rounding) — the link never oversubscribes and never
+    /// leaves claimable bandwidth idle.
+    #[test]
+    fn prop_allocation_conserves_capacity(
+        capacity_raw in 1u32..1_000_000,
+        raw in proptest::collection::vec(any::<u16>(), 1..40),
+    ) {
+        let capacity = f64::from(capacity_raw);
+        let demands = demands_from(&raw);
+        let rates = max_min_rates(capacity, &demands);
+        let granted: f64 = rates.iter().sum();
+        let claimable: f64 = demands.iter().sum::<f64>().min(capacity);
+        prop_assert!(
+            (granted - claimable).abs() <= 1e-9 * claimable.max(1.0),
+            "granted {granted} != claimable {claimable}"
+        );
+    }
+
+    /// Max-min fairness: nobody sits below `min(demand, capacity / n)` —
+    /// a transfer is only ever short of the equal share because its own
+    /// demand is smaller.
+    #[test]
+    fn prop_no_one_below_the_fair_share(
+        capacity_raw in 1u32..1_000_000,
+        raw in proptest::collection::vec(any::<u16>(), 1..40),
+    ) {
+        let capacity = f64::from(capacity_raw);
+        let demands = demands_from(&raw);
+        let rates = max_min_rates(capacity, &demands);
+        let equal = capacity / demands.len() as f64;
+        for (i, (&rate, &demand)) in rates.iter().zip(&demands).enumerate() {
+            let floor = demand.min(equal);
+            prop_assert!(
+                rate >= floor - 1e-9 * floor.max(1.0),
+                "transfer {i}: rate {rate} below fair floor {floor}"
+            );
+            prop_assert!(rate <= demand + 1e-12, "transfer {i} granted above its demand");
+        }
+    }
+
+    /// Monotonicity: adding one more transfer never *raises* any
+    /// existing transfer's rate.
+    #[test]
+    fn prop_adding_a_transfer_never_raises_others(
+        capacity_raw in 1u32..1_000_000,
+        raw in proptest::collection::vec(any::<u16>(), 1..40),
+        extra in any::<u16>(),
+    ) {
+        let capacity = f64::from(capacity_raw);
+        let demands = demands_from(&raw);
+        let before = max_min_rates(capacity, &demands);
+        let mut grown = demands.clone();
+        grown.push(f64::from(extra) + 1.0);
+        let after = max_min_rates(capacity, &grown);
+        for (i, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            prop_assert!(
+                a <= b + 1e-9 * b.max(1.0),
+                "transfer {i} rose from {b} to {a} when a competitor joined"
+            );
+        }
+    }
+
+    /// Allocation is invariant under permutation of the demand vector:
+    /// each transfer's rate depends only on its own demand and the
+    /// multiset of competitors.
+    #[test]
+    fn prop_allocation_is_permutation_invariant(
+        capacity_raw in 1u32..1_000_000,
+        raw in proptest::collection::vec(any::<u16>(), 2..30),
+        rot in 1usize..29,
+    ) {
+        let capacity = f64::from(capacity_raw);
+        let demands = demands_from(&raw);
+        let rot = rot % demands.len();
+        let mut rotated = demands.clone();
+        rotated.rotate_left(rot);
+        let base = max_min_rates(capacity, &demands);
+        let perm = max_min_rates(capacity, &rotated);
+        for (i, p) in perm.iter().enumerate() {
+            let j = (i + rot) % demands.len();
+            prop_assert_eq!(
+                base[j].to_bits(),
+                p.to_bits(),
+                "rate changed under permutation at index {}",
+                j
+            );
+        }
+    }
+
+    /// Completion-order determinism: permuting the insertion order of
+    /// simultaneous transfers changes no delivery instant and no
+    /// delivery order (ties always resolve by ascending tag).
+    #[test]
+    fn prop_deliveries_are_insertion_order_invariant(
+        capacity_raw in 1u32..100_000,
+        raw in proptest::collection::vec((0u64..5, 1u64..100_000, any::<bool>()), 1..20),
+        rot in 1usize..19,
+    ) {
+        let capacity = f64::from(capacity_raw);
+        // A handful of start instants so simultaneous batches are common.
+        let transfers: Vec<(u64, u64, f64)> = raw
+            .iter()
+            .map(|&(slot, bytes, capped)| {
+                let demand = if capped { capacity / 3.0 } else { f64::INFINITY };
+                (slot * 1_000_000, bytes, demand)
+            })
+            .collect();
+        let forward: Vec<usize> = (0..transfers.len()).collect();
+        let mut permuted = forward.clone();
+        permuted.rotate_left(rot % transfers.len());
+        let a = run_link(capacity, &transfers, &forward);
+        let b = run_link(capacity, &transfers, &permuted);
+        prop_assert_eq!(a.len(), transfers.len(), "every transfer is delivered");
+        prop_assert_eq!(a, b, "insertion order leaked into deliveries");
+    }
+}

@@ -38,15 +38,15 @@ pub struct ClientSet {
 
 impl ClientSet {
     /// Builds a client set with `max_outstanding` in-flight requests per
-    /// stream (the paper uses 1 throughout).
+    /// stream (the paper uses 1 throughout). `specs` may be empty: an
+    /// open-session node starts with no streams and adopts them mid-run
+    /// via [`inject_stream`](Self::inject_stream).
     ///
     /// # Panics
     ///
-    /// Panics if `max_outstanding == 0`, `specs` is empty, or any spec is
-    /// invalid.
+    /// Panics if `max_outstanding == 0` or any spec is invalid.
     pub fn new(specs: Vec<StreamSpec>, max_outstanding: u32, rng: &mut SimRng) -> Self {
         assert!(max_outstanding > 0, "need at least one outstanding request");
-        assert!(!specs.is_empty(), "need at least one stream");
         let streams: Vec<StreamState> = specs
             .into_iter()
             .enumerate()
@@ -61,7 +61,8 @@ impl ClientSet {
         self.streams.len()
     }
 
-    /// `true` if there are no streams (never, by construction).
+    /// `true` if there are no streams (an open-session node before its
+    /// first arrival).
     pub fn is_empty(&self) -> bool {
         self.streams.is_empty()
     }
