@@ -270,6 +270,7 @@ fn cmd_client(rest: Vec<String>) -> Result<(), String> {
         "burst",
         "diurnal",
         "closed-loop",
+        "correlate-out",
     ]);
     let unknown = args.unknown_flags(&known);
     if !unknown.is_empty() {
@@ -280,7 +281,13 @@ fn cmd_client(rest: Vec<String>) -> Result<(), String> {
         return Err("client runs do not support per-request trace output; use --trace-out".into());
     }
 
-    let template = experiment_from(&args, &common)?;
+    let mut template = experiment_from(&args, &common)?;
+    if args.get("correlate-out").is_some() {
+        // Correlation joins on request spans: force span recording on
+        // even when no --trace-out file was asked for.
+        let obs = template.obs.take().unwrap_or_else(seqio_node::ObsConfig::new);
+        template.obs = Some(obs.with_spans());
+    }
     let nodes = args.u64_or("nodes", 1)? as usize;
     let policy = seqio_cluster::ShardPolicy::parse(args.get("shard").unwrap_or("hash"))
         .map_err(|e| format!("--shard: {e}"))?;
@@ -365,7 +372,15 @@ fn cmd_client(rest: Vec<String>) -> Result<(), String> {
     } else {
         eprintln!("client: closed loop over {nodes} node(s) (identity reduction + SLO)");
     }
-    let c = b.run().map_err(|e| e.to_string())?;
+    let xp = b.build();
+    // The session schedule regenerates deterministically from the same
+    // seeds the run will use; grab it before the run for the trace join.
+    let schedule = if args.get("correlate-out").is_some() && open_loop {
+        Some(xp.session_schedule().map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let c = xp.run().map_err(|e| e.to_string())?;
 
     println!("throughput:      {:>9.2} MB/s aggregate over {}", c.total_throughput_mbs(), c.window);
     println!(
@@ -399,6 +414,21 @@ fn cmd_client(rest: Vec<String>) -> Result<(), String> {
             .collect()
     });
     common.write_outputs(merged_spans.as_ref(), c.metrics.as_ref())?;
+    if let Some(path) = args.get("correlate-out") {
+        let traces = match &schedule {
+            Some(s) => seqio_telemetry::correlate(&c, s),
+            None => seqio_telemetry::correlate_cluster(&c),
+        };
+        let completed = traces.iter().filter(|t| t.latency().is_some()).count();
+        let multi = traces.iter().filter(|t| t.node_path.len() > 1).count();
+        std::fs::write(path, seqio_telemetry::traces_to_jsonl(&traces))
+            .map_err(|e| format!("--correlate-out {path}: {e}"))?;
+        println!(
+            "traces:          {} session(s) correlated ({completed} completed, {multi} \
+             multi-node) -> {path}",
+            traces.len()
+        );
+    }
     Ok(())
 }
 
@@ -440,12 +470,29 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
 /// `seqio report --spans FILE [--phases] [--slo]` — summarizes a span
 /// file written by `run --trace-out`, optionally with a per-phase latency
 /// breakdown and (for files recorded through the client front end) the
-/// network-inclusive SLO percentiles.
+/// network-inclusive SLO percentiles. `seqio report --trace FILE
+/// [--correlate] [--attribute P] [--burn]` instead works over correlated
+/// session traces written by `client run --correlate-out`: cross-node
+/// session summaries, tail attribution of a latency percentile band, and
+/// SLO burn-rate monitoring with deterministic alert transitions.
 fn cmd_report(rest: Vec<String>) -> Result<(), String> {
     let args = Args::parse(rest)?;
-    let unknown = args.unknown_flags(&["spans", "phases", "slo"]);
+    let unknown =
+        args.unknown_flags(&["spans", "phases", "slo", "trace", "correlate", "attribute", "burn"]);
     if !unknown.is_empty() {
         return Err(format!("unknown flag(s): {}", unknown.join(", ")));
+    }
+    if let Some(path) = args.get("trace") {
+        if args.get("spans").is_some() {
+            return Err("--spans and --trace are mutually exclusive".into());
+        }
+        return report_traces(&args, path);
+    }
+    if args.switch("correlate") || args.switch("burn") || attribute_band(&args).is_some() {
+        return Err(
+            "--correlate/--attribute/--burn need --trace FILE (from `client run --correlate-out`)"
+                .into(),
+        );
     }
     let path = args.get("spans").ok_or("report needs --spans FILE (from `run --trace-out`)")?;
     let csv = std::fs::read_to_string(path).map_err(|e| format!("--spans {path}: {e}"))?;
@@ -517,6 +564,88 @@ fn cmd_report(rest: Vec<String>) -> Result<(), String> {
              p99 {:.2} ms   p99.9 {:.2} ms",
             sessions, slo.p50_ms, slo.p95_ms, slo.p99_ms, slo.p999_ms
         );
+    }
+    Ok(())
+}
+
+/// The percentile band `--attribute` asked for: an explicit spec, or
+/// "p99" when given as a bare switch.
+fn attribute_band(args: &Args) -> Option<String> {
+    match args.get("attribute") {
+        Some(spec) => Some(spec.to_string()),
+        None if args.switch("attribute") => Some("p99".to_string()),
+        None => None,
+    }
+}
+
+/// The `--trace FILE` half of `seqio report`: correlated session traces.
+fn report_traces(args: &Args, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    let traces =
+        seqio_telemetry::traces_from_jsonl(&text).map_err(|e| format!("--trace {path}: {e}"))?;
+    let completed = traces.iter().filter(|t| t.latency().is_some()).count();
+    let migrated: Vec<&seqio_telemetry::SessionTrace> =
+        traces.iter().filter(|t| t.node_path.len() > 1).collect();
+    let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    println!(
+        "{} correlated session(s), {} span(s) ({} completed, {} crossed nodes)",
+        traces.len(),
+        spans,
+        completed,
+        migrated.len()
+    );
+    if args.switch("correlate") {
+        let nodes =
+            traces.iter().flat_map(|t| t.node_path.iter().copied()).max().map_or(0, |n| n + 1);
+        println!("{:>6} {:>10} {:>10}", "node", "sessions", "spans");
+        for k in 0..nodes {
+            let sessions = traces.iter().filter(|t| t.node_path.contains(&k)).count();
+            let node_spans = traces.iter().flat_map(|t| &t.spans).filter(|s| s.node == k).count();
+            println!("{k:>6} {sessions:>10} {node_spans:>10}");
+        }
+        for t in &migrated {
+            println!("session {:>6} crossed nodes {:?}", t.session, t.node_path);
+        }
+    }
+    if let Some(spec) = attribute_band(args) {
+        let lo =
+            seqio_telemetry::parse_percentile(&spec).map_err(|e| format!("--attribute: {e}"))?;
+        let tail = seqio_telemetry::TailAttribution::compute(&traces, lo, 1.0)
+            .ok_or_else(|| format!("--attribute: no completed session in {path} to attribute"))?;
+        print!("{}", tail.to_table());
+    }
+    if args.switch("burn") {
+        // Monitor the run against its own distribution: threshold at its
+        // p99 with a 1% budget, so a healthy run burns at ~1x.
+        let latencies: Vec<_> = traces.iter().filter_map(|t| t.latency()).collect();
+        let slo = seqio_cluster::SessionSlo::from_latencies(traces.len() as u64, latencies)
+            .ok_or_else(|| format!("--burn: no completed session in {path} to monitor"))?;
+        let cfg = seqio_telemetry::BurnRateConfig::from_slo(&slo);
+        let report =
+            seqio_telemetry::monitor(&traces, &cfg, seqio_simcore::SimDuration::from_millis(100))
+                .map_err(|e| e.to_string())?;
+        println!(
+            "burn rate:       threshold {:.2} ms (own p99), budget {:.0}%, windows {}/{}",
+            cfg.threshold.as_millis_f64(),
+            cfg.target * 100.0,
+            cfg.fast_window,
+            cfg.slow_window
+        );
+        println!(
+            "                 {} completed, {} violation(s), peak fast burn {:.2}x",
+            report.completed, report.violations, report.peak_fast_burn
+        );
+        if report.alerts.is_empty() {
+            println!("                 no alert transitions");
+        }
+        for a in &report.alerts {
+            let state = match a.severity {
+                Some(seqio_telemetry::AlertSeverity::Page) => "PAGE",
+                Some(seqio_telemetry::AlertSeverity::Warn) => "warn",
+                None => "clear",
+            };
+            println!("  t={} {state} (fast {:.2}x, slow {:.2}x)", a.at, a.fast_burn, a.slow_burn);
+        }
     }
     Ok(())
 }
@@ -614,6 +743,10 @@ USAGE:
   seqio client run --nodes K --rate R [flags]  # open-loop sessions + link SLO
   seqio replay --trace-in FILE [flags]     # open-loop trace replay
   seqio report --spans FILE [--phases] [--slo]  # per-phase latency breakdown
+  seqio report --trace FILE [--correlate] [--attribute P] [--burn]
+                                           # correlated session traces: cross-
+                                           # node summary, tail attribution,
+                                           # SLO burn-rate alerts
   seqio info
 
 EXPERIMENT FLAGS (run, sweep, cluster run, replay):
@@ -672,6 +805,9 @@ FLAGS (client run):
                                  [unconstrained]
   --closed-loop                  wrap the plain cluster run instead
                                  (bit-identical results, SLO added)
+  --correlate-out FILE           write correlated session traces (JSONL):
+                                 client arrivals joined with node spans and
+                                 migrations; feed to `report --trace`
   (experiment flags shape each node; --warmup + --duration bound arrivals)
 
 EXAMPLES:
@@ -692,6 +828,9 @@ EXAMPLES:
         --link 250M --lifetime 30s --warmup 0s --duration 60s --base-seed 7
   seqio client run --nodes 2 --rate 200 --burst 10s,0.3,3 --link 125M \\
         --warmup 0s --duration 30s --trace-out spans.csv
-  seqio report --spans spans.csv --slo"
+  seqio report --spans spans.csv --slo
+  seqio client run --nodes 2 --rate 200 --link 125M --warmup 0s \\
+        --duration 30s --correlate-out traces.jsonl
+  seqio report --trace traces.jsonl --correlate --attribute p99.9 --burn"
     );
 }

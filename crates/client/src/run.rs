@@ -177,6 +177,41 @@ impl ClientExperiment {
         }
     }
 
+    /// The exact open-loop session schedule [`run`](Self::run) will
+    /// execute: the same deterministic `generate_sessions` call the
+    /// driver performs internally, exposed so post-hoc consumers — trace
+    /// correlation in `seqio-telemetry`, the CLI's `--correlate-out` —
+    /// can join global session ids back to arrival instants and titles
+    /// without re-deriving seeds. Returns an empty schedule in
+    /// closed-loop mode, where every stream is a session arriving at
+    /// `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first specification error, exactly as `run` would.
+    pub fn session_schedule(&self) -> Result<Vec<SessionSpec>, SeqioError> {
+        let DriveMode::OpenLoop(cfg) = &self.mode else { return Ok(Vec::new()) };
+        if self.nodes == 0 {
+            return Err(SeqioError::Experiment("need at least one node".into()));
+        }
+        let disks = self.template.shape.total_disks();
+        let request_blocks = self.template.request_blocks();
+        let usable_blocks =
+            self.template.shape.disk.geometry.capacity_bytes / seqio_disk::BLOCK_SIZE;
+        let horizon = self.template.warmup + self.template.duration;
+        let base = self.base_seed.unwrap_or(self.template.seed);
+        let session_seed = derive_seed(base, SESSION_SEED_INDEX);
+        generate_sessions(
+            cfg,
+            self.nodes,
+            disks,
+            request_blocks,
+            usable_blocks,
+            horizon,
+            session_seed,
+        )
+    }
+
     /// Closed loop: the unmodified cluster driver plus the link overlay.
     /// Every stream is one session arriving at `t = 0`; a stream only
     /// yields a latency sample if it exhausts a finite request budget.
@@ -224,21 +259,11 @@ impl ClientExperiment {
         template.open_sessions = true;
         template.requests_per_stream = None;
 
-        let disks = template.shape.total_disks();
         let request_blocks = template.request_blocks();
-        let usable_blocks = template.shape.disk.geometry.capacity_bytes / seqio_disk::BLOCK_SIZE;
-        let horizon = template.warmup + template.duration;
         let base = self.base_seed.unwrap_or(template.seed);
-        let session_seed = derive_seed(base, SESSION_SEED_INDEX);
-        let sessions = generate_sessions(
-            cfg,
-            self.nodes,
-            disks,
-            request_blocks,
-            usable_blocks,
-            horizon,
-            session_seed,
-        )?;
+        // None of the template fields cleared above feed session
+        // generation, so the public schedule is exactly the one executed.
+        let sessions = self.session_schedule()?;
 
         // Per-node operation timelines: injections at arrival, optional
         // retirements at the lifetime bound. Sorted by (instant, session,
@@ -249,7 +274,7 @@ impl ClientExperiment {
             session: usize,
             retire: bool,
         }
-        let horizon_at = SimTime::ZERO + horizon;
+        let horizon_at = SimTime::ZERO + template.warmup + template.duration;
         let mut ops: Vec<Vec<Op>> = vec![Vec::new(); self.nodes];
         for s in &sessions {
             ops[s.node].push(Op { at: s.arrival, session: s.id, retire: false });

@@ -66,4 +66,4 @@ pub use rebalance::{
 };
 pub use router::{NodeHealth, Router, ShardPolicy};
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use slo::SessionSlo;
+pub use slo::{percentile, SessionSlo};

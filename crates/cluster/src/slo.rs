@@ -68,13 +68,24 @@ impl SessionSlo {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted latency vector, in
-/// milliseconds: the smallest element such that at least `q` of the
-/// distribution is at or below it.
-fn percentile_ms(sorted: &[SimDuration], q: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
+/// Nearest-rank percentile of an ascending-sorted latency vector: the
+/// smallest element such that at least a fraction `q` of the distribution
+/// is at or below it. Total on every input: `q` is clamped into `[0, 1]`
+/// (NaN reads as 0), `q = 0` maps to the minimum, `q = 1` to the maximum,
+/// and only an empty slice yields `None` — no combination panics. Because
+/// the rank is monotone in `q`, percentiles drawn from one sorted vector
+/// can never invert (p50 ≤ p99 always holds).
+pub fn percentile(sorted: &[SimDuration], q: f64) -> Option<SimDuration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
     let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1].as_millis_f64()
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+fn percentile_ms(sorted: &[SimDuration], q: f64) -> f64 {
+    percentile(sorted, q).expect("from_latencies rejects empty input").as_millis_f64()
 }
 
 #[cfg(test)]
@@ -121,6 +132,43 @@ mod tests {
         assert_eq!(slo.p999_ms, 7.0);
         assert_eq!(slo.max_ms, 7.0);
         assert!((slo.completion_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_ties_keep_percentiles_ordered() {
+        // Heavy ties at the mode plus a lone outlier: nearest-rank must
+        // resolve every mid percentile to the mode and only p99.9/max to
+        // the outlier, with no inversion anywhere.
+        let mut lats = vec![ms(5); 999];
+        lats.push(ms(400));
+        let slo = SessionSlo::from_latencies(1000, lats).unwrap();
+        assert_eq!(slo.p50_ms, 5.0);
+        assert_eq!(slo.p95_ms, 5.0);
+        assert_eq!(slo.p99_ms, 5.0);
+        assert_eq!(slo.p999_ms, 5.0);
+        assert_eq!(slo.max_ms, 400.0);
+        assert!(slo.p50_ms <= slo.p95_ms && slo.p95_ms <= slo.p99_ms);
+        assert!(slo.p99_ms <= slo.p999_ms && slo.p999_ms <= slo.max_ms);
+    }
+
+    #[test]
+    fn percentile_helper_is_total_and_monotone() {
+        assert_eq!(percentile(&[], 0.5), None);
+        let sorted: Vec<SimDuration> = (1..=7).map(ms).collect();
+        // The extremes and out-of-range / NaN quantiles all resolve
+        // without panicking.
+        assert_eq!(percentile(&sorted, 0.0), Some(ms(1)));
+        assert_eq!(percentile(&sorted, 1.0), Some(ms(7)));
+        assert_eq!(percentile(&sorted, -3.0), Some(ms(1)));
+        assert_eq!(percentile(&sorted, 42.0), Some(ms(7)));
+        assert_eq!(percentile(&sorted, f64::NAN), Some(ms(1)));
+        // Monotone in q across a fine grid, so summaries can never invert.
+        let mut prev = SimDuration::ZERO;
+        for i in 0..=1000 {
+            let v = percentile(&sorted, i as f64 / 1000.0).unwrap();
+            assert!(v >= prev, "percentile inverted at q={}", i as f64 / 1000.0);
+            prev = v;
+        }
     }
 
     #[test]

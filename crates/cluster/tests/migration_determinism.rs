@@ -174,3 +174,70 @@ fn span_lifecycle_survives_migration_exactly() {
     });
     assert!(split_stream.is_some(), "some stream should deliver on both its homes");
 }
+
+/// The raw material trace correlation joins on: a migrated stream's
+/// spans, gathered across both its homes via `node_stream_ids`, form one
+/// coherent per-stream timeline — phase stamps monotone over the cut,
+/// source-side spans strictly before the migration instant's successors
+/// on the target, no overlap. (`seqio-telemetry` builds `SessionTrace`s
+/// from exactly this join; its own tests cover the higher-level view.)
+#[test]
+fn migrated_spans_interleave_into_one_monotone_timeline() {
+    let result = cluster(true, true, true, 2).run().unwrap();
+    assert!(!result.migrations.is_empty());
+
+    // Per global stream: (enqueue, delivery, node) of every span.
+    let mut timeline: Vec<Vec<(seqio_simcore::SimTime, seqio_simcore::SimTime, usize)>> =
+        vec![Vec::new(); result.assignment.len()];
+    for (k, node) in result.nodes.iter().enumerate() {
+        for span in node.result.as_ref().unwrap().spans.as_ref().unwrap() {
+            let global = result.node_stream_ids[k][span.stream];
+            timeline[global].push((span.enqueued(), span.delivered(), k));
+        }
+    }
+    let migrated: Vec<&seqio_cluster::MigrationRecord> = result.migrations.iter().collect();
+    for line in &mut timeline {
+        line.sort_unstable();
+    }
+    for m in &migrated {
+        let line = &timeline[m.stream];
+        // Node changes exactly once along the sorted timeline, at the
+        // migration instant: everything enqueued on the source precedes
+        // everything enqueued on the target.
+        let first_target = line.iter().position(|&(_, _, k)| k == m.to);
+        if let Some(split) = first_target {
+            assert!(
+                line[..split].iter().all(|&(_, _, k)| k == m.from),
+                "stream {}: source spans after the target took over",
+                m.stream
+            );
+            assert!(
+                line[split..].iter().all(|&(_, _, k)| k == m.to),
+                "stream {}: span bounced back to the source",
+                m.stream
+            );
+            assert!(
+                line[split].0 >= m.at,
+                "stream {}: target span enqueued before the migration instant",
+                m.stream
+            );
+            // The source accepts no new work after the cut; only its
+            // in-flight request may still drain past it.
+            assert!(
+                line[..split].iter().all(|&(enq, _, _)| enq < m.at),
+                "stream {}: source enqueued a request after the migration",
+                m.stream
+            );
+        }
+    }
+    // Within each node's share of a stream, the closed-loop client is
+    // strictly sequential: sorted by enqueue, deliveries never regress
+    // and requests never overlap.
+    for (g, line) in timeline.iter().enumerate() {
+        for pair in line.windows(2) {
+            if pair[0].2 == pair[1].2 {
+                assert!(pair[0].1 <= pair[1].0, "stream {g}: requests overlap on one node");
+            }
+        }
+    }
+}

@@ -5,7 +5,8 @@ use seqio_core::{ServerConfig, ServerMetrics};
 use seqio_disk::{bytes_to_blocks, DiskConfig};
 use seqio_hostsched::{ReadaheadConfig, SchedKind};
 use seqio_simcore::{
-    FaultPlan, LatencyHistogram, MetricSeries, ObsConfig, SeqioError, SimDuration, SimTime,
+    FaultPlan, KernelProfile, LatencyHistogram, MetricSeries, ObsConfig, ProfConfig, SeqioError,
+    SimDuration, SimTime,
 };
 use seqio_workload::Pattern;
 
@@ -176,6 +177,11 @@ pub struct Experiment {
     /// faults, observability is strictly opt-in and never perturbs the
     /// simulation — results stay bit-identical with it on or off).
     pub obs: Option<ObsConfig>,
+    /// Kernel self-profiling configuration (`None` = no accounting; like
+    /// observability, profiling is strictly opt-in, only *reads* the host
+    /// clock around event dispatch, and leaves every simulation output
+    /// bit-identical).
+    pub prof: Option<ProfConfig>,
 }
 
 impl Experiment {
@@ -211,6 +217,7 @@ impl Experiment {
                 seed: 1,
                 faults: None,
                 obs: None,
+                prof: None,
             },
         }
     }
@@ -322,6 +329,14 @@ impl Experiment {
     /// is strictly opt-in and never changes simulation outputs.
     pub fn observe(mut self, cfg: ObsConfig) -> Self {
         self.obs = Some(cfg);
+        self
+    }
+
+    /// Attaches a kernel self-profiling configuration to an already-built
+    /// experiment (equivalent to [`ExperimentBuilder::profile`]).
+    /// Profiling is strictly opt-in and never changes simulation outputs.
+    pub fn profile(mut self, cfg: ProfConfig) -> Self {
+        self.prof = Some(cfg);
         self
     }
 
@@ -470,6 +485,16 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables kernel self-profiling (per-event-class count/duration
+    /// accounting in the dispatch loop, plus calendar-queue shape
+    /// statistics). Strictly opt-in: a profiled run produces simulation
+    /// results bit-identical to an unprofiled one; only the exported
+    /// [`KernelProfile`] (wall-clock figures included) differs run to run.
+    pub fn profile(mut self, cfg: ProfConfig) -> Self {
+        self.spec.prof = Some(cfg);
+        self
+    }
+
     /// Finalizes the specification without running it.
     pub fn build(self) -> Experiment {
         self.spec
@@ -534,6 +559,10 @@ pub struct RunResult {
     pub spans: Option<Vec<crate::SpanRecord>>,
     /// Metric time series, when periodic sampling was enabled.
     pub metrics: Option<MetricSeries>,
+    /// Kernel self-profile, when profiling was enabled. Event-class
+    /// counts are deterministic; wall-clock nanoseconds are host
+    /// measurements and vary run to run.
+    pub prof: Option<KernelProfile>,
 }
 
 impl RunResult {

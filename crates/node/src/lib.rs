@@ -44,7 +44,8 @@ pub use experiment::{
     run_node, Experiment, ExperimentBuilder, Frontend, NodeShape, Placement, RunResult,
 };
 pub use seqio_simcore::{
-    FaultPlan, MetricSeries, ObsConfig, RetryPolicy, SeqioError, SimComponent, SpanPhase,
+    FaultPlan, KernelProfile, MetricSeries, ObsConfig, ProfConfig, RetryPolicy, SeqioError,
+    SimComponent, SpanPhase,
 };
 pub use sim::{HealthSnapshot, NodeSim, StreamHandoff};
 pub use span::{PhaseBreakdown, SpanRecord};

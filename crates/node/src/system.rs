@@ -13,7 +13,8 @@ use seqio_core::{ServerConfig, ServerOutput, SpanEvent, StorageServer};
 use seqio_disk::{Direction, Disk, RequestId};
 use seqio_hostsched::{BlockRequest, IoScheduler, RaOutcome, SchedDecision, StreamRa};
 use seqio_simcore::{
-    EventQueue, LatencyHistogram, MetricId, MetricsHub, SimDuration, SimRng, SimTime, SpanPhase,
+    EventQueue, LatencyHistogram, MetricId, MetricsHub, ProfTally, SimDuration, SimRng, SimTime,
+    SpanPhase,
 };
 use seqio_workload::{interval_offsets, uniform_offsets, ClientSet, StreamSpec};
 
@@ -40,6 +41,35 @@ enum Ev {
     /// Periodic observability sample (only scheduled when metric
     /// sampling is enabled; excluded from `events_simulated`).
     Sample,
+}
+
+/// Stable class names for the kernel self-profile, indexed by
+/// [`Ev::class`] — one per `Ev` variant, in declaration order.
+const EV_CLASS_NAMES: [&str; 8] = [
+    "arrive",
+    "submit_ctrl",
+    "ctrl_internal",
+    "ctrl_done",
+    "deliver",
+    "gc",
+    "linux_kick",
+    "sample",
+];
+
+impl Ev {
+    /// Index into [`EV_CLASS_NAMES`] for profiling.
+    fn class(&self) -> usize {
+        match self {
+            Ev::Arrive(_) => 0,
+            Ev::SubmitCtrl { .. } => 1,
+            Ev::CtrlInternal { .. } => 2,
+            Ev::CtrlDone { .. } => 3,
+            Ev::Deliver { .. } => 4,
+            Ev::Gc => 5,
+            Ev::LinuxKick { .. } => 6,
+            Ev::Sample => 7,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -217,6 +247,10 @@ pub(crate) struct StorageNode {
     requests_completed: u64,
     trace: Option<Vec<crate::TraceRecord>>,
     obs: Option<Obs>,
+    /// Kernel self-profiling tally (`None` = the dispatch loop takes its
+    /// historical branch-free path). Profiling only reads the host clock
+    /// around dispatch; it never touches simulation state.
+    prof: Option<ProfTally>,
 }
 
 impl StorageNode {
@@ -369,6 +403,7 @@ impl StorageNode {
                 pushes: 0,
             }
         });
+        let prof = spec.prof.map(|cfg| ProfTally::new(cfg, &EV_CLASS_NAMES));
         StorageNode {
             spec,
             q: EventQueue::new(),
@@ -395,6 +430,7 @@ impl StorageNode {
             requests_completed: 0,
             trace,
             obs,
+            prof,
         }
     }
 
@@ -484,7 +520,25 @@ impl StorageNode {
                 self.stopped = true;
                 break;
             }
-            self.handle(now, ev);
+            if self.prof.is_some() {
+                self.handle_profiled(now, ev);
+            } else {
+                self.handle(now, ev);
+            }
+        }
+    }
+
+    /// Dispatches one event with self-profiling around it: books the
+    /// event's class and (when configured) the host-clock nanoseconds its
+    /// handler took. The simulation sees the exact same `handle` call.
+    fn handle_profiled(&mut self, now: SimTime, ev: Ev) {
+        let class = ev.class();
+        let wall = self.prof.as_ref().is_some_and(ProfTally::wall_time);
+        let t0 = wall.then(std::time::Instant::now);
+        self.handle(now, ev);
+        let nanos = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        if let Some(p) = self.prof.as_mut() {
+            p.record(class, nanos);
         }
     }
 
@@ -527,6 +581,7 @@ impl StorageNode {
         // Sampler events are bookkeeping, not simulation: subtract them so
         // `events_simulated` is bit-identical with observability off.
         let obs_pushes = self.obs.as_ref().map_or(0, |o| o.pushes);
+        let prof = self.prof.map(|t| t.finish(self.q.stats()));
         let (spans, metrics) = match self.obs {
             Some(obs) => {
                 (obs.spans_on.then_some(obs.done), obs.hub.map(|(hub, _)| hub.into_series()))
@@ -554,6 +609,7 @@ impl StorageNode {
             trace: self.trace,
             spans,
             metrics,
+            prof,
         }
     }
 

@@ -9,7 +9,7 @@
 
 use seqio_node::span::PhaseBreakdown;
 use seqio_node::{
-    Experiment, FaultPlan, Frontend, NodeShape, ObsConfig, RunResult, SpanPhase, Sweep,
+    Experiment, FaultPlan, Frontend, NodeShape, ObsConfig, ProfConfig, RunResult, SpanPhase, Sweep,
 };
 use seqio_simcore::units::{KIB, MIB};
 use seqio_simcore::SimDuration;
@@ -79,6 +79,41 @@ fn enabling_observability_never_changes_outputs() {
         let spans = on.spans.as_ref().expect("spans enabled");
         assert_eq!(spans.len() as u64, on.requests_completed, "{label}: one span per completion");
         assert!(!on.metrics.as_ref().expect("metrics enabled").is_empty(), "{label}: no samples");
+    }
+}
+
+/// Kernel self-profiling obeys the same neutrality bar as the recorder:
+/// simulation outputs are bit-identical with it on, the profiled event
+/// count equals `events_simulated` plus the sampler ticks it excludes,
+/// and the queue stats reflect a real run.
+#[test]
+fn enabling_profiling_never_changes_outputs() {
+    for (label, fe) in
+        [("direct", None), ("scheduler", Some(Frontend::stream_scheduler_with_readahead(MIB)))]
+    {
+        let off = base(fe.clone(), Some(plan())).run();
+        let on = base(fe.clone(), Some(plan())).profile(ProfConfig::new()).run();
+        assert_eq!(fingerprint(&off), fingerprint(&on), "{label}: profiler perturbed the run");
+        assert!(off.prof.is_none(), "{label}: profiling off yet recorded");
+        let prof = on.prof.as_ref().expect("profiling enabled");
+        // Every scheduled event is dispatched exactly once or still
+        // pending at the stop time; the dispatched count can never exceed
+        // the scheduled count.
+        assert!(prof.total_events() <= prof.queue.pushes, "{label}: dispatched > scheduled");
+        assert!(prof.total_events() > 0, "{label}: nothing dispatched");
+        assert_eq!(prof.queue.pushes, on.events_simulated, "{label}: queue pushes drifted");
+        assert!(prof.classes.iter().any(|c| c.name == "deliver" && c.count > 0), "{label}");
+        assert!(prof.total_wall_nanos() > 0, "{label}: wall timing was on");
+        // Counts-only profiling reads no host clock but books the same
+        // deterministic counts.
+        let counts = base(fe.clone(), Some(plan())).profile(ProfConfig::counts_only()).run();
+        let cp = counts.prof.as_ref().unwrap();
+        assert_eq!(cp.total_wall_nanos(), 0, "{label}: counts_only read the clock");
+        assert_eq!(
+            cp.classes.iter().map(|c| (c.name, c.count)).collect::<Vec<_>>(),
+            prof.classes.iter().map(|c| (c.name, c.count)).collect::<Vec<_>>(),
+            "{label}: class counts are deterministic"
+        );
     }
 }
 
@@ -210,6 +245,7 @@ fn fig01_golden_hash_unchanged_with_observability_enabled() {
                 .seed(11)
                 .build();
             e.obs = Some(ObsConfig::all().sample_every(SimDuration::from_millis(10)));
+            e.prof = Some(ProfConfig::new());
             points.push(e);
         }
     }

@@ -128,6 +128,9 @@ pub struct EventQueue<E> {
     gap_samples: [u64; GAP_SAMPLES],
     gap_fill: usize,
     gap_pos: usize,
+    /// Ring rebuilds over the queue's lifetime (cheap bookkeeping for the
+    /// kernel self-profile; never read by the scheduling logic).
+    resizes: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -163,6 +166,7 @@ impl<E> EventQueue<E> {
             gap_samples: [0; GAP_SAMPLES],
             gap_fill: 0,
             gap_pos: 0,
+            resizes: 0,
         }
     }
 
@@ -185,6 +189,18 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (a simple progress metric).
     pub fn scheduled_count(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Shape statistics for the kernel self-profile: lifetime pushes, the
+    /// current ring size and bucket width, and how many times the ring
+    /// was rebuilt.
+    pub fn stats(&self) -> crate::QueueStats {
+        crate::QueueStats {
+            pushes: self.next_seq,
+            buckets: self.buckets.len(),
+            width_ns: self.width,
+            resizes: self.resizes,
+        }
     }
 
     /// Schedules `payload` to fire at `at`.
@@ -336,6 +352,7 @@ impl<E> EventQueue<E> {
     /// pending set's event spacing.
     fn resize(&mut self, n: usize) {
         debug_assert!(n.is_power_of_two());
+        self.resizes += 1;
         let entries: Vec<Entry<E>> =
             self.buckets.iter_mut().flat_map(|b| std::mem::take(&mut b.entries)).collect();
         for b in &mut self.buckets {
@@ -439,6 +456,22 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn stats_expose_shape_and_resize_count() {
+        let mut q = EventQueue::new();
+        let s = q.stats();
+        assert_eq!((s.pushes, s.buckets, s.resizes), (0, MIN_BUCKETS, 0));
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_nanos(i * 1_000), i);
+        }
+        let s = q.stats();
+        assert_eq!(s.pushes, 10_000);
+        assert!(s.resizes > 0, "growth rebuilds the ring");
+        assert!(s.buckets > MIN_BUCKETS && s.width_ns.is_power_of_two());
+        while q.pop().is_some() {}
+        assert!(q.stats().resizes > s.resizes, "draining shrinks the ring");
     }
 
     #[test]

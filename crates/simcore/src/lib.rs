@@ -25,6 +25,9 @@
 //! * observability: [`ObsConfig`], [`SpanPhase`], [`MetricsHub`] /
 //!   [`MetricSeries`] — strictly opt-in lifecycle-span and metric
 //!   time-series recording, guaranteed not to perturb simulation output;
+//! * kernel self-profiling: [`ProfConfig`] / [`KernelProfile`] — opt-in
+//!   per-event-class count/duration accounting for the engine's dispatch
+//!   loop, with calendar-queue shape statistics ([`QueueStats`]);
 //! * [`SeqioError`] — typed validation errors shared by the higher layers.
 //!
 //! # Examples
@@ -61,6 +64,7 @@ mod event;
 mod fault;
 mod link;
 mod obs;
+mod prof;
 mod rng;
 mod stats;
 mod time;
@@ -73,6 +77,7 @@ pub use event::HeapEventQueue;
 pub use fault::{BadRegion, DiskFaults, FaultPlan, RetryPolicy, Straggler};
 pub use link::{max_min_rates, FairShareLink, LinkDelivery};
 pub use obs::{MetricId, MetricKind, MetricSeries, MetricsHub, ObsConfig, SpanPhase};
+pub use prof::{EventClassStats, KernelProfile, ProfConfig, ProfTally, QueueStats};
 pub use rng::SimRng;
 pub use stats::{LatencyHistogram, OnlineStats, ThroughputMeter};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,74 @@
+//! # seqio-telemetry
+//!
+//! Cluster-wide telemetry for the `seqio` simulation: cross-tier trace
+//! correlation, tail-latency attribution and SLO burn-rate monitoring.
+//!
+//! The observability layers below (PR 4's spans and metrics, PR 6's
+//! cluster merge, PR 8's session SLOs) each answer a per-tier question.
+//! This crate answers the operator's questions across tiers, as pure
+//! post-run computations over artifacts the layers already produce — no
+//! recording path changes, so the zero-perturbation guarantee pinned by
+//! `obs_neutrality.rs` carries over wholesale:
+//!
+//! * [`correlate`] — joins the client tier's session schedule, the
+//!   cluster's placement/migration record and every node's span log into
+//!   one [`SessionTrace`] per session, following sessions across mid-run
+//!   migrations; serializes to JSON Lines for `seqio report
+//!   --correlate`.
+//! * [`TailAttribution`] — decomposes a latency percentile band
+//!   (p99–p100 by default) into additive buckets — arrival wait, the
+//!   span phases, inter-request gap — with a phase-share table summing
+//!   to 100%, dominant-phase counts and worst-offender exemplars.
+//! * [`monitor`] — multi-window SLO burn-rate monitoring in the SRE
+//!   style (page at 5x on fast+slow windows, warn at 1x), emitting a
+//!   deterministic alert record and a `slo.*` metric series on the same
+//!   tick grid the [`MetricsHub`](seqio_simcore::MetricsHub) samples on.
+//!
+//! # Example
+//!
+//! ```
+//! use seqio_client::{ArrivalConfig, ClientExperiment};
+//! use seqio_node::{Experiment, ObsConfig};
+//! use seqio_simcore::SimDuration;
+//! use seqio_telemetry::{correlate, monitor, BurnRateConfig, TailAttribution};
+//!
+//! let template = Experiment::builder()
+//!     .warmup(SimDuration::ZERO)
+//!     .duration(SimDuration::from_secs(5))
+//!     .observe(ObsConfig::new().with_spans())
+//!     .build();
+//! let xp = ClientExperiment::builder()
+//!     .template(template)
+//!     .nodes(2)
+//!     .base_seed(7)
+//!     .arrivals(ArrivalConfig { rate_per_sec: 40.0, ..ArrivalConfig::default() })
+//!     .build();
+//! let schedule = xp.session_schedule().unwrap();
+//! let result = xp.run().unwrap();
+//!
+//! let traces = correlate(&result, &schedule);
+//! let tail = TailAttribution::compute(&traces, 0.99, 1.0).unwrap();
+//! assert!((tail.share_sum_pct() - 100.0).abs() < 1e-6);
+//!
+//! let slo = result.slo.as_ref().unwrap();
+//! let burn = monitor(&traces, &BurnRateConfig::from_slo(slo), SimDuration::from_millis(100))
+//!     .unwrap();
+//! assert_eq!(burn.completed, slo.completed);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod attribution;
+mod burnrate;
+mod correlate;
+mod json;
+
+pub use attribution::{parse_percentile, PhaseShare, TailAttribution, TailExemplar};
+pub use burnrate::{
+    monitor, monitor_samples, AlertEvent, AlertSeverity, BurnRateConfig, BurnRateReport,
+};
+pub use correlate::{
+    bucket_names, correlate, correlate_cluster, traces_from_jsonl, traces_to_jsonl, SessionTrace,
+    TraceSpan, BUCKETS,
+};

@@ -1,0 +1,118 @@
+//! Cross-tier consistency: the correlated traces must agree exactly
+//! with what each tier reported on its own — the session SLO from the
+//! client tier, span counts from the nodes, placement from the cluster
+//! — and the derived telemetry (attribution, burn rate) must be a
+//! deterministic function of the run.
+
+use seqio_client::{ArrivalConfig, ClientExperiment, LinkConfig};
+use seqio_cluster::SessionSlo;
+use seqio_node::{Experiment, ObsConfig};
+use seqio_simcore::{SimDuration, SimTime};
+use seqio_telemetry::{
+    correlate, monitor, traces_from_jsonl, traces_to_jsonl, BurnRateConfig, TailAttribution,
+};
+
+fn experiment(link: LinkConfig) -> ClientExperiment {
+    let template = Experiment::builder()
+        .warmup(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(4))
+        .observe(ObsConfig::new().with_spans())
+        .build();
+    ClientExperiment::builder()
+        .template(template)
+        .nodes(2)
+        .base_seed(41)
+        .arrivals(ArrivalConfig {
+            rate_per_sec: 60.0,
+            titles: 64,
+            requests_per_session: 3,
+            ..ArrivalConfig::default()
+        })
+        .link(link)
+        .build()
+}
+
+/// Trace-level latencies must reproduce the SLO summary the client tier
+/// computed from the link overlay — the strongest cross-tier statement:
+/// two independent code paths, one distribution.
+#[test]
+fn trace_latencies_reproduce_the_session_slo() {
+    for link in [
+        LinkConfig::default(),
+        LinkConfig { capacity_bps: 40.0 * 1024.0 * 1024.0, ..LinkConfig::default() },
+    ] {
+        let xp = experiment(link);
+        let schedule = xp.session_schedule().unwrap();
+        let result = xp.run().unwrap();
+        let slo = result.slo.clone().expect("sessions completed");
+        let traces = correlate(&result, &schedule);
+
+        assert_eq!(traces.len(), schedule.len(), "one trace per admitted session");
+        let latencies: Vec<SimDuration> = traces.iter().filter_map(|t| t.latency()).collect();
+        let rebuilt = SessionSlo::from_latencies(schedule.len() as u64, latencies)
+            .expect("completed sessions");
+        assert_eq!(rebuilt, slo, "correlated traces disagree with the client tier's SLO");
+
+        for t in &traces {
+            // Arrival and title survive the join.
+            let spec = &schedule[t.session];
+            assert_eq!(t.arrival, spec.arrival);
+            assert_eq!(t.title, Some(spec.title));
+            assert_eq!(t.node_path, vec![spec.node], "no migrations in this run");
+            // Spans stay in enqueue order and never precede arrival.
+            let mut prev = SimTime::ZERO;
+            for s in &t.spans {
+                assert!(s.record.enqueued() >= t.arrival);
+                assert!(s.record.enqueued() >= prev);
+                prev = s.record.enqueued();
+            }
+            // Completed sessions decompose additively.
+            if let Some(latency) = t.latency() {
+                let parts = t.decompose().unwrap();
+                let sum: SimDuration = parts.iter().copied().sum();
+                assert_eq!(sum, latency, "session {} decomposition not additive", t.session);
+            }
+        }
+    }
+}
+
+/// The JSONL interchange format loses nothing: parse(render(x)) == x on
+/// a real run's traces.
+#[test]
+fn jsonl_round_trips_a_real_run() {
+    let xp = experiment(LinkConfig::default());
+    let schedule = xp.session_schedule().unwrap();
+    let result = xp.run().unwrap();
+    let traces = correlate(&result, &schedule);
+    let parsed = traces_from_jsonl(&traces_to_jsonl(&traces)).unwrap();
+    assert_eq!(parsed, traces);
+}
+
+/// Attribution and burn-rate monitoring are deterministic functions of
+/// the run and satisfy their structural invariants on real data.
+#[test]
+fn derived_telemetry_is_deterministic_and_consistent() {
+    let xp = experiment(LinkConfig::default());
+    let schedule = xp.session_schedule().unwrap();
+    let result = xp.run().unwrap();
+    let slo = result.slo.clone().unwrap();
+    let traces = correlate(&result, &schedule);
+
+    let tail = TailAttribution::compute(&traces, 0.99, 1.0).unwrap();
+    assert_eq!(tail.completed as u64, slo.completed);
+    assert!(tail.tail_sessions > 0);
+    assert!((tail.share_sum_pct() - 100.0).abs() < 1e-6, "shares must sum to 100%");
+    assert!(tail.threshold_ms >= slo.p50_ms, "a p99 band cannot start below the median");
+    assert!(!tail.exemplars.is_empty());
+    let dominated: usize = tail.dominant.iter().map(|(_, c)| c).sum();
+    assert_eq!(dominated, tail.tail_sessions, "every tail session has one dominant bucket");
+
+    let cfg = BurnRateConfig::from_slo(&slo);
+    let a = monitor(&traces, &cfg, SimDuration::from_millis(100)).unwrap();
+    let b = monitor(&traces, &cfg, SimDuration::from_millis(100)).unwrap();
+    assert_eq!(a.alerts, b.alerts);
+    assert_eq!(a.series.to_csv(), b.series.to_csv());
+    assert_eq!(a.completed, slo.completed);
+    // At most 1% of a baseline's own sessions sit above its p99.
+    assert!(a.violations as f64 <= 0.01 * a.completed as f64 + 1.0);
+}

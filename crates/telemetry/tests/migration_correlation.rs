@@ -1,0 +1,89 @@
+//! Correlation across mid-run migration: a session moved between nodes
+//! by the rebalancer must come back as ONE trace whose spans cover both
+//! homes with monotone phase stamps — the tentpole property that makes
+//! cross-tier traces trustworthy under PR 6's migration machinery.
+
+use seqio_cluster::{ClusterExperiment, RebalanceConfig, ShardPolicy};
+use seqio_node::{Experiment, ObsConfig};
+use seqio_simcore::units::KIB;
+use seqio_simcore::{FaultPlan, SimDuration, SimTime};
+use seqio_telemetry::{correlate_cluster, traces_from_jsonl, traces_to_jsonl, TailAttribution};
+
+const REQUESTS: u64 = 12;
+
+/// The migration scenario from `seqio-cluster`'s determinism suite: two
+/// single-disk nodes, node 1's disk goes 8x slower at 300 ms, the
+/// rebalancer sweeps every 50 ms.
+fn migrated_run() -> seqio_cluster::ClusterResult {
+    let mut t = Experiment::builder()
+        .streams_per_disk(12)
+        .request_size(64 * KIB)
+        .requests_per_stream(REQUESTS)
+        .warmup(SimDuration::ZERO)
+        .duration(SimDuration::from_secs(120))
+        .build();
+    t.obs = Some(ObsConfig::new().with_spans());
+    ClusterExperiment::builder()
+        .template(t)
+        .nodes(2)
+        .policy(ShardPolicy::HashByStream)
+        .base_seed(7)
+        .node_fault(1, FaultPlan::new().straggler(0, 8.0, SimDuration::from_millis(300), None))
+        .rebalance(RebalanceConfig::new(SimDuration::from_millis(50)))
+        .jobs(2)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn a_migrated_session_is_one_trace_spanning_both_nodes() {
+    let result = migrated_run();
+    assert!(!result.migrations.is_empty(), "the straggler must trigger migrations");
+    let traces = correlate_cluster(&result);
+    assert_eq!(traces.len(), result.assignment.len());
+
+    let mut checked_multi_node = 0;
+    for m in &result.migrations {
+        let t = &traces[m.stream];
+        // The node path records the hop...
+        assert_eq!(t.node_path.first(), Some(&result.assignment[m.stream]));
+        assert!(t.node_path.contains(&m.to), "trace misses the migration target");
+        // ...and the full request budget is present in ONE trace, in
+        // globally monotone enqueue order.
+        assert_eq!(t.spans.len() as u64, REQUESTS, "migrated session lost or duplicated spans");
+        let mut prev = SimTime::ZERO;
+        for s in &t.spans {
+            assert!(s.record.enqueued() >= prev, "phase stamps regressed across the cut");
+            prev = s.record.enqueued();
+        }
+        // Spans from both homes appear when the stream delivered on both.
+        let nodes: Vec<usize> = t.spans.iter().map(|s| s.node).collect();
+        if nodes.contains(&m.from) && nodes.contains(&m.to) {
+            checked_multi_node += 1;
+            // The node sequence along the trace changes exactly once.
+            let flips = nodes.windows(2).filter(|w| w[0] != w[1]).count();
+            assert_eq!(flips, 1, "session {} bounced between nodes", m.stream);
+        }
+    }
+    assert!(checked_multi_node > 0, "no session actually delivered on both homes");
+
+    // The unmigrated majority stays single-node and complete.
+    for t in &traces {
+        assert_eq!(t.spans.len() as u64, REQUESTS);
+        if !result.migrations.iter().any(|m| m.stream == t.session) {
+            assert_eq!(t.node_path.len(), 1);
+            assert!(t.spans.iter().all(|s| s.node == t.node_path[0]));
+        }
+    }
+
+    // The whole correlated record survives the JSONL interchange, and
+    // attribution runs cleanly on a migrated run.
+    let parsed = traces_from_jsonl(&traces_to_jsonl(&traces)).unwrap();
+    assert_eq!(parsed, traces);
+    let tail = TailAttribution::compute(&traces, 0.99, 1.0).unwrap();
+    assert!((tail.share_sum_pct() - 100.0).abs() < 1e-6);
+    // Closed-loop sessions all start at t=0, so the slowest sessions are
+    // exactly those that lived through the straggler/migration; their
+    // exemplars must name multi-node paths.
+    assert!(tail.exemplars.iter().any(|e| e.node_path.len() > 1));
+}

@@ -16,7 +16,11 @@
 //!   with an experiment runner ([`node`]);
 //! * a multi-node cluster layer running every node on a shared simulated
 //!   clock, with deterministic stream routing and mid-run stream
-//!   migration off degraded nodes ([`cluster`]).
+//!   migration off degraded nodes ([`cluster`]);
+//! * an open-loop client/network front end: user-scale session arrivals
+//!   over a fair-share link with end-to-end session SLOs ([`client`]);
+//! * cluster-wide telemetry: cross-tier trace correlation, tail
+//!   attribution and SLO burn-rate monitoring ([`telemetry`]).
 //!
 //! # Quick start
 //!
@@ -77,6 +81,7 @@ pub mod prelude {
     pub use seqio_simcore::{SeqioError, SimDuration};
 }
 
+pub use seqio_client as client;
 pub use seqio_cluster as cluster;
 pub use seqio_controller as controller;
 pub use seqio_core as core;
@@ -84,4 +89,5 @@ pub use seqio_disk as disk;
 pub use seqio_hostsched as hostsched;
 pub use seqio_node as node;
 pub use seqio_simcore as simcore;
+pub use seqio_telemetry as telemetry;
 pub use seqio_workload as workload;
