@@ -39,6 +39,12 @@
 //! p99.9 latency band, and monitors the SLO burn rate. Writes
 //! `bench_results/tail_probe.json` plus the correlated traces to
 //! `bench_results/tail_trace.jsonl`.
+//!
+//! `probe scenario` runs the scenario experiment matrix (every named
+//! scenario under direct, the static candidate panel, the over-wide
+//! reference and the adaptive tuner) plus the degraded-rescue point,
+//! asserts the adaptive-vs-static acceptance bars, and writes
+//! `bench_results/scenario_probe.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -788,6 +794,100 @@ fn tail_mode() {
     }
 }
 
+/// `probe scenario`: the scenario experiment matrix at the quick scale —
+/// every named scenario under the direct frontend, the static candidate
+/// panel, the over-wide reference tune and the adaptive tuner — plus the
+/// degraded-rescue point. Asserts the issue's acceptance bars (adaptive
+/// matches or beats the best static candidate on every scenario; the
+/// rescue strictly wins) and writes `bench_results/scenario_probe.json`.
+fn scenario_mode() {
+    use seqio_scenario::{degraded_rescue, run_matrix, MatrixScale};
+
+    let scale = MatrixScale::quick();
+    let seed = 11;
+    let start = Instant::now();
+    let rows = run_matrix(&scale, seed).expect("the scenario matrix runs");
+    let rescue = degraded_rescue(&scale, seed).expect("the rescue point runs");
+    let wall = start.elapsed().as_secs_f64();
+
+    println!("-- scenario matrix: quick scale, seed {seed}, {wall:.2}s wall --");
+    println!(
+        "  {:<13} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "scenario", "direct", "auto", "default", "wide", "adaptive", "retunes"
+    );
+    for r in &rows {
+        let cell = |name: &str| {
+            r.statics.iter().find(|s| s.name == name).expect("candidate panel is fixed").mbs
+        };
+        println!(
+            "  {:<13} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8}",
+            r.scenario,
+            r.direct_mbs,
+            cell("auto"),
+            cell("default"),
+            r.wide_mbs,
+            r.adaptive_mbs,
+            r.retunes
+        );
+    }
+    let (rescue_static, rescue_adaptive, rescue_retunes) = rescue;
+    println!(
+        "  degraded rescue (narrow D=4 tune): static {rescue_static:.2} MB/s -> adaptive \
+         {rescue_adaptive:.2} MB/s ({rescue_retunes} retune(s))"
+    );
+
+    // Acceptance bars — the same ones the scenario matrix test pins.
+    for r in &rows {
+        let best = r.best_static();
+        assert!(
+            r.adaptive_mbs >= best.mbs,
+            "{}: adaptive {:.2} MB/s lost to static {} {:.2} MB/s",
+            r.scenario,
+            r.adaptive_mbs,
+            best.name,
+            best.mbs
+        );
+    }
+    assert!(
+        rescue_adaptive > rescue_static && rescue_retunes >= 1,
+        "degraded rescue did not strictly win: {rescue_static:.2} -> {rescue_adaptive:.2} \
+         with {rescue_retunes} retune(s)"
+    );
+
+    let mut json = String::from("{\n  \"scale\": \"quick\",\n");
+    let _ = write!(json, "  \"seed\": {seed},\n  \"wall_secs\": {wall:.3},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"direct_mbs\": {:.4}",
+            r.scenario, r.direct_mbs
+        );
+        for s in &r.statics {
+            let _ = write!(json, ", \"{}_mbs\": {:.4}", s.name, s.mbs);
+        }
+        let _ = writeln!(
+            json,
+            ", \"wide_mbs\": {:.4}, \"adaptive_mbs\": {:.4}, \"retunes\": {}}}{}",
+            r.wide_mbs,
+            r.adaptive_mbs,
+            r.retunes,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"degraded_rescue\": {{\"static_mbs\": {rescue_static:.4}, \
+         \"adaptive_mbs\": {rescue_adaptive:.4}, \"retunes\": {rescue_retunes}}}\n}}\n"
+    );
+    let dir = seqio_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("scenario_probe.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("   -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("perf") => {
@@ -816,6 +916,10 @@ fn main() {
         }
         Some("tail") => {
             tail_mode();
+            return;
+        }
+        Some("scenario") => {
+            scenario_mode();
             return;
         }
         _ => {}

@@ -5,8 +5,9 @@
 //! from low-throughput corners so the simulated event count stays small.
 //!
 //! Covered figures: fig01 (direct-path collapse, 60 disks), fig12 (8-disk
-//! D = S configuration), fig13 (small dispatch set vs D = S) and fig_slo
-//! (open-loop session latency vs offered load).
+//! D = S configuration), fig13 (small dispatch set vs D = S), fig_slo
+//! (open-loop session latency vs offered load) and scenario_matrix (named
+//! scenarios: direct vs static tunes vs adaptive).
 //!
 //! The last two tests re-derive one cell of each figure through the wider
 //! drivers — the shared-clock cluster driver (a 1-node identity
@@ -18,6 +19,7 @@
 use seqio_client::{ArrivalConfig, ClientExperiment, LinkConfig};
 use seqio_cluster::Scenario;
 use seqio_node::{Experiment, Frontend, NodeShape};
+use seqio_scenario::{run_row, MatrixScale, ScenarioKind};
 use seqio_simcore::units::{KIB, MIB};
 use seqio_simcore::SimDuration;
 
@@ -162,6 +164,33 @@ fn fig_slo_committed_csv_matches_current_build() {
             "bench_results/fig_slo.csv cell (50, {column}) drifted from the current \
              build; regenerate with `SEQIO_BENCH_FULL=1 cargo bench` and commit the result"
         );
+    }
+}
+
+#[test]
+fn scenario_matrix_committed_csv_matches_current_build() {
+    // Two rows of the scenario matrix recomputed at the bench's full
+    // scale: `mixed` (the lowest-throughput, cheapest row) and `video`
+    // (the row where the adaptive tuner's widening retune is the whole
+    // story — its Adaptive cell pins the retune behaviour, not just the
+    // static panel).
+    for kind in [ScenarioKind::Mixed, ScenarioKind::Video] {
+        let r = run_row(kind, &MatrixScale::full(), 11).expect("the matrix row runs");
+        for (column, value) in [
+            ("Direct", r.direct_mbs),
+            ("Best static", r.best_static().mbs),
+            ("Wide reference", r.wide_mbs),
+            ("Adaptive", r.adaptive_mbs),
+        ] {
+            assert_eq!(
+                cell(value),
+                committed_cell("scenario_matrix", r.scenario, column),
+                "bench_results/scenario_matrix.csv cell ({}, {column}) drifted from the \
+                 current build; regenerate with `SEQIO_BENCH_FULL=1 cargo bench` and \
+                 commit the result",
+                r.scenario
+            );
+        }
     }
 }
 

@@ -28,6 +28,7 @@ fn main() -> ExitCode {
         "client" => cmd_client(rest),
         "replay" => cmd_replay(rest),
         "report" => cmd_report(rest),
+        "scenario" => cmd_scenario(rest),
         "info" | "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -549,21 +550,23 @@ fn cmd_report(rest: Vec<String>) -> Result<(), String> {
             .filter(|s| s.stamp(seqio_node::SpanPhase::NetworkDelivered).is_some())
             .map(seqio_node::SpanRecord::total)
             .collect();
-        if latencies.is_empty() {
-            return Err(format!(
-                "--slo: no span in {path} carries a network_delivered stamp; record one with \
-                 `seqio client run --link RATE --trace-out {path}` (an unconstrained link \
-                 stamps nothing)"
-            ));
+        // Zero completed sessions is a legitimate outcome (an overloaded
+        // run, or a file recorded without a constrained link), not an
+        // error — and certainly not a set of NaN percentiles. Report it
+        // plainly.
+        match seqio_cluster::SessionSlo::from_latencies(latencies.len() as u64, latencies) {
+            Some(slo) => {
+                println!(
+                    "session SLO:     {} delivered sessions   p50 {:.2} ms   p95 {:.2} ms   \
+                     p99 {:.2} ms   p99.9 {:.2} ms",
+                    slo.completed, slo.p50_ms, slo.p95_ms, slo.p99_ms, slo.p999_ms
+                );
+            }
+            None => println!(
+                "session SLO:     no completed sessions (no span carries a network_delivered \
+                 stamp; a constrained `seqio client run --link RATE` records them)"
+            ),
         }
-        let sessions = latencies.len() as u64;
-        let slo = seqio_cluster::SessionSlo::from_latencies(sessions, latencies)
-            .expect("non-empty latency set");
-        println!(
-            "session SLO:     {} delivered sessions   p50 {:.2} ms   p95 {:.2} ms   \
-             p99 {:.2} ms   p99.9 {:.2} ms",
-            sessions, slo.p50_ms, slo.p95_ms, slo.p99_ms, slo.p999_ms
-        );
     }
     Ok(())
 }
@@ -645,6 +648,154 @@ fn report_traces(args: &Args, path: &str) -> Result<(), String> {
                 None => "clear",
             };
             println!("  t={} {state} (fast {:.2}x, slow {:.2}x)", a.at, a.fast_burn, a.slow_burn);
+        }
+    }
+    Ok(())
+}
+
+/// `seqio scenario run|record|replay` — the scenario engine front end.
+///
+/// `run` generates a named scenario and drives it through the scenario
+/// runner; `record` writes the generated trace to a text file without
+/// running it; `replay` parses a recorded trace file and runs it. Record
+/// followed by replay reproduces the original run bit-for-bit.
+fn cmd_scenario(rest: Vec<String>) -> Result<(), String> {
+    let mut rest = rest.into_iter();
+    let verb = match rest.next() {
+        Some(v) => v,
+        None => return Err("scenario: expected `scenario run|record|replay [flags]`".into()),
+    };
+    let args = Args::parse(rest)?;
+    let known: &[&str] =
+        &["kind", "seed", "scale", "nodes", "adaptive", "direct", "jobs", "out", "trace", "faults"];
+    let unknown = args.unknown_flags(known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag(s): {}", unknown.join(", ")));
+    }
+
+    let seed = args.u64_or("seed", 11)?;
+    let scale = match args.get("scale").unwrap_or("quick") {
+        "quick" => seqio_scenario::MatrixScale::quick(),
+        "full" => seqio_scenario::MatrixScale::full(),
+        other => return Err(format!("--scale: expected quick|full, got {other:?}")),
+    };
+
+    match verb.as_str() {
+        "run" | "record" => {
+            let nodes = args.u64_or("nodes", 1)? as usize;
+            if nodes == 0 {
+                return Err("--nodes: need at least one node".into());
+            }
+            let kinds: Vec<&str> =
+                seqio_scenario::ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+            let kind_s = args.get("kind").ok_or_else(|| {
+                format!("scenario {verb}: needs --kind; one of {}", kinds.join("|"))
+            })?;
+            let kind = seqio_scenario::ScenarioKind::from_name(kind_s).ok_or_else(|| {
+                format!("--kind: expected one of {}, got {kind_s:?}", kinds.join("|"))
+            })?;
+            let template = seqio_scenario::matrix_template(&scale, seed);
+            let params = seqio_scenario::ScenarioParams::from_template(
+                &template,
+                nodes,
+                scale.streams_per_disk,
+            );
+            let scenario =
+                seqio_scenario::generate(kind, &params, seed).map_err(|e| e.to_string())?;
+            if let Some(out) = args.get("out") {
+                std::fs::write(out, scenario.trace.to_text())
+                    .map_err(|e| format!("--out {out}: {e}"))?;
+                println!(
+                    "recorded:        {} op(s) on {nodes} node(s) -> {out}",
+                    scenario.trace.ops.len()
+                );
+            } else if verb == "record" {
+                return Err("scenario record: needs --out FILE".into());
+            }
+            if verb == "record" {
+                return Ok(());
+            }
+            eprintln!(
+                "scenario:        {} ({} op(s), {nodes} node(s), seed {seed}, window {}+{})",
+                kind.name(),
+                scenario.trace.ops.len(),
+                scale.warmup,
+                scale.duration
+            );
+            run_scenario_trace(&args, template, scenario.trace, scenario.faults)
+        }
+        "replay" => {
+            let path = args.get("trace").ok_or("scenario replay: needs --trace FILE")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("--trace {path}: {e}"))?;
+            let trace = seqio_scenario::ScenarioTrace::from_text(&text)
+                .map_err(|e| format!("--trace {path}: {e}"))?;
+            let faults = match args.get("faults") {
+                Some(spec) => Some(
+                    seqio_simcore::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
+                ),
+                None => None,
+            };
+            let template = seqio_scenario::matrix_template(&scale, seed);
+            eprintln!(
+                "scenario:        replay {} ({} op(s), {} node(s), seed {seed}, window {}+{})",
+                trace.name,
+                trace.ops.len(),
+                trace.nodes,
+                scale.warmup,
+                scale.duration
+            );
+            run_scenario_trace(&args, template, trace, faults)
+        }
+        other => Err(format!("scenario: expected run|record|replay, got {other:?}")),
+    }
+}
+
+/// Shared back half of `scenario run` and `scenario replay`: pick the
+/// frontend, attach faults, drive the scenario runner and report.
+fn run_scenario_trace(
+    args: &Args,
+    mut template: seqio_node::Experiment,
+    trace: seqio_scenario::ScenarioTrace,
+    faults: Option<seqio_simcore::FaultPlan>,
+) -> Result<(), String> {
+    if args.switch("direct") && args.switch("adaptive") {
+        return Err("--direct runs without the scheduler; it cannot be --adaptive".into());
+    }
+    template.frontend = if args.switch("direct") {
+        seqio_node::Frontend::Direct
+    } else {
+        seqio_node::Frontend::StreamScheduler(seqio_core::ServerConfig::auto_tune(1 << 30, 8))
+    };
+    template.faults = faults;
+    let disks_per_node = template.shape.total_disks();
+    let mut run = seqio_scenario::ScenarioRun::new(template, trace);
+    if args.switch("adaptive") {
+        run.adaptive = Some(seqio_scenario::AdaptiveConfig::standard());
+    }
+    if let Some(j) = args.get("jobs") {
+        let j: usize = j.parse().map_err(|_| format!("--jobs: expected an integer, got {j:?}"))?;
+        run.jobs = Some(j);
+    }
+    let outcome = run.run().map_err(|e| e.to_string())?;
+    for (i, r) in outcome.nodes.iter().enumerate() {
+        println!(
+            "node {i}:          {:>9.2} MB/s   {} request(s), {} MiB over {}",
+            r.total_throughput_mbs(),
+            r.requests_completed,
+            r.bytes_delivered >> 20,
+            r.window
+        );
+    }
+    println!(
+        "total:           {:>9.2} MB/s over {} node(s), {} disk(s) each",
+        outcome.total_throughput_mbs(),
+        outcome.nodes.len(),
+        disks_per_node
+    );
+    if args.switch("adaptive") {
+        println!("retunes:         {}", outcome.retunes.len());
+        for e in &outcome.retunes {
+            println!("  node {} t={} {:?}", e.node, e.at, e.action);
         }
     }
     Ok(())
@@ -747,6 +898,9 @@ USAGE:
                                            # correlated session traces: cross-
                                            # node summary, tail attribution,
                                            # SLO burn-rate alerts
+  seqio scenario run    --kind K [flags]   # generate + run a named scenario
+  seqio scenario record --kind K --out FILE  # write its trace, don't run
+  seqio scenario replay --trace FILE [flags] # re-run a recorded trace
   seqio info
 
 EXPERIMENT FLAGS (run, sweep, cluster run, replay):
@@ -793,6 +947,22 @@ FLAGS (cluster run):
   (experiment flags above describe each node's template; --faults applies
    to --fault-node only and drives straggler-aware health)
 
+FLAGS (scenario run / record / replay):
+  --kind K                       steady|video|backup|mixed|churn|
+                                 seek-restart|degraded        (run, record)
+  --scale quick|full             matrix scale (window + population) [quick]
+  --nodes N                      nodes the generator addresses      [1]
+  --seed N                       scenario RNG seed                  [11]
+  --direct                       run without the stream scheduler
+  --adaptive                     enable the epoch adaptive tuner
+  --jobs N                       worker threads for multi-node traces
+  --out FILE                     also write the generated trace text
+  --trace FILE                   recorded trace to replay     (replay)
+  --faults SPEC                  fault plan for the replay    (replay;
+                                 `run` injects the generator's own plan,
+                                 e.g. the degraded straggler — pass it
+                                 here to reproduce such a run exactly)
+
 FLAGS (client run):
   --nodes K --shard POLICY       cluster under the client tier  [1 / hash]
   --rate R                       session arrivals per second    [100]
@@ -831,6 +1001,9 @@ EXAMPLES:
   seqio report --spans spans.csv --slo
   seqio client run --nodes 2 --rate 200 --link 125M --warmup 0s \\
         --duration 30s --correlate-out traces.jsonl
-  seqio report --trace traces.jsonl --correlate --attribute p99.9 --burn"
+  seqio report --trace traces.jsonl --correlate --attribute p99.9 --burn
+  seqio scenario run --kind video --adaptive
+  seqio scenario record --kind churn --out churn.trace
+  seqio scenario replay --trace churn.trace --adaptive"
     );
 }

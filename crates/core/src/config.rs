@@ -16,6 +16,15 @@ pub enum DispatchPolicy {
     /// last admitted offset on that disk — the paper's sketched alternative
     /// that tries to keep nearby streams together to shorten seeks.
     OffsetOrdered,
+    /// An ODSA-style optimized ordering (Bhoi et al., PAPERS.md): a
+    /// one-directional elevator pass over the waiting streams. Admission
+    /// prefers the eligible stream with the *lowest frontier at or beyond*
+    /// the last admitted offset on its disk, wrapping to the lowest
+    /// frontier overall once no stream lies ahead. Unlike the greedy
+    /// nearest-offset pick of [`OffsetOrdered`](Self::OffsetOrdered), the
+    /// scan never doubles back mid-pass, bounding total head travel per
+    /// sweep.
+    OdsaScan,
 }
 
 /// Configuration of the host-level stream scheduler.

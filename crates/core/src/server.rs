@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use seqio_simcore::{SimDuration, SimTime};
+use seqio_simcore::{SeqioError, SimDuration, SimTime};
 
 use crate::buffer::{BufferId, BufferPool, Coverage, Lba, StreamId};
 use crate::classifier::{Classification, Classifier};
@@ -300,6 +300,42 @@ impl StorageServer {
     /// The configuration in effect.
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
+    }
+
+    /// Applies a mid-run retune of the dynamic knobs: `D`, `R`, `N` and
+    /// the degraded-rotate threshold. The staging memory `M` stays fixed —
+    /// the buffer pool was sized at construction — so the new working set
+    /// must still satisfy `D * R * N <= M`.
+    ///
+    /// Taking effect is gradual by design: a larger `D` admits more
+    /// streams on the next issue path, a smaller one self-corrects as
+    /// dispatched streams rotate out (`try_admit` re-checks the bound on
+    /// every admission), and a new `R` applies from the next fill. Staged
+    /// buffers bought under the old tune remain valid — retuning never
+    /// invalidates data, only future scheduling decisions.
+    ///
+    /// # Errors
+    ///
+    /// Rejects tunes violating [`ServerConfig::validate`] (including the
+    /// memory invariant against the *existing* `M`); the configuration is
+    /// left untouched on error.
+    pub fn retune(
+        &mut self,
+        dispatch_streams: usize,
+        read_ahead_bytes: u64,
+        requests_per_residency: u64,
+        degraded_rotate_threshold: f64,
+    ) -> Result<(), SeqioError> {
+        let mut cfg = self.cfg.clone();
+        cfg.dispatch_streams = dispatch_streams;
+        cfg.read_ahead_bytes = read_ahead_bytes;
+        cfg.requests_per_residency = requests_per_residency;
+        cfg.degraded_rotate_threshold = degraded_rotate_threshold;
+        cfg.validate()?;
+        self.read_ahead_blocks = cfg.read_ahead_blocks();
+        self.disk_quota = cfg.dispatch_streams.div_ceil(self.disk_dispatched.len());
+        self.cfg = cfg;
+        Ok(())
     }
 
     /// Behaviour counters.
@@ -631,12 +667,14 @@ impl StorageServer {
 
     /// Picks the queue index of the next stream to admit, per the
     /// configured [`DispatchPolicy`]: the first eligible entry (round
-    /// robin) or the eligible entry whose frontier is nearest the last
-    /// admitted offset on its disk (offset ordered). Drops stale entries
-    /// as it scans.
+    /// robin), the eligible entry whose frontier is nearest the last
+    /// admitted offset on its disk (offset ordered), or the lowest
+    /// frontier at-or-beyond that offset with wrap-around (the ODSA-style
+    /// elevator scan). Drops stale entries as it scans.
     fn pick_admission(&mut self) -> Option<usize> {
         let mut chosen: Option<usize> = None;
-        let mut best_distance = u64::MAX;
+        // Lexicographic preference key; ties keep the earliest queue entry.
+        let mut best_key = (u64::MAX, u64::MAX);
         let mut i = 0;
         while i < self.rr.len() {
             let sid = self.rr[i];
@@ -649,12 +687,26 @@ impl StorageServer {
                 }
                 Some(s) => {
                     if self.disk_dispatched[s.disk] < self.disk_quota {
+                        let last = self.last_admit_frontier[s.disk];
                         match self.cfg.dispatch_policy {
                             DispatchPolicy::RoundRobin => return Some(i),
                             DispatchPolicy::OffsetOrdered => {
-                                let d = s.frontier.abs_diff(self.last_admit_frontier[s.disk]);
-                                if d < best_distance {
-                                    best_distance = d;
+                                let key = (0, s.frontier.abs_diff(last));
+                                if key < best_key {
+                                    best_key = key;
+                                    chosen = Some(i);
+                                }
+                            }
+                            DispatchPolicy::OdsaScan => {
+                                // Ahead of the head: ascending pass. Behind
+                                // it: wrap to the lowest frontier.
+                                let key = if s.frontier >= last {
+                                    (0, s.frontier - last)
+                                } else {
+                                    (1, s.frontier)
+                                };
+                                if key < best_key {
+                                    best_key = key;
                                     chosen = Some(i);
                                 }
                             }
@@ -1317,12 +1369,15 @@ mod dispatch_policy_tests {
         subs
     }
 
-    /// With D=1 and three waiting streams, the offset-ordered policy admits
-    /// the stream nearest the previously admitted offset, while round robin
-    /// follows detection order.
+    /// With D=1 and three waiting streams, the offset-ordered and
+    /// ODSA-scan policies admit the stream nearest (ahead of) the
+    /// previously admitted offset, while round robin follows detection
+    /// order.
     #[test]
     fn offset_ordered_prefers_nearby_streams() {
-        for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::OffsetOrdered] {
+        for policy in
+            [DispatchPolicy::RoundRobin, DispatchPolicy::OffsetOrdered, DispatchPolicy::OdsaScan]
+        {
             let cfg = ServerConfig {
                 dispatch_streams: 1,
                 read_ahead_bytes: 64 * 1024,
@@ -1362,21 +1417,26 @@ mod dispatch_policy_tests {
                         assert!(f < n, "round robin follows arrival order: {order:?}");
                     }
                 }
-                DispatchPolicy::OffsetOrdered => {
+                DispatchPolicy::OffsetOrdered | DispatchPolicy::OdsaScan => {
+                    // Both streams wait ahead of the admitted offset, so
+                    // the elevator pass and the nearest-offset greedy agree
+                    // here: the 120K stream goes before the 5M one.
                     let far_pos = order.iter().position(|&l| l >= 4_000_000);
                     let near_pos = order.iter().position(|&l| (110_000..1_000_000).contains(&l));
                     if let (Some(f), Some(n)) = (far_pos, near_pos) {
-                        assert!(n < f, "offset order admits the nearby stream first: {order:?}");
+                        assert!(n < f, "{policy:?} admits the nearby stream first: {order:?}");
                     }
                 }
             }
         }
     }
 
-    /// Both policies preserve the dispatch bound and complete all work.
+    /// Every policy preserves the dispatch bound and completes all work.
     #[test]
     fn policies_respect_dispatch_bound() {
-        for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::OffsetOrdered] {
+        for policy in
+            [DispatchPolicy::RoundRobin, DispatchPolicy::OffsetOrdered, DispatchPolicy::OdsaScan]
+        {
             let cfg = ServerConfig {
                 dispatch_streams: 2,
                 read_ahead_bytes: 64 * 1024,
@@ -1400,5 +1460,34 @@ mod dispatch_policy_tests {
                 assert!(srv.dispatched_streams() <= 2, "{policy:?}");
             }
         }
+    }
+
+    /// A retune updates the cached derived values, keeps `M` fixed, and
+    /// rejects working sets that no longer fit the existing pool.
+    #[test]
+    fn retune_updates_derived_values_and_enforces_memory() {
+        let cfg = ServerConfig {
+            dispatch_streams: 4,
+            read_ahead_bytes: 64 * 1024,
+            requests_per_residency: 2,
+            memory_bytes: 8 * 64 * 1024,
+            ..ServerConfig::default_tuning()
+        };
+        let mut srv = StorageServer::new(cfg, vec![10_000_000; 2]);
+        srv.retune(2, 128 * 1024, 2, 3.0).unwrap();
+        assert_eq!(srv.config().dispatch_streams, 2);
+        assert_eq!(srv.config().read_ahead_bytes, 128 * 1024);
+        assert_eq!(srv.config().degraded_rotate_threshold, 3.0);
+        assert_eq!(srv.config().memory_bytes, 8 * 64 * 1024, "M never moves");
+        assert_eq!(srv.read_ahead_blocks, 256);
+        assert_eq!(srv.disk_quota, 1);
+
+        // D*R*N > M: rejected, config untouched.
+        let before = srv.config().clone();
+        assert!(srv.retune(8, 128 * 1024, 4, 3.0).is_err());
+        assert_eq!(*srv.config(), before);
+        // Degenerate knobs are rejected through the same validation.
+        assert!(srv.retune(0, 128 * 1024, 1, 3.0).is_err());
+        assert!(srv.retune(1, 64 * 1024, 1, 1.0).is_err());
     }
 }

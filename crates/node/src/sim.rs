@@ -64,6 +64,10 @@ pub struct HealthSnapshot {
     pub straggler_factors: Vec<f64>,
     /// Streams on the node that still have requests to issue.
     pub live_streams: usize,
+    /// Bytes currently staged in the stream scheduler's buffered set
+    /// (0 on the direct and Linux front ends, which stage nothing). An
+    /// adaptive tuner reads this against `M` to judge memory pressure.
+    pub staged_bytes: u64,
 }
 
 impl HealthSnapshot {
@@ -184,6 +188,32 @@ impl NodeSim {
     /// Assembles a [`HealthSnapshot`] at time `at` from model state only.
     pub fn health(&self, at: SimTime) -> HealthSnapshot {
         self.inner.health(at)
+    }
+
+    /// Applies a mid-run retune of the stream scheduler's dynamic knobs —
+    /// `D`, `R`, `N` and the degraded-rotate threshold — between events.
+    /// `M` stays fixed, so the new working set must satisfy
+    /// `D * R * N <= M`. The change takes effect on the scheduler's next
+    /// admission/issue path; a run whose controller never calls this is
+    /// bit-identical to the static tune.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid tunes (leaving the configuration untouched) and
+    /// nodes whose frontend is not the stream scheduler.
+    pub fn retune(
+        &mut self,
+        dispatch_streams: usize,
+        read_ahead_bytes: u64,
+        requests_per_residency: u64,
+        degraded_rotate_threshold: f64,
+    ) -> Result<(), SeqioError> {
+        self.inner.retune(
+            dispatch_streams,
+            read_ahead_bytes,
+            requests_per_residency,
+            degraded_rotate_threshold,
+        )
     }
 }
 

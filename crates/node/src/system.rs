@@ -13,8 +13,8 @@ use seqio_core::{ServerConfig, ServerOutput, SpanEvent, StorageServer};
 use seqio_disk::{Direction, Disk, RequestId};
 use seqio_hostsched::{BlockRequest, IoScheduler, RaOutcome, SchedDecision, StreamRa};
 use seqio_simcore::{
-    EventQueue, LatencyHistogram, MetricId, MetricsHub, ProfTally, SimDuration, SimRng, SimTime,
-    SpanPhase,
+    EventQueue, LatencyHistogram, MetricId, MetricsHub, ProfTally, SeqioError, SimDuration, SimRng,
+    SimTime, SpanPhase,
 };
 use seqio_workload::{interval_offsets, uniform_offsets, ClientSet, StreamSpec};
 
@@ -836,12 +836,39 @@ impl StorageNode {
         let straggler_factors = (0..disks)
             .map(|d| self.spec.faults.as_ref().map_or(1.0, |pl| pl.straggler_factor(d, at)))
             .collect();
+        let staged_bytes = match &self.fe {
+            Fe::Stream(server) => server.memory_used(),
+            Fe::Direct | Fe::Linux(_) => 0,
+        };
         crate::sim::HealthSnapshot {
             queue_depths,
             busy_time,
             straggler_factors,
             live_streams: self.live_streams(),
+            staged_bytes,
         }
+    }
+
+    /// Forwards a mid-run retune to the stream scheduler (see
+    /// [`NodeSim::retune`](crate::NodeSim::retune)).
+    pub(crate) fn retune(
+        &mut self,
+        dispatch_streams: usize,
+        read_ahead_bytes: u64,
+        requests_per_residency: u64,
+        degraded_rotate_threshold: f64,
+    ) -> Result<(), SeqioError> {
+        let Fe::Stream(server) = &mut self.fe else {
+            return Err(SeqioError::Experiment(
+                "retune requires the stream-scheduler frontend".into(),
+            ));
+        };
+        server.retune(
+            dispatch_streams,
+            read_ahead_bytes,
+            requests_per_residency,
+            degraded_rotate_threshold,
+        )
     }
 
     // ----- client side ------------------------------------------------

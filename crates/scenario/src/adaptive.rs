@@ -1,0 +1,332 @@
+//! Adaptive autotuning of the stream scheduler.
+//!
+//! [`AdaptiveTuner`] is an [`EpochController`] over [`HealthSnapshot`]s: at
+//! every epoch boundary the scenario runner hands it the node's model-state
+//! health (disk queues, cumulative busy time, straggler factors, staged
+//! bytes — never the opt-in observability recorder) and the tuner may emit
+//! a [`RetuneAction`] adjusting `D`, `R`, `N` and the degraded-rotate
+//! threshold mid-run. `M` is fixed at construction, so every action keeps
+//! the paper's memory invariant `D * R * N <= M`.
+//!
+//! The tuner is deliberately conservative: each rule fires only on a clear
+//! pathology, so on a healthy, well-tuned node it emits nothing — and a
+//! run whose tuner never emits is bit-identical to the static tune (epoch
+//! health polling is read-only). [`AdaptiveConfig::inert`] makes that a
+//! guarantee rather than a tendency, which the retune-neutrality tests
+//! pin down to the golden figure hash.
+
+use seqio_core::ServerConfig;
+use seqio_node::HealthSnapshot;
+use seqio_simcore::{EpochController, SimDuration, SimTime};
+
+/// A mid-run change to the scheduler's dynamic knobs, applied through
+/// [`NodeSim::retune`](seqio_node::NodeSim::retune).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetuneAction {
+    /// New `D`.
+    pub dispatch_streams: usize,
+    /// New `R` in bytes.
+    pub read_ahead_bytes: u64,
+    /// New `N`.
+    pub requests_per_residency: u64,
+    /// New degraded-rotate threshold.
+    pub degraded_rotate_threshold: f64,
+}
+
+/// Thresholds governing when [`AdaptiveTuner`] acts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Spacing of epoch boundaries at which health is sampled.
+    pub epoch: SimDuration,
+    /// Straggler rule: when the worst per-disk straggler factor exceeds
+    /// this but sits below the current rotate threshold (so static tuning
+    /// would never rotate), lower the threshold to just under the observed
+    /// factor.
+    pub straggler_fire_above: f64,
+    /// Widen rule, part 1: staged bytes exceed this fraction of `M`...
+    pub staged_high_frac: f64,
+    /// Widen rule, part 2: ...while the mean disk busy fraction over the
+    /// epoch is below this. Staged data piling up while disks idle means
+    /// the few dispatched streams hold residencies far longer than their
+    /// consumers can drain, starving everyone else: trade residency depth
+    /// for dispatch width (`D *= 2`, `N /= 2` — the memory product
+    /// `D * R * N` is unchanged).
+    pub busy_thrash_below: f64,
+    /// Underutilization rule: mean busy fraction below this while at least
+    /// `2 * D` streams are live means the dispatch set cycles too fast;
+    /// `N` is doubled (memory invariant permitting).
+    pub busy_idle_below: f64,
+    /// Upper bound for `N` when doubling.
+    pub max_requests_per_residency: u64,
+}
+
+impl AdaptiveConfig {
+    /// Production thresholds: act on mild stragglers the static threshold
+    /// misses, on staged data piling up over idle disks, and on a visibly
+    /// idle dispatch set.
+    pub fn standard() -> AdaptiveConfig {
+        AdaptiveConfig {
+            epoch: SimDuration::from_millis(250),
+            straggler_fire_above: 1.05,
+            staged_high_frac: 0.25,
+            busy_thrash_below: 0.25,
+            busy_idle_below: 0.25,
+            max_requests_per_residency: 128,
+        }
+    }
+
+    /// A tuner that can never fire: every rule's trigger is unreachable
+    /// (infinite highs, zero lows). Running with this is bit-identical to
+    /// the static tune — the retune-neutrality tests rely on it.
+    pub fn inert() -> AdaptiveConfig {
+        AdaptiveConfig {
+            epoch: SimDuration::from_millis(250),
+            straggler_fire_above: f64::INFINITY,
+            staged_high_frac: f64::INFINITY,
+            busy_thrash_below: 0.0,
+            busy_idle_below: 0.0,
+            max_requests_per_residency: u64::MAX,
+        }
+    }
+}
+
+/// Feedback controller adapting the stream scheduler's knobs from epoch
+/// health snapshots (see module docs).
+#[derive(Debug, Clone)]
+pub struct AdaptiveTuner {
+    cfg: AdaptiveConfig,
+    /// The tune currently applied on the node.
+    dispatch_streams: usize,
+    read_ahead_bytes: u64,
+    requests_per_residency: u64,
+    threshold: f64,
+    /// Fixed pool size the invariant is checked against.
+    memory_bytes: u64,
+    /// Busy-time integral at the previous epoch boundary, for the
+    /// per-epoch busy fraction.
+    prev_at: SimTime,
+    prev_busy: SimDuration,
+    emitted: usize,
+}
+
+impl AdaptiveTuner {
+    /// A tuner starting from the static tune `server` with thresholds
+    /// `cfg`.
+    pub fn new(server: &ServerConfig, cfg: AdaptiveConfig) -> AdaptiveTuner {
+        AdaptiveTuner {
+            cfg,
+            dispatch_streams: server.dispatch_streams,
+            read_ahead_bytes: server.read_ahead_bytes,
+            requests_per_residency: server.requests_per_residency,
+            threshold: server.degraded_rotate_threshold,
+            memory_bytes: server.memory_bytes,
+            prev_at: SimTime::ZERO,
+            prev_busy: SimDuration::ZERO,
+            emitted: 0,
+        }
+    }
+
+    /// Epoch spacing the runner should poll at.
+    pub fn epoch_len(&self) -> SimDuration {
+        self.cfg.epoch
+    }
+
+    /// Actions emitted so far.
+    pub fn actions_emitted(&self) -> usize {
+        self.emitted
+    }
+
+    fn action(&self) -> RetuneAction {
+        RetuneAction {
+            dispatch_streams: self.dispatch_streams,
+            read_ahead_bytes: self.read_ahead_bytes,
+            requests_per_residency: self.requests_per_residency,
+            degraded_rotate_threshold: self.threshold,
+        }
+    }
+
+    /// Mean per-disk busy fraction since the previous epoch boundary.
+    fn busy_fraction(&mut self, at: SimTime, obs: &HealthSnapshot) -> f64 {
+        let busy_now: SimDuration = obs.busy_time.iter().copied().sum();
+        let elapsed = at.saturating_duration_since(self.prev_at);
+        let delta = busy_now.saturating_sub(self.prev_busy);
+        self.prev_at = at;
+        self.prev_busy = busy_now;
+        let disks = obs.busy_time.len().max(1) as u64;
+        if elapsed == SimDuration::ZERO {
+            return 1.0;
+        }
+        (delta.as_secs_f64() / disks as f64) / elapsed.as_secs_f64()
+    }
+}
+
+impl EpochController<HealthSnapshot> for AdaptiveTuner {
+    type Action = RetuneAction;
+
+    fn epoch(&mut self, at: SimTime, obs: &HealthSnapshot) -> Option<RetuneAction> {
+        let busy = self.busy_fraction(at, obs);
+        let before = self.action();
+
+        // Straggler rule: a disk is mildly degraded — below the current
+        // rotate threshold, so the scheduler keeps granting it full
+        // residencies — but clearly unhealthy. Drop the threshold to just
+        // under the observed factor so degraded-mode rotation engages.
+        // Rotation only reallocates dispatch capacity when `D` is below
+        // the disk count (at `D >= disks` every disk owns its quota slot
+        // and a freed slot can only return to the same slow disk), so the
+        // rule stays inert on a full-width tune.
+        let worst = obs.worst_straggler_factor();
+        if self.dispatch_streams < obs.queue_depths.len()
+            && worst > self.cfg.straggler_fire_above
+            && worst < self.threshold
+        {
+            self.threshold = (worst * 0.75).max(self.cfg.straggler_fire_above);
+        }
+
+        // Widen rule: staged data piles up while disks sit idle — the few
+        // dispatched streams hold residencies their consumers cannot
+        // drain, starving the rest of the live set. Trade residency depth
+        // for dispatch width: `D *= 2`, `N /= 2`, leaving the memory
+        // product `D * R * N` (and so the paper invariant) untouched.
+        // Bounded by the live population — dispatching wider than the
+        // stream set buys nothing. Mutually exclusive with the doubling
+        // rule below, which would otherwise undo the halving within the
+        // same epoch.
+        let staged_high =
+            obs.staged_bytes as f64 > self.cfg.staged_high_frac * self.memory_bytes as f64;
+        let wider = self.dispatch_streams.saturating_mul(2);
+        if staged_high
+            && busy < self.cfg.busy_thrash_below
+            && self.requests_per_residency > 1
+            && wider <= obs.live_streams.max(obs.queue_depths.len())
+        {
+            self.dispatch_streams = wider;
+            self.requests_per_residency /= 2;
+        } else {
+            // Underutilization rule: plenty of live streams but disks
+            // mostly idle — the dispatch set churns faster than it fills.
+            // Double `N` while the invariant holds.
+            let doubled = self.requests_per_residency.saturating_mul(2);
+            let fits = (self.dispatch_streams as u64)
+                .saturating_mul(self.read_ahead_bytes)
+                .saturating_mul(doubled)
+                <= self.memory_bytes;
+            if busy < self.cfg.busy_idle_below
+                && obs.live_streams >= 2 * self.dispatch_streams
+                && doubled <= self.cfg.max_requests_per_residency
+                && fits
+            {
+                self.requests_per_residency = doubled;
+            }
+        }
+
+        let after = self.action();
+        if after == before {
+            None
+        } else {
+            self.emitted += 1;
+            Some(after)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 8 disks, so default_tuning's D=4 sits below the disk count and the
+    // straggler rule is armed.
+    fn snapshot(
+        straggler: f64,
+        staged: u64,
+        busy_each: SimDuration,
+        live: usize,
+    ) -> HealthSnapshot {
+        let mut factors = vec![1.0; 8];
+        factors[0] = straggler;
+        HealthSnapshot {
+            queue_depths: vec![0; 8],
+            busy_time: vec![busy_each; 8],
+            straggler_factors: factors,
+            live_streams: live,
+            staged_bytes: staged,
+        }
+    }
+
+    fn tuner(cfg: AdaptiveConfig) -> AdaptiveTuner {
+        AdaptiveTuner::new(&ServerConfig::default_tuning(), cfg)
+    }
+
+    #[test]
+    fn inert_tuner_never_emits() {
+        let mut t = tuner(AdaptiveConfig::inert());
+        let mut at = SimTime::ZERO;
+        for i in 0..20 {
+            at += t.epoch_len();
+            // Wildly varying health: still nothing may fire.
+            let obs = snapshot(1.0 + i as f64, u64::MAX / 2, SimDuration::ZERO, 1000);
+            assert_eq!(t.epoch(at, &obs), None);
+        }
+        assert_eq!(t.actions_emitted(), 0);
+    }
+
+    #[test]
+    fn mild_straggler_lowers_the_threshold() {
+        let mut t = tuner(AdaptiveConfig::standard());
+        let at = SimTime::ZERO + t.epoch_len();
+        // Busy disks, mild 1.8x straggler: static threshold 2.0 ignores it.
+        let a = t.epoch(at, &snapshot(1.8, 0, t.epoch_len(), 8)).expect("straggler rule fires");
+        assert!(a.degraded_rotate_threshold < 1.8, "{a:?}");
+        assert!(a.degraded_rotate_threshold >= 1.05, "{a:?}");
+        // One epoch later (busy time grown by a full epoch per disk):
+        // tune already applied, nothing new.
+        let again = t.epoch(at + t.epoch_len(), &snapshot(1.8, 0, t.epoch_len() * 2, 8));
+        assert_eq!(again, None);
+        assert_eq!(t.actions_emitted(), 1);
+    }
+
+    #[test]
+    fn severe_straggler_is_left_to_the_static_threshold() {
+        // 4x exceeds the configured rotate threshold (2.0): the scheduler
+        // already rotates it, so the tuner must not touch anything.
+        let mut t = tuner(AdaptiveConfig::standard());
+        let at = SimTime::ZERO + t.epoch_len();
+        assert_eq!(t.epoch(at, &snapshot(4.0, 0, t.epoch_len(), 8)), None);
+    }
+
+    #[test]
+    fn staged_pileup_widens_and_idle_doubles_n() {
+        // default_tuning: D=4, R=1MiB, N=8, M=64MiB.
+        let m = ServerConfig::default_tuning().memory_bytes;
+        let mut t = tuner(AdaptiveConfig::standard());
+        let e = t.epoch_len();
+        // Staged pileup over idle disks -> trade residency for width.
+        let a = t.epoch(SimTime::ZERO + e, &snapshot(1.0, m, SimDuration::ZERO, 8)).unwrap();
+        assert_eq!(a.dispatch_streams, 8);
+        assert_eq!(a.requests_per_residency, 4);
+        // Idle disks, many live streams, empty pool -> N doubles back.
+        let a = t.epoch(SimTime::ZERO + e * 2, &snapshot(1.0, 0, SimDuration::ZERO, 16)).unwrap();
+        assert_eq!(a.dispatch_streams, 8);
+        assert_eq!(a.requests_per_residency, 8);
+        // Fully busy disks (one whole epoch of busy each) -> steady state.
+        assert_eq!(t.epoch(SimTime::ZERO + e * 3, &snapshot(1.0, 0, e, 8)), None);
+        assert_eq!(t.actions_emitted(), 2);
+    }
+
+    #[test]
+    fn widen_is_bounded_by_the_live_population() {
+        // Same pileup on 4 disks with only 7 live streams: doubling D to 8
+        // would out-dispatch the population, so nothing fires.
+        let m = ServerConfig::default_tuning().memory_bytes;
+        let mut t = tuner(AdaptiveConfig::standard());
+        let at = SimTime::ZERO + t.epoch_len();
+        let obs = HealthSnapshot {
+            queue_depths: vec![0; 4],
+            busy_time: vec![SimDuration::ZERO; 4],
+            straggler_factors: vec![1.0; 4],
+            live_streams: 7,
+            staged_bytes: m,
+        };
+        assert_eq!(t.epoch(at, &obs), None);
+    }
+}

@@ -1,0 +1,51 @@
+//! Dispatch-policy comparison harness: one scenario trace, one scheduler
+//! tune, every admission policy.
+
+use seqio_core::DispatchPolicy;
+use seqio_node::{Experiment, Frontend};
+use seqio_simcore::SeqioError;
+
+use crate::run::ScenarioRun;
+use crate::trace::ScenarioTrace;
+
+/// One policy's aggregate throughput on the scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyOutcome {
+    /// The admission policy compared.
+    pub policy: DispatchPolicy,
+    /// Aggregate node throughput, MB/s.
+    pub throughput_mbs: f64,
+}
+
+/// Every policy the harness compares, in report order.
+pub const POLICIES: [DispatchPolicy; 3] =
+    [DispatchPolicy::RoundRobin, DispatchPolicy::OffsetOrdered, DispatchPolicy::OdsaScan];
+
+/// Runs `trace` once per admission policy over `template` (which must use
+/// the stream-scheduler frontend) and reports each policy's aggregate
+/// throughput. Everything but the policy — tune, seed, trace — is held
+/// fixed, so the comparison isolates the admission order.
+///
+/// # Errors
+///
+/// Rejects a non-scheduler template and propagates run errors.
+pub fn compare_policies(
+    template: &Experiment,
+    trace: &ScenarioTrace,
+) -> Result<Vec<PolicyOutcome>, SeqioError> {
+    let Frontend::StreamScheduler(cfg) = &template.frontend else {
+        return Err(SeqioError::Experiment(
+            "policy comparison requires the stream-scheduler frontend".into(),
+        ));
+    };
+    let mut out = Vec::with_capacity(POLICIES.len());
+    for policy in POLICIES {
+        let mut cfg = cfg.clone();
+        cfg.dispatch_policy = policy;
+        let mut t = template.clone();
+        t.frontend = Frontend::StreamScheduler(cfg);
+        let outcome = ScenarioRun::new(t, trace.clone()).run()?;
+        out.push(PolicyOutcome { policy, throughput_mbs: outcome.total_throughput_mbs() });
+    }
+    Ok(out)
+}

@@ -1,0 +1,62 @@
+//! Temporary instrumentation: epoch health of the auto tune per scenario.
+
+use seqio_node::{Frontend, NodeSim};
+use seqio_scenario::{matrix_scenario, matrix_template, MatrixScale, ScenarioKind};
+use seqio_simcore::{SimDuration, SimTime};
+
+#[test]
+#[ignore]
+fn dump_epoch_health() {
+    let scale = MatrixScale::quick();
+    for kind in ScenarioKind::ALL {
+        let scenario = matrix_scenario(kind, &scale, 11).unwrap();
+        let mut t = matrix_template(&scale, 11);
+        t.frontend = Frontend::StreamScheduler(seqio_core::ServerConfig::auto_tune(1 << 30, 8));
+        t.faults = scenario.faults.clone();
+        let mut sim = NodeSim::new(&t).unwrap();
+        seqio_simcore::SimComponent::init(&mut sim);
+        let mut ops = scenario.trace.ops.clone();
+        ops.sort_by_key(|o| o.at);
+        let mut oi = 0;
+        let mut slot_of = std::collections::HashMap::new();
+        let epoch = SimDuration::from_millis(250);
+        let horizon = SimTime::ZERO + scale.warmup + scale.duration;
+        let mut tick = SimTime::ZERO + epoch;
+        println!("== {}", kind.name());
+        let mut prev_busy = SimDuration::ZERO;
+        while tick <= horizon {
+            while oi < ops.len() && ops[oi].at <= tick {
+                let op = ops[oi];
+                oi += 1;
+                sim.advance_to(op.at);
+                match op.kind {
+                    seqio_scenario::TraceOpKind::Inject { .. } => {
+                        let h = seqio_node::StreamHandoff::fresh(op.spec().unwrap()).unwrap();
+                        let slot = sim.inject_stream(op.at, h);
+                        slot_of.insert(op.stream, slot);
+                    }
+                    seqio_scenario::TraceOpKind::Retire => {
+                        let slot = slot_of[&op.stream];
+                        if sim.stream_live(slot) {
+                            let _ = sim.retire_stream(slot);
+                        }
+                    }
+                }
+            }
+            sim.advance_to(tick);
+            let h = sim.health(tick);
+            let busy_now: SimDuration = h.busy_time.iter().copied().sum();
+            let frac = (busy_now - prev_busy).as_secs_f64()
+                / (h.busy_time.len() as f64 * epoch.as_secs_f64());
+            prev_busy = busy_now;
+            println!(
+                "  t={:>4}ms busy={frac:.2} q={:?} live={} staged={}MiB",
+                tick.as_millis_f64(),
+                h.queue_depths,
+                h.live_streams,
+                h.staged_bytes >> 20,
+            );
+            tick += epoch;
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Temporary instrumentation: static (D, N) ladder at constant D*R*N.
+
+use seqio_core::ServerConfig;
+use seqio_node::Frontend;
+use seqio_scenario::{matrix_scenario, matrix_template, MatrixScale, ScenarioKind, ScenarioRun};
+
+#[test]
+#[ignore]
+fn dump_dn_ladder() {
+    let scale = MatrixScale::quick();
+    for kind in ScenarioKind::ALL {
+        let scenario = matrix_scenario(kind, &scale, 11).unwrap();
+        print!("{:<13}", kind.name());
+        for (d, n) in [(8usize, 128u64), (16, 64), (32, 32), (64, 16), (128, 8)] {
+            let mut cfg = ServerConfig::auto_tune(1 << 30, 8);
+            cfg.dispatch_streams = d;
+            cfg.requests_per_residency = n;
+            let mut t = matrix_template(&scale, 11);
+            t.frontend = Frontend::StreamScheduler(cfg);
+            t.faults = scenario.faults.clone();
+            let run = ScenarioRun::new(t, scenario.trace.clone());
+            let out = run.run().unwrap();
+            print!("  D{d}/N{n}={:.1}", out.total_throughput_mbs());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the scenario trace format: arbitrary generated
+//! traces survive serialize → parse structurally intact (which, with the
+//! deterministic runner, makes replay bit-identical — the determinism
+//! suite pins that end to end), the text form is a fixed point, and
+//! malformed inputs fail with errors naming the offending token.
+
+use proptest::prelude::*;
+use seqio_scenario::{ScenarioTrace, TraceOp, TraceOpKind};
+use seqio_simcore::SimTime;
+use seqio_workload::Pattern;
+
+/// Builds a valid trace from raw fuzz material: stream ids are globally
+/// unique, times are arbitrary (the sort pass orders them), and every
+/// spec satisfies `StreamSpec::validate`.
+#[allow(clippy::type_complexity)]
+fn build(
+    nodes: usize,
+    raw: &[((u64, usize, usize, u64), (u64, u64, usize, u64), u64)],
+) -> ScenarioTrace {
+    let mut t = ScenarioTrace::new("prop-roundtrip", nodes);
+    for (stream, &((at, node, disk, start), (blocks, requests, psel, pv), retire)) in
+        raw.iter().enumerate()
+    {
+        let pattern = match psel % 3 {
+            0 => Pattern::Sequential,
+            1 => Pattern::NearSequential { p: pv as f64 / 1000.0, jitter_blocks: 1 + pv },
+            _ => Pattern::Random { span_blocks: blocks + pv },
+        };
+        let node = node % nodes;
+        t.ops.push(TraceOp {
+            at: SimTime::from_nanos(at),
+            node,
+            stream,
+            kind: TraceOpKind::Inject { disk, start, blocks, requests, pattern },
+        });
+        // Half the streams also get retired, at or after their injection
+        // (a same-instant retire exercises the inject-before-retire rank).
+        if retire % 2 == 0 {
+            t.ops.push(TraceOp {
+                at: SimTime::from_nanos(at + retire),
+                node,
+                stream,
+                kind: TraceOpKind::Retire,
+            });
+        }
+    }
+    t.sort();
+    t
+}
+
+proptest! {
+    /// serialize → parse is the identity on valid traces, and the text
+    /// form is a fixed point of the round trip.
+    #[test]
+    fn prop_trace_text_round_trips(
+        nodes in 1usize..4,
+        raw in proptest::collection::vec(
+            (
+                (0u64..50_000_000, 0usize..8, 0usize..8, 0u64..2_000_000),
+                (1u64..512, 1u64..2_000, 0usize..3, 0u64..1000),
+                0u64..1_000_000,
+            ),
+            0..25,
+        ),
+    ) {
+        let t = build(nodes, &raw);
+        t.validate().expect("constructed traces are valid");
+        let text = t.to_text();
+        let parsed = ScenarioTrace::from_text(&text).expect("serialized traces parse");
+        prop_assert_eq!(&parsed, &t, "parse(serialize(t)) != t");
+        prop_assert_eq!(parsed.to_text(), text, "text form is not a fixed point");
+    }
+
+    /// Smuggling an unknown field into any line of a valid trace fails,
+    /// and the error names the offending token and its line.
+    #[test]
+    fn prop_unknown_fields_are_named_in_errors(
+        nodes in 1usize..3,
+        raw in proptest::collection::vec(
+            (
+                (0u64..1_000_000, 0usize..4, 0usize..4, 0u64..100_000),
+                (1u64..64, 1u64..100, 0usize..3, 0u64..1000),
+                0u64..1_000,
+            ),
+            1..8,
+        ),
+        victim in 0usize..1000,
+    ) {
+        let t = build(nodes, &raw);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        // Line 0 is the header comment; corrupt one real clause line.
+        let victim = 1 + victim % (lines.len() - 1);
+        let corrupted: Vec<String> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == victim { format!("{l},bogus_field=1") } else { (*l).to_string() }
+            })
+            .collect();
+        let err = ScenarioTrace::from_text(&corrupted.join("\n"))
+            .expect_err("unknown fields must be rejected")
+            .to_string();
+        prop_assert!(err.contains("bogus_field"), "error does not name the token: {}", err);
+        prop_assert!(
+            err.contains(&format!("line {}", victim + 1)),
+            "error does not name line {}: {}",
+            victim + 1,
+            err
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The feedback-controller contract for closed-loop tuning.
+//!
+//! A co-simulation driver that steps components in epochs (the cluster
+//! rebalancer, the scenario runner's adaptive tuner) polls a controller at
+//! every epoch boundary with a read-only observation of model state. The
+//! controller may answer with an action for the driver to apply — a
+//! retune, a migration plan — or `None` to leave the run untouched.
+//!
+//! Two properties keep controlled runs deterministic and comparable:
+//!
+//! * **read-only observation** — the observation must be assembled from
+//!   simulation model state (the `HealthSnapshot` path), never from the
+//!   opt-in observability recorder, so polling cannot perturb the run;
+//! * **inert by default** — a controller whose thresholds never fire
+//!   returns `None` at every epoch, and the driver must then produce
+//!   results bit-identical to an uncontrolled run.
+
+use crate::time::SimTime;
+
+/// A feedback controller polled at epoch boundaries (see module docs).
+///
+/// `Obs` is the read-only model-state observation the driver assembles;
+/// [`Action`](EpochController::Action) is whatever the driver knows how to
+/// apply. Controllers must be deterministic: the same observation sequence
+/// yields the same action sequence.
+pub trait EpochController<Obs> {
+    /// What the controller asks the driver to do.
+    type Action;
+
+    /// Observes the model state at epoch boundary `at`; `None` leaves the
+    /// run untouched.
+    fn epoch(&mut self, at: SimTime, obs: &Obs) -> Option<Self::Action>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct EveryOther(u32);
+    impl EpochController<u64> for EveryOther {
+        type Action = u64;
+        fn epoch(&mut self, _at: SimTime, obs: &u64) -> Option<u64> {
+            self.0 += 1;
+            self.0.is_multiple_of(2).then_some(*obs * 2)
+        }
+    }
+
+    #[test]
+    fn controllers_are_plain_state_machines() {
+        let mut c = EveryOther(0);
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        assert_eq!(c.epoch(t, &21), None);
+        assert_eq!(c.epoch(t, &21), Some(42));
+    }
+}

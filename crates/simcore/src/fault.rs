@@ -33,6 +33,7 @@
 //! ```
 
 use crate::error::SeqioError;
+use crate::record::{parse_duration, ClauseFields};
 use crate::time::{SimDuration, SimTime};
 
 /// One straggler window: every media operation started by the disk while
@@ -284,24 +285,24 @@ impl FaultPlan {
                 .split_once(':')
                 .ok_or_else(|| fail(format!("clause `{clause}` is missing `kind:`")))?;
             let kind = kind.trim();
-            let mut fields = Fields::parse(kind, rest).map_err(&fail)?;
+            let mut fields = ClauseFields::parse("faults", kind, rest).map_err(&fail)?;
             match kind {
                 "straggler" => {
-                    let disk = fields.index("disk")?;
+                    let disk = fields.usize_field("disk", "a disk index")?;
                     let factor = fields.float("factor")?;
                     let from = fields.duration_or("from", SimDuration::ZERO)?;
                     let dur = fields.optional_duration("for")?;
                     plan = plan.straggler(disk, factor, from, dur);
                 }
                 "errors" => {
-                    let disk = fields.index("disk")?;
+                    let disk = fields.usize_field("disk", "a disk index")?;
                     let rate = fields.float("rate")?;
                     plan = plan.read_errors(disk, rate);
                 }
                 "badregion" => {
-                    let disk = fields.index("disk")?;
-                    let start = fields.count("start")?;
-                    let blocks = fields.count("blocks")?;
+                    let disk = fields.usize_field("disk", "a disk index")?;
+                    let start = fields.u64_field("start", "a block count")?;
+                    let blocks = fields.u64_field("blocks", "a block count")?;
                     let penalty = fields.duration_or("penalty", SimDuration::from_millis(5))?;
                     plan = plan.bad_region(disk, start, blocks, penalty);
                 }
@@ -328,114 +329,6 @@ impl FaultPlan {
         plan.validate()?;
         Ok(plan)
     }
-}
-
-/// `key=value` field list for one spec clause. Every error names the
-/// offending token and the clause it sits in, never the whole spec.
-struct Fields {
-    kind: String,
-    pairs: Vec<(String, String)>,
-}
-
-impl Fields {
-    fn parse(kind: &str, rest: &str) -> Result<Fields, String> {
-        let mut pairs = Vec::new();
-        for pair in rest.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            let (k, v) = pair
-                .split_once('=')
-                .ok_or_else(|| format!("field `{pair}` in `{kind}` clause is not `key=value`"))?;
-            pairs.push((k.trim().to_string(), v.trim().to_string()));
-        }
-        Ok(Fields { kind: kind.to_string(), pairs })
-    }
-
-    fn fail(&self, reason: String) -> SeqioError {
-        SeqioError::Component {
-            component: "faults",
-            reason: format!("{reason} in `{}` clause", self.kind),
-        }
-    }
-
-    fn take(&mut self, key: &str) -> Option<String> {
-        let i = self.pairs.iter().position(|(k, _)| k == key)?;
-        Some(self.pairs.remove(i).1)
-    }
-
-    fn required(&mut self, key: &str) -> Result<String, SeqioError> {
-        self.take(key).ok_or_else(|| SeqioError::Component {
-            component: "faults",
-            reason: format!("`{}` clause is missing required field `{key}`", self.kind),
-        })
-    }
-
-    fn index(&mut self, key: &str) -> Result<usize, SeqioError> {
-        let v = self.required(key)?;
-        v.parse().map_err(|_| self.fail(format!("`{key}={v}` is not a disk index")))
-    }
-
-    fn count(&mut self, key: &str) -> Result<u64, SeqioError> {
-        let v = self.required(key)?;
-        v.parse().map_err(|_| self.fail(format!("`{key}={v}` is not a block count")))
-    }
-
-    fn float(&mut self, key: &str) -> Result<f64, SeqioError> {
-        let v = self.required(key)?;
-        v.parse().map_err(|_| self.fail(format!("`{key}={v}` is not a number")))
-    }
-
-    fn duration_or(&mut self, key: &str, default: SimDuration) -> Result<SimDuration, SeqioError> {
-        match self.take(key) {
-            Some(v) => {
-                parse_duration(&v).map_err(|reason| self.fail(format!("`{key}={v}`: {reason}")))
-            }
-            None => Ok(default),
-        }
-    }
-
-    fn optional_duration(&mut self, key: &str) -> Result<Option<SimDuration>, SeqioError> {
-        match self.take(key) {
-            Some(v) => parse_duration(&v)
-                .map(Some)
-                .map_err(|reason| self.fail(format!("`{key}={v}`: {reason}"))),
-            None => Ok(None),
-        }
-    }
-
-    fn finish(self) -> Result<(), SeqioError> {
-        match self.pairs.first() {
-            None => Ok(()),
-            Some((k, _)) => {
-                let reason = format!("unknown field `{k}`");
-                Err(self.fail(reason))
-            }
-        }
-    }
-}
-
-/// Parses a duration with an `ns`/`us`/`ms`/`s` suffix; a bare number is
-/// seconds.
-fn parse_duration(s: &str) -> Result<SimDuration, String> {
-    let s = s.trim();
-    let (num, nanos_per_unit) = if let Some(n) = s.strip_suffix("ns") {
-        (n, 1.0)
-    } else if let Some(n) = s.strip_suffix("us") {
-        (n, 1e3)
-    } else if let Some(n) = s.strip_suffix("ms") {
-        (n, 1e6)
-    } else if let Some(n) = s.strip_suffix('s') {
-        (n, 1e9)
-    } else {
-        (s, 1e9)
-    };
-    let v: f64 = num
-        .trim()
-        .parse()
-        .map_err(|_| format!("`{s}` is not a duration (expected e.g. `500us`, `5ms`, `2s`)"))?;
-    if !v.is_finite() || v < 0.0 {
-        return Err(format!("duration `{s}` must be non-negative"));
-    }
-    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-    Ok(SimDuration::from_nanos((v * nanos_per_unit).round() as u64))
 }
 
 impl FaultPlan {

@@ -22,6 +22,10 @@
 //!   device models;
 //! * [`FairShareLink`] — a shared-bandwidth client-facing network link
 //!   dividing its capacity max-min fairly among concurrent transfers;
+//! * [`ClauseFields`] — the shared `kind:key=value,...` clause grammar
+//!   behind the `--faults` spec and the scenario trace files;
+//! * [`EpochController`] — the feedback-controller contract polled by
+//!   epoch-stepping drivers (cluster rebalancing, adaptive tuning);
 //! * observability: [`ObsConfig`], [`SpanPhase`], [`MetricsHub`] /
 //!   [`MetricSeries`] — strictly opt-in lifecycle-span and metric
 //!   time-series recording, guaranteed not to perturb simulation output;
@@ -59,12 +63,14 @@
 
 mod calendar;
 mod component;
+mod controller;
 mod error;
 mod event;
 mod fault;
 mod link;
 mod obs;
 mod prof;
+mod record;
 mod rng;
 mod stats;
 mod time;
@@ -72,12 +78,14 @@ pub mod units;
 
 pub use calendar::EventQueue;
 pub use component::SimComponent;
+pub use controller::EpochController;
 pub use error::SeqioError;
 pub use event::HeapEventQueue;
 pub use fault::{BadRegion, DiskFaults, FaultPlan, RetryPolicy, Straggler};
 pub use link::{max_min_rates, FairShareLink, LinkDelivery};
 pub use obs::{MetricId, MetricKind, MetricSeries, MetricsHub, ObsConfig, SpanPhase};
 pub use prof::{EventClassStats, KernelProfile, ProfConfig, ProfTally, QueueStats};
+pub use record::{parse_duration, ClauseFields};
 pub use rng::SimRng;
 pub use stats::{LatencyHistogram, OnlineStats, ThroughputMeter};
 pub use time::{SimDuration, SimTime};

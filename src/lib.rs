@@ -20,7 +20,10 @@
 //! * an open-loop client/network front end: user-scale session arrivals
 //!   over a fair-share link with end-to-end session SLOs ([`client`]);
 //! * cluster-wide telemetry: cross-tier trace correlation, tail
-//!   attribution and SLO burn-rate monitoring ([`telemetry`]).
+//!   attribution and SLO burn-rate monitoring ([`telemetry`]);
+//! * named replayable workload scenarios and an epoch feedback
+//!   controller adapting the scheduler's `D`/`R`/`N` mid-run
+//!   ([`scenario`]).
 //!
 //! # Quick start
 //!
@@ -88,6 +91,7 @@ pub use seqio_core as core;
 pub use seqio_disk as disk;
 pub use seqio_hostsched as hostsched;
 pub use seqio_node as node;
+pub use seqio_scenario as scenario;
 pub use seqio_simcore as simcore;
 pub use seqio_telemetry as telemetry;
 pub use seqio_workload as workload;
